@@ -1,0 +1,67 @@
+// Command tango-char regenerates a single table or figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	tango-char -exp fig2                 # L1D sensitivity sweep (Figure 2)
+//	tango-char -exp table3 -csv          # launch geometry as CSV
+//	tango-char -exp fig6 -networks CifarNet
+//	tango-char -list                     # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tango"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the reproducible experiments and exit")
+		exp      = flag.String("exp", "", "experiment id (table1..table4, fig1..fig16)")
+		networks = flag.String("networks", "", "comma-separated benchmark filter (default: the experiment's full set)")
+		fast     = flag.Bool("fast", false, "use coarse simulation sampling")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Reproducible experiments:")
+		for _, e := range tango.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "tango-char: -exp is required (use -list to see experiments)")
+		os.Exit(2)
+	}
+
+	var opts []tango.ExperimentOption
+	if *networks != "" {
+		var names []string
+		for _, n := range strings.Split(*networks, ",") {
+			if trimmed := strings.TrimSpace(n); trimmed != "" {
+				names = append(names, trimmed)
+			}
+		}
+		opts = append(opts, tango.WithNetworks(names...))
+	}
+	if *fast {
+		opts = append(opts, tango.WithFastExperimentSampling())
+	}
+
+	table, err := tango.RunExperiment(*exp, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tango-char:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(table.CSV())
+		return
+	}
+	fmt.Print(table.String())
+}

@@ -1,0 +1,79 @@
+// Command tango-report runs the complete experiment matrix — every table and
+// figure of the paper's evaluation — and writes the results to stdout or to a
+// directory of per-experiment files.  Simulation results are cached across
+// experiments, so each (network, configuration) pair is simulated once.
+//
+// Usage:
+//
+//	tango-report                      # full report to stdout
+//	tango-report -out results/        # one .txt and .csv file per experiment
+//	tango-report -fast -networks GRU,LSTM,CifarNet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tango"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "directory to write per-experiment .txt/.csv files (default: stdout only)")
+		networks = flag.String("networks", "", "comma-separated benchmark filter")
+		fast     = flag.Bool("fast", false, "use coarse simulation sampling")
+	)
+	flag.Parse()
+
+	var opts []tango.ExperimentOption
+	if *networks != "" {
+		var names []string
+		for _, n := range strings.Split(*networks, ",") {
+			if trimmed := strings.TrimSpace(n); trimmed != "" {
+				names = append(names, trimmed)
+			}
+		}
+		opts = append(opts, tango.WithNetworks(names...))
+	}
+	if *fast {
+		opts = append(opts, tango.WithFastExperimentSampling())
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	session := tango.NewExperimentSession(opts...)
+	start := time.Now()
+	for _, e := range tango.Experiments() {
+		expStart := time.Now()
+		table, err := session.Run(e.ID)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("==== %s: %s (%.1fs) ====\n", e.ID, e.Title, time.Since(expStart).Seconds())
+		fmt.Print(table.String())
+		fmt.Println()
+		if *out != "" {
+			base := filepath.Join(*out, e.ID)
+			if err := os.WriteFile(base+".txt", []byte(table.String()), 0o644); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(base+".csv", []byte(table.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Printf("completed %d experiments in %.1fs\n", len(tango.Experiments()), time.Since(start).Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tango-report:", err)
+	os.Exit(1)
+}

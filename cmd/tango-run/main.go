@@ -1,0 +1,136 @@
+// Command tango-run executes one benchmark of the suite, either natively
+// (the pure-Go equivalent of the CUDA kernels) or on the GPU architecture
+// simulator, and prints a summary.
+//
+// Usage:
+//
+//	tango-run -benchmark CifarNet                 # native inference
+//	tango-run -benchmark AlexNet -simulate        # simulate on the GP102 model
+//	tango-run -benchmark AlexNet -simulate -device TX1 -l1kb 128 -scheduler lrr
+//	tango-run -list                               # list benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tango"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list the available benchmarks and exit")
+		name      = flag.String("benchmark", "CifarNet", "benchmark to run")
+		simulate  = flag.Bool("simulate", false, "run on the architecture simulator instead of natively")
+		deviceStr = flag.String("device", "GP102", "simulated device: GP102, GK210 or TX1")
+		l1kb      = flag.Int("l1kb", -1, "simulated L1D size in KB (0 bypasses the L1, -1 keeps the device default)")
+		scheduler = flag.String("scheduler", "gto", "warp scheduler: gto, lrr or tlv")
+		fast      = flag.Bool("fast", false, "use coarse simulation sampling")
+		seed      = flag.Uint64("seed", 1, "seed for the synthetic sample input")
+		verbose   = flag.Bool("v", false, "print per-layer detail")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Benchmarks in the Tango suite:")
+		for _, n := range tango.Benchmarks() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+
+	b, err := tango.LoadBenchmark(*name)
+	if err != nil {
+		fatal(err)
+	}
+	desc, err := b.Describe()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%s): %d layers, %d parameters, input %v\n",
+		desc.Name, desc.Kind, desc.Layers, desc.Parameters, desc.InputShape)
+
+	if *simulate {
+		runSimulated(b, *deviceStr, *l1kb, *scheduler, *fast, *verbose)
+		return
+	}
+	runNative(b, *seed, *verbose)
+}
+
+func runNative(b *tango.Benchmark, seed uint64, verbose bool) {
+	switch b.Kind() {
+	case "CNN":
+		res, err := b.ClassifySample(seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("native inference: predicted class %d (p=%.4f)\n",
+			res.Class, res.Probabilities[res.Class])
+		if verbose {
+			layers := b.Layers()
+			for _, l := range layers {
+				fmt.Printf("  %-28s %8d activations\n", l, res.LayerActivations[l])
+			}
+		}
+	default:
+		hist, err := b.SampleHistory(seed)
+		if err != nil {
+			fatal(err)
+		}
+		pred, err := b.Forecast(hist)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("native inference: history %v -> predicted next value %.4f\n", hist, pred)
+	}
+}
+
+func runSimulated(b *tango.Benchmark, device string, l1kb int, scheduler string, fast, verbose bool) {
+	opts := []tango.SimOption{
+		tango.WithDevice(device),
+		tango.WithScheduler(scheduler),
+	}
+	if l1kb >= 0 {
+		opts = append(opts, tango.WithL1SizeKB(l1kb))
+	}
+	if fast {
+		opts = append(opts, tango.WithFastSampling())
+	}
+	res, err := b.Simulate(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated on %s: %d cycles (%.3f ms), %d instructions\n",
+		res.Device, res.Cycles, res.Seconds*1e3, res.Instructions)
+	fmt.Printf("power: peak %.1f W, average %.1f W, energy %.4f J\n",
+		res.PeakWatts, res.AvgWatts, res.EnergyJoules)
+	fmt.Printf("L2 miss ratio %.4f, integer-type instruction share %.1f%%, max registers %.1f KB/SM\n",
+		res.L2MissRatio, res.IntegerTypeShare*100, res.MaxRegisterKBPerSM)
+
+	fmt.Println("cycles by layer type:")
+	classes := make([]string, 0, len(res.CyclesByLayerClass))
+	for c := range res.CyclesByLayerClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		return res.CyclesByLayerClass[classes[i]] > res.CyclesByLayerClass[classes[j]]
+	})
+	for _, c := range classes {
+		fmt.Printf("  %-14s %12d (%.1f%%)\n", c, res.CyclesByLayerClass[c],
+			100*float64(res.CyclesByLayerClass[c])/float64(res.Cycles))
+	}
+	if verbose {
+		fmt.Println("per-layer detail:")
+		for _, l := range res.Layers {
+			fmt.Printf("  %-28s %-12s %12d cycles  %7.1f W  L2 miss %.4f\n",
+				l.Layer, l.Class, l.Cycles, l.PowerWatts, l.L2MissRatio)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tango-run:", err)
+	os.Exit(1)
+}

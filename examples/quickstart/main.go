@@ -1,0 +1,47 @@
+// Quickstart: load one CNN benchmark from the suite, run a native inference
+// on the synthetic sample image, then run the same workload on the GPU
+// architecture simulator and print its characterization summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tango"
+)
+
+func main() {
+	suite := tango.NewSuite()
+
+	// 1. Load CifarNet (3 conv + 2 fc layers, 9 traffic-signal classes).
+	b, err := suite.Benchmark("CifarNet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	desc, err := b.Describe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s with %d layers and %d parameters (input %v)\n",
+		desc.Name, desc.Kind, desc.Layers, desc.Parameters, desc.InputShape)
+
+	// 2. Native inference on the synthetic stand-in for the speed-limit sign.
+	cls, err := b.ClassifySample(2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted class %d with probability %.4f\n", cls.Class, cls.Probabilities[cls.Class])
+
+	// 3. Simulate the same workload on the Pascal GP102 configuration the
+	// paper uses with GPGPU-Sim.
+	sim, err := b.Simulate(tango.WithFastSampling())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: %d cycles (%.3f ms) on %s, peak power %.1f W\n",
+		sim.Cycles, sim.Seconds*1e3, sim.Device, sim.PeakWatts)
+	fmt.Println("cycles by layer type:")
+	for class, cycles := range sim.CyclesByLayerClass {
+		fmt.Printf("  %-10s %10d\n", class, cycles)
+	}
+}

@@ -1,0 +1,40 @@
+// Rnnforecast exercises the two recurrent benchmarks the way the paper's
+// pre-trained models are used (Table I): predict the next value of a price
+// series from the previous observations, with both the GRU and the LSTM, and
+// compare their architectural cost on the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tango"
+)
+
+func main() {
+	suite := tango.NewSuite()
+
+	// A short normalized "bitcoin closing price" history.
+	history := []float64{0.42, 0.45}
+
+	for _, name := range tango.RNNBenchmarks() {
+		b, err := suite.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := b.Forecast(history)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s forecast: history %v -> next %.4f\n", name, history, pred)
+
+		sim, err := b.Simulate(tango.WithFastSampling())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("      simulated cost: %d cycles, %d instructions, peak %.1f W\n",
+			sim.Cycles, sim.Instructions, sim.PeakWatts)
+	}
+
+	fmt.Println("\nthe GRU runs three gates per step against the LSTM's four, so it executes fewer instructions")
+}

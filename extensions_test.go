@@ -1,0 +1,103 @@
+package tango_test
+
+import (
+	"strings"
+	"testing"
+
+	"tango"
+)
+
+func TestExtensionBenchmarks(t *testing.T) {
+	exts := tango.ExtensionBenchmarks()
+	if len(exts) != 1 || exts[0] != "MobileNet" {
+		t.Fatalf("ExtensionBenchmarks() = %v, want [MobileNet]", exts)
+	}
+	for _, name := range tango.Benchmarks() {
+		if name == "MobileNet" {
+			t.Error("extensions must not appear in the core benchmark list")
+		}
+	}
+}
+
+func TestMobileNetExtensionEndToEnd(t *testing.T) {
+	b, err := tango.LoadBenchmark("MobileNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := b.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Kind != "CNN" || desc.Classes != 1000 {
+		t.Errorf("MobileNet identity wrong: %+v", desc)
+	}
+	// MobileNet v1 has ~4.2M parameters, an order of magnitude below AlexNet.
+	if desc.Parameters < 3_000_000 || desc.Parameters > 6_000_000 {
+		t.Errorf("MobileNet parameters = %d, want ~4.2M", desc.Parameters)
+	}
+	// The lowered kernels must validate and simulate.
+	if len(b.Kernels()) != desc.Layers {
+		t.Errorf("kernels %d, layers %d", len(b.Kernels()), desc.Layers)
+	}
+	sim, err := b.Simulate(tango.WithFastSampling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cycles <= 0 {
+		t.Error("MobileNet simulation produced no cycles")
+	}
+	// Depthwise-separable networks are still convolution-dominated.
+	conv := sim.CyclesByLayerClass["Conv"]
+	if conv*2 < sim.Cycles {
+		t.Errorf("conv cycles %d should dominate MobileNet's %d total", conv, sim.Cycles)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b, err := tango.LoadBenchmark("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := b.Disassemble("conv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"prologue:", "mad.f32", "ld.f32.global"} {
+		if !containsStr(text, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+	if _, err := b.Disassemble("nosuchlayer"); err == nil {
+		t.Error("unknown layer should fail")
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && strings.Contains(haystack, needle)
+}
+
+func TestDialects(t *testing.T) {
+	cases := map[string][]string{
+		"CifarNet": {"CUDA", "OpenCL"},
+		"AlexNet":  {"CUDA", "OpenCL"},
+		"ResNet":   {"CUDA"},
+		"GRU":      {"CUDA"},
+	}
+	for name, want := range cases {
+		b, err := tango.LoadBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.Dialects()
+		if len(got) != len(want) {
+			t.Errorf("%s dialects = %v, want %v", name, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s dialects = %v, want %v", name, got, want)
+				break
+			}
+		}
+	}
+}

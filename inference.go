@@ -1,0 +1,140 @@
+package tango
+
+import (
+	"fmt"
+
+	"tango/internal/networks"
+	"tango/internal/tensor"
+)
+
+// Classification is the result of running a CNN benchmark on one image.
+type Classification struct {
+	// Class is the arg-max class index.
+	Class int
+	// Probabilities is the softmax output over all classes.
+	Probabilities []float32
+	// LayerActivations maps layer names to their output element counts,
+	// useful for inspecting the network's data flow.
+	LayerActivations map[string]int
+}
+
+// Classify runs a CNN benchmark natively on a CHW image supplied as a flat
+// float32 slice (length = product of the input shape).
+func (b *Benchmark) Classify(image []float32) (*Classification, error) {
+	if err := b.ensureKind(networks.KindCNN, "Classify"); err != nil {
+		return nil, err
+	}
+	shape := b.inner.Network.InputShape
+	in, err := tensor.FromSlice(image, shape...)
+	if err != nil {
+		return nil, fmt.Errorf("tango: %s expects a %v input: %w", b.Name(), shape, err)
+	}
+	res, err := b.inner.RunInference(in)
+	if err != nil {
+		return nil, err
+	}
+	return b.classification(res)
+}
+
+// ClassifySample runs a CNN benchmark on the deterministic synthetic sample
+// input standing in for the paper's reference image (Table I).
+func (b *Benchmark) ClassifySample(seed uint64) (*Classification, error) {
+	if err := b.ensureKind(networks.KindCNN, "ClassifySample"); err != nil {
+		return nil, err
+	}
+	in, err := b.inner.SampleInput(seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := b.inner.RunInference(in)
+	if err != nil {
+		return nil, err
+	}
+	return b.classification(res)
+}
+
+func (b *Benchmark) classification(res *networks.Result) (*Classification, error) {
+	probs := make([]float32, res.Output.Len())
+	copy(probs, res.Output.Data())
+	acts := make(map[string]int, len(res.LayerOutputs))
+	for i, out := range res.LayerOutputs {
+		if out != nil {
+			acts[b.inner.Network.Layers[i].Name] = out.Len()
+		}
+	}
+	return &Classification{
+		Class:            res.PredictedClass,
+		Probabilities:    probs,
+		LayerActivations: acts,
+	}, nil
+}
+
+// Forecast runs an RNN benchmark natively on a history of scalar observations
+// (e.g. normalized daily prices) and returns the predicted next value.
+func (b *Benchmark) Forecast(history []float64) (float64, error) {
+	if err := b.ensureKind(networks.KindRNN, "Forecast"); err != nil {
+		return 0, err
+	}
+	if len(history) == 0 {
+		return 0, fmt.Errorf("tango: %s needs a non-empty history", b.Name())
+	}
+	inSize := b.inner.Network.InputShape[0]
+	seq := make([]*tensor.Tensor, len(history))
+	for i, v := range history {
+		x := tensor.New(inSize)
+		x.Fill(float32(v))
+		seq[i] = x
+	}
+	res, err := b.inner.RunSequence(seq)
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Output.Data()[0]), nil
+}
+
+// ForecastSample runs an RNN benchmark on the deterministic synthetic price
+// sequence standing in for the paper's bitcoin price history (Table I).
+func (b *Benchmark) ForecastSample(seed uint64) (float64, error) {
+	if err := b.ensureKind(networks.KindRNN, "ForecastSample"); err != nil {
+		return 0, err
+	}
+	seq, err := b.inner.SampleSequence(seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := b.inner.RunSequence(seq)
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Output.Data()[0]), nil
+}
+
+// SampleImage returns the deterministic synthetic input image for a CNN
+// benchmark as a flat float32 slice, together with its shape.
+func (b *Benchmark) SampleImage(seed uint64) ([]float32, []int, error) {
+	if err := b.ensureKind(networks.KindCNN, "SampleImage"); err != nil {
+		return nil, nil, err
+	}
+	in, err := b.inner.SampleInput(seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in.Data(), in.Shape(), nil
+}
+
+// SampleHistory returns the deterministic synthetic price history for an RNN
+// benchmark.
+func (b *Benchmark) SampleHistory(seed uint64) ([]float64, error) {
+	if err := b.ensureKind(networks.KindRNN, "SampleHistory"); err != nil {
+		return nil, err
+	}
+	seq, err := b.inner.SampleSequence(seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(seq))
+	for i, x := range seq {
+		out[i] = float64(x.Data()[0])
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+// Package bench contains one experiment driver per table and figure of the
+// paper's evaluation section.  Each driver runs the necessary simulations
+// (with caching, so a full report run does not repeat work) and renders the
+// same rows or series the paper reports as a report.Table.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tango/internal/core"
+	"tango/internal/device"
+	"tango/internal/gpusim"
+	"tango/internal/networks"
+	"tango/internal/report"
+)
+
+// Experiment identifies one reproducible table or figure.
+type Experiment struct {
+	// ID is the experiment key, e.g. "table3" or "fig2".
+	ID string
+	// Title summarizes what the paper's table/figure shows.
+	Title string
+}
+
+// Experiments lists every reproducible experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Input/output and pre-trained models used by the networks"},
+		{"table2", "GPU architectures used for evaluation"},
+		{"table3", "Network configuration and SRAM usage (launch geometry per kernel)"},
+		{"table4", "FPGA platform used for evaluation"},
+		{"fig1", "Execution time breakdown w.r.t. layer type"},
+		{"fig2", "Normalized execution time with various L1D sizes"},
+		{"fig3", "Peak power consumption across layers (W)"},
+		{"fig4", "Average power consumption per layer type"},
+		{"fig5", "Breakdown of average power consumption (HW components)"},
+		{"fig6", "Energy consumption on embedded GPU (TX1) vs embedded FPGA (PynQ)"},
+		{"fig7", "Breakdown of stall cycles"},
+		{"fig8", "Operation type breakdown"},
+		{"fig9", "Total operations breakdown used by all networks (top 10)"},
+		{"fig10", "Instruction data-type breakdown throughout execution (ResNet)"},
+		{"fig11", "Memory footprint (KB)"},
+		{"fig12", "Register file usage (KB per SM)"},
+		{"fig13", "Total L2 misses per layer type without L1D"},
+		{"fig14", "L2 miss ratio per layer type without L1D"},
+		{"fig15", "Warp scheduler sensitivity"},
+		{"fig16", "Per-layer warp scheduler sensitivity of AlexNet"},
+	}
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Options tunes how experiments are run.
+type Options struct {
+	// Sampling is the simulator sampling level; zero value selects the
+	// characterization default.
+	Sampling gpusim.Sampling
+	// Networks restricts the benchmarks an experiment covers (nil = the
+	// experiment's full set).  Useful for quick runs and tests.
+	Networks []string
+	// Device is the simulated GPU; zero value selects the Pascal GP102
+	// configuration the paper uses.
+	Device device.GPU
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Sampling == (gpusim.Sampling{}) {
+		o.Sampling = gpusim.DefaultSampling()
+	}
+	if o.Device.Name == "" {
+		o.Device = device.PascalGP102()
+	}
+	return o
+}
+
+// filter intersects the experiment's network list with the options filter.
+func (o Options) filter(names []string) []string {
+	if len(o.Networks) == 0 {
+		return names
+	}
+	allowed := make(map[string]bool, len(o.Networks))
+	for _, n := range o.Networks {
+		allowed[n] = true
+	}
+	var out []string
+	for _, n := range names {
+		if allowed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Session caches benchmarks and simulation results so that a full report run
+// simulates each (network, configuration) pair once.
+type Session struct {
+	opts  Options
+	suite *core.Suite
+
+	mu   sync.Mutex
+	runs map[string]*gpusim.RunStats
+}
+
+// NewSession creates a session with the given options.
+func NewSession(opts Options) *Session {
+	return &Session{opts: opts.withDefaults(), suite: core.NewSuite(), runs: make(map[string]*gpusim.RunStats)}
+}
+
+// Options returns the session's effective options.
+func (s *Session) Options() Options { return s.opts }
+
+// baseConfig returns the default simulation configuration for the session.
+func (s *Session) baseConfig() gpusim.Config {
+	return gpusim.ConfigFor(s.opts.Device).WithSampling(s.opts.Sampling)
+}
+
+// simulate runs (or returns the cached run of) a network under a
+// configuration labelled by key.
+func (s *Session) simulate(network, key string, cfg gpusim.Config) (*gpusim.RunStats, error) {
+	cacheKey := network + "|" + key
+	s.mu.Lock()
+	if rs, ok := s.runs[cacheKey]; ok {
+		s.mu.Unlock()
+		return rs, nil
+	}
+	s.mu.Unlock()
+
+	b, err := s.suite.Benchmark(network)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := b.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.runs[cacheKey] = rs
+	s.mu.Unlock()
+	return rs, nil
+}
+
+// simulateDefault runs a network under the session's default configuration.
+func (s *Session) simulateDefault(network string) (*gpusim.RunStats, error) {
+	return s.simulate(network, "default", s.baseConfig())
+}
+
+// Run executes one experiment by id.
+func (s *Session) Run(id string) (*report.Table, error) {
+	switch strings.ToLower(id) {
+	case "table1":
+		return s.Table1()
+	case "table2":
+		return s.Table2()
+	case "table3":
+		return s.Table3()
+	case "table4":
+		return s.Table4()
+	case "fig1":
+		return s.Fig1()
+	case "fig2":
+		return s.Fig2()
+	case "fig3":
+		return s.Fig3()
+	case "fig4":
+		return s.Fig4()
+	case "fig5":
+		return s.Fig5()
+	case "fig6":
+		return s.Fig6()
+	case "fig7":
+		return s.Fig7()
+	case "fig8":
+		return s.Fig8()
+	case "fig9":
+		return s.Fig9()
+	case "fig10":
+		return s.Fig10()
+	case "fig11":
+		return s.Fig11()
+	case "fig12":
+		return s.Fig12()
+	case "fig13":
+		return s.Fig13()
+	case "fig14":
+		return s.Fig14()
+	case "fig15":
+		return s.Fig15()
+	case "fig16":
+		return s.Fig16()
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, IDs())
+	}
+}
+
+// RunAll executes every experiment and returns the tables in paper order.
+func (s *Session) RunAll() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, e := range Experiments() {
+		t, err := s.Run(e.ID)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// classOrder is the stacking order the paper's layer-type figures use.
+var classOrder = []string{
+	networks.ClassConv,
+	networks.ClassPooling,
+	networks.ClassFC,
+	networks.ClassNorm,
+	networks.ClassFireSqueeze,
+	networks.ClassFireExpand,
+	networks.ClassEltwise,
+	networks.ClassScale,
+	networks.ClassBatchNorm,
+	networks.ClassReLU,
+	networks.ClassRNN,
+	networks.ClassOther,
+}
+
+// presentClasses returns the classes (in canonical order) that appear in any
+// of the maps.
+func presentClasses(maps ...map[string]int64) []string {
+	present := map[string]bool{}
+	for _, m := range maps {
+		for c, v := range m {
+			if v != 0 {
+				present[c] = true
+			}
+		}
+	}
+	var out []string
+	for _, c := range classOrder {
+		if present[c] {
+			out = append(out, c)
+		}
+	}
+	// Any class not in the canonical order goes last, sorted.
+	var extra []string
+	for c := range present {
+		known := false
+		for _, k := range classOrder {
+			if k == c {
+				known = true
+				break
+			}
+		}
+		if !known {
+			extra = append(extra, c)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

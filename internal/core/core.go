@@ -1,0 +1,202 @@
+// Package core ties the Tango benchmark suite together: it couples each of
+// the seven networks with its synthesized weights and lowered kernels,
+// provides native inference and simulated execution entry points, and
+// supplies deterministic sample inputs standing in for the suite's reference
+// images and price series (Table I).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tango/internal/gpusim"
+	"tango/internal/kernel"
+	"tango/internal/networks"
+	"tango/internal/tensor"
+	"tango/internal/weights"
+)
+
+// Benchmark is one workload of the suite, ready to run natively or on the
+// simulator.
+type Benchmark struct {
+	// Network is the layer graph with reference shapes.
+	Network *networks.Network
+	// Weights is the synthesized parameter set.
+	Weights *weights.Set
+	// Kernels is the lowered kernel list (Table III geometry).
+	Kernels []*kernel.Kernel
+}
+
+// Name returns the benchmark name.
+func (b *Benchmark) Name() string { return b.Network.Name }
+
+// Kind returns CNN or RNN.
+func (b *Benchmark) Kind() networks.Kind { return b.Network.Kind }
+
+// Load builds one benchmark by name.
+func Load(name string) (*Benchmark, error) {
+	n, err := networks.New(name)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := weights.Synthesize(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	return &Benchmark{Network: n, Weights: ws, Kernels: ks}, nil
+}
+
+// SampleInput returns a deterministic synthetic input image for a CNN
+// benchmark, standing in for the reference inputs of Table I (cat image,
+// speed-limit sign, killer whale).
+func (b *Benchmark) SampleInput(seed uint64) (*tensor.Tensor, error) {
+	if b.Network.Kind != networks.KindCNN {
+		return nil, fmt.Errorf("core: %s is an RNN; use SampleSequence", b.Name())
+	}
+	in := tensor.New(b.Network.InputShape...)
+	in.FillUniform(tensor.NewRNG(seed^0x7A4C0), 0, 1)
+	return in, nil
+}
+
+// SampleSequence returns a deterministic synthetic price sequence for an RNN
+// benchmark, standing in for the bitcoin price history of Table I.
+func (b *Benchmark) SampleSequence(seed uint64) ([]*tensor.Tensor, error) {
+	if b.Network.Kind != networks.KindRNN {
+		return nil, fmt.Errorf("core: %s is a CNN; use SampleInput", b.Name())
+	}
+	r := tensor.NewRNG(seed ^ 0xB17C01)
+	steps := b.Network.SeqLen
+	if steps <= 0 {
+		steps = 2
+	}
+	seq := make([]*tensor.Tensor, steps)
+	price := 0.4 + 0.2*r.Float32()
+	for i := range seq {
+		x := tensor.New(b.Network.InputShape...)
+		// A normalized random walk, like scaled daily closing prices.
+		price += (r.Float32() - 0.5) * 0.05
+		x.Fill(price)
+		seq[i] = x
+	}
+	return seq, nil
+}
+
+// RunInference executes the CNN natively and returns the classification.
+func (b *Benchmark) RunInference(input *tensor.Tensor) (*networks.Result, error) {
+	return b.Network.Run(input, b.Weights)
+}
+
+// RunSequence executes the RNN natively over a price sequence.
+func (b *Benchmark) RunSequence(seq []*tensor.Tensor) (*networks.Result, error) {
+	return b.Network.RunSequence(seq, b.Weights)
+}
+
+// Simulate runs every kernel of the benchmark on the architecture simulator.
+func (b *Benchmark) Simulate(cfg gpusim.Config) (*gpusim.RunStats, error) {
+	sim, err := gpusim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunKernels(b.Name(), b.Kernels)
+}
+
+// ReferenceInput documents the input, pre-trained model and output of each
+// benchmark, reproducing Table I of the paper.
+type ReferenceInput struct {
+	Network    string
+	InputData  string
+	Pretrained string
+	Output     string
+}
+
+// ReferenceInputs returns the Table I entries in suite order.
+func ReferenceInputs() []ReferenceInput {
+	return []ReferenceInput{
+		{"GRU", "Bitcoin stock price values of past two days (scaled)",
+			"Trained on the Kaggle bitcoin price prediction dataset (synthetic stand-in)",
+			"Projected next stock price"},
+		{"LSTM", "Bitcoin stock price values of past two days (scaled)",
+			"Trained on the Kaggle bitcoin price prediction dataset (synthetic stand-in)",
+			"Projected next stock price"},
+		{"CifarNet", "Speed limit 35 sign image (3x32x32)",
+			"Traffic-signal model, 9 classes (synthetic stand-in)",
+			"Confidence level for all 9 classes"},
+		{"AlexNet", "Cat image (3x227x227)",
+			"BVLC reference AlexNet, 1000 ImageNet classes (synthetic stand-in)",
+			"Recognized class id"},
+		{"SqueezeNet", "Cat image (3x227x227)",
+			"SqueezeNet v1.0, 1000 ImageNet classes (synthetic stand-in)",
+			"Recognized class id"},
+		{"ResNet", "Cat image (3x224x224)",
+			"ResNet-50 (MSRA), 1000 ImageNet classes (synthetic stand-in)",
+			"Recognized class id"},
+		{"VGGNet", "Killer whale image (3x224x224)",
+			"VGG-16 (Oxford), 1000 ImageNet classes (synthetic stand-in)",
+			"Recognized class id"},
+	}
+}
+
+// Suite lazily loads and caches the seven benchmarks.
+type Suite struct {
+	mu    sync.Mutex
+	cache map[string]*Benchmark
+}
+
+// NewSuite returns an empty suite.
+func NewSuite() *Suite {
+	return &Suite{cache: make(map[string]*Benchmark)}
+}
+
+// Names returns the benchmark names in suite order.
+func (s *Suite) Names() []string { return networks.Names() }
+
+// CNNNames returns the convolutional benchmark names.
+func (s *Suite) CNNNames() []string { return networks.CNNNames() }
+
+// RNNNames returns the recurrent benchmark names.
+func (s *Suite) RNNNames() []string { return networks.RNNNames() }
+
+// Benchmark returns the named benchmark, loading it on first use.
+func (s *Suite) Benchmark(name string) (*Benchmark, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.cache[name]; ok {
+		return b, nil
+	}
+	b, err := Load(name)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[name] = b
+	return b, nil
+}
+
+// All returns every benchmark, loading any not yet cached.
+func (s *Suite) All() ([]*Benchmark, error) {
+	out := make([]*Benchmark, 0, len(s.Names()))
+	for _, name := range s.Names() {
+		b, err := s.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Loaded returns the names of already-loaded benchmarks, sorted.
+func (s *Suite) Loaded() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.cache))
+	for n := range s.cache {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,149 @@
+package fpga_test
+
+import (
+	"testing"
+
+	"tango/internal/fpga"
+	"tango/internal/networks"
+)
+
+func estimate(t *testing.T, name string) *fpga.Result {
+	t.Helper()
+	n, err := networks.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fpga.New(fpga.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.EstimateNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := fpga.DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := fpga.DefaultConfig()
+	bad.DSPEfficiency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero efficiency should fail")
+	}
+	bad = fpga.DefaultConfig()
+	bad.DSPEfficiency = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("efficiency > 1 should fail")
+	}
+	bad = fpga.DefaultConfig()
+	bad.DDRBandwidthMBs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	bad = fpga.DefaultConfig()
+	bad.Board.BRAMBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid board should fail")
+	}
+	if _, err := fpga.New(bad); err == nil {
+		t.Error("New should reject invalid configs")
+	}
+}
+
+func TestEstimateRequiresBuiltNetwork(t *testing.T) {
+	m, err := fpga.New(fpga.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EstimateNetwork(nil); err == nil {
+		t.Error("nil network should fail")
+	}
+	if _, err := m.EstimateNetwork(&networks.Network{Name: "x"}); err == nil {
+		t.Error("unbuilt network should fail")
+	}
+}
+
+func TestEstimateCifarNet(t *testing.T) {
+	res := estimate(t, "CifarNet")
+	if res.Seconds <= 0 {
+		t.Error("execution time must be positive")
+	}
+	if res.PeakWatts <= fpga.DefaultConfig().Board.IdleWatts {
+		t.Error("peak power should exceed idle power")
+	}
+	if res.PeakWatts > fpga.DefaultConfig().Board.PeakWatts {
+		t.Errorf("peak power %v exceeds the board envelope", res.PeakWatts)
+	}
+	if res.AvgWatts > res.PeakWatts {
+		t.Error("average power cannot exceed peak power")
+	}
+	if res.EnergyJoules <= 0 {
+		t.Error("energy must be positive")
+	}
+	if len(res.Layers) != 9 {
+		t.Errorf("CifarNet has 9 layers, estimate covered %d", len(res.Layers))
+	}
+	for _, l := range res.Layers {
+		if l.Seconds <= 0 || l.Ops <= 0 || l.Partitions < 1 {
+			t.Errorf("layer %s has implausible cost %+v", l.Layer, l)
+		}
+	}
+}
+
+func TestLargeLayersArePartitioned(t *testing.T) {
+	// SqueezeNet's large early layers exceed the PynQ's 630KB BRAM, so the
+	// model must split them into multiple sub-kernels, as the paper reports.
+	res := estimate(t, "SqueezeNet")
+	if res.TotalPartitions <= len(res.Layers) {
+		t.Errorf("expected some multi-partition layers: %d partitions for %d layers",
+			res.TotalPartitions, len(res.Layers))
+	}
+	conv1Partitions := 0
+	for _, l := range res.Layers {
+		if l.Layer == "conv1" {
+			conv1Partitions = l.Partitions
+		}
+	}
+	if conv1Partitions < 2 {
+		t.Errorf("SqueezeNet conv1 working set should not fit in BRAM (partitions=%d)", conv1Partitions)
+	}
+}
+
+func TestRNNFitsWithoutPartitioning(t *testing.T) {
+	// GRU and LSTM fit on the PynQ without partitioning (Observation 9).
+	for _, name := range []string{"GRU", "LSTM"} {
+		res := estimate(t, name)
+		for _, l := range res.Layers {
+			if l.Partitions != 1 {
+				t.Errorf("%s layer %s should fit in BRAM, got %d partitions", name, l.Layer, l.Partitions)
+			}
+		}
+	}
+}
+
+func TestBiggerNetworkTakesLonger(t *testing.T) {
+	cifar := estimate(t, "CifarNet")
+	squeeze := estimate(t, "SqueezeNet")
+	if squeeze.Seconds <= cifar.Seconds {
+		t.Errorf("SqueezeNet (%.4fs) should take longer than CifarNet (%.4fs)", squeeze.Seconds, cifar.Seconds)
+	}
+	if squeeze.EnergyJoules <= cifar.EnergyJoules {
+		t.Error("SqueezeNet should use more energy than CifarNet")
+	}
+}
+
+func TestLowPowerEnvelope(t *testing.T) {
+	// The PynQ's whole envelope is single-digit watts, far below any GPU.
+	for _, name := range []string{"CifarNet", "SqueezeNet"} {
+		res := estimate(t, name)
+		if res.PeakWatts > 6 {
+			t.Errorf("%s peak power %v W exceeds the PynQ envelope", name, res.PeakWatts)
+		}
+		if res.PeakWatts < 1 {
+			t.Errorf("%s peak power %v W is implausibly low", name, res.PeakWatts)
+		}
+	}
+}

@@ -1,0 +1,674 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"tango/internal/cache"
+	"tango/internal/dram"
+	"tango/internal/isa"
+	"tango/internal/kernel"
+	"tango/internal/networks"
+	"tango/internal/sched"
+)
+
+// maxSimCycles is a safety bound on detailed simulation per kernel.
+const maxSimCycles = 20_000_000
+
+// warpSize is the SIMT width.
+const warpSize = 32
+
+// Simulator executes kernels on the configured GPU model.
+type Simulator struct {
+	cfg Config
+}
+
+// New constructs a simulator, validating and defaulting the configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// Config returns the validated configuration in use.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// RunNetwork lowers every layer of the network and simulates each kernel in
+// order, returning per-kernel statistics.
+func (s *Simulator) RunNetwork(n *networks.Network) (*RunStats, error) {
+	kernels, err := kernel.Generate(n)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunKernels(n.Name, kernels)
+}
+
+// RunKernels simulates an explicit kernel list.
+func (s *Simulator) RunKernels(network string, kernels []*kernel.Kernel) (*RunStats, error) {
+	rs := &RunStats{Network: network}
+	for _, k := range kernels {
+		ks, err := s.RunKernel(k)
+		if err != nil {
+			return nil, fmt.Errorf("gpusim: %s: %w", k.Name, err)
+		}
+		rs.Kernels = append(rs.Kernels, ks)
+	}
+	return rs, nil
+}
+
+// pendingFill is an L1 miss whose data has not yet returned; its MSHR stays
+// allocated until the fill completes.
+type pendingFill struct {
+	addr  uint64
+	ready int64
+}
+
+// maxOutstandingBypass bounds in-flight global requests per SM when the L1 is
+// bypassed: the LSU and interconnect queues are finite even without MSHRs.
+const maxOutstandingBypass = 48
+
+// smState is the per-SM simulation state.
+type smState struct {
+	id        int
+	scheduler sched.Scheduler
+	l1        *cache.Cache
+	unitFree  [isa.NumFuncUnits]int64
+	warps     []*warp
+	resident  int // resident CTAs
+	fills     []pendingFill
+	// bypassInFlight holds the completion times of outstanding global
+	// requests issued while the L1 is bypassed.
+	bypassInFlight []int64
+}
+
+// drainFills installs lines whose data has arrived by cycle now and retires
+// completed bypass requests.
+func (sm *smState) drainFills(now int64) {
+	kept := sm.fills[:0]
+	for _, f := range sm.fills {
+		if f.ready <= now {
+			sm.l1.Fill(f.addr)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	sm.fills = kept
+
+	keptB := sm.bypassInFlight[:0]
+	for _, r := range sm.bypassInFlight {
+		if r > now {
+			keptB = append(keptB, r)
+		}
+	}
+	sm.bypassInFlight = keptB
+}
+
+// regionLayout assigns a base device address to each kernel buffer.
+type regionLayout struct {
+	base [isa.NumRegions]uint64
+	size [isa.NumRegions]uint64
+}
+
+func layoutRegions(k *kernel.Kernel) regionLayout {
+	var rl regionLayout
+	align := func(v uint64) uint64 { return (v + 255) &^ 255 }
+	cursor := uint64(4096)
+	place := func(r isa.Region, size int64) {
+		if size <= 0 {
+			size = 256
+		}
+		rl.base[r] = cursor
+		rl.size[r] = uint64(size)
+		cursor = align(cursor + uint64(size))
+	}
+	place(isa.RegionInput, k.InputBytes)
+	place(isa.RegionWeights, k.WeightBytes)
+	place(isa.RegionBias, int64(k.Launch.CmemBytes))
+	place(isa.RegionOutput, k.OutputBytes)
+	place(isa.RegionScratch, 4096)
+	return rl
+}
+
+// RunKernel simulates one kernel and returns scaled statistics.
+func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	fp := newFlatProgram(k.Program, cfg.Sampling)
+
+	totalCTAs := k.Launch.Blocks()
+	threadsPerBlock := k.Launch.ThreadsPerBlock()
+	warpsPerCTA := k.Launch.WarpsPerBlock()
+
+	// Occupancy-driven CTA residency: kernels with small blocks keep more
+	// blocks resident per SM, up to the hardware limit of 32 blocks or the
+	// device's warp capacity, like real hardware does.
+	ctasPerSM := cfg.MaxCTAsPerSM
+	if hw := cfg.Device.MaxWarpsPerSM / warpsPerCTA; hw > ctasPerSM {
+		ctasPerSM = hw
+	}
+	if ctasPerSM > 32 {
+		ctasPerSM = 32
+	}
+	if ctasPerSM < 1 {
+		ctasPerSM = 1
+	}
+
+	sampledCTAs := totalCTAs
+	if cfg.Sampling.MaxCTAs > 0 && sampledCTAs > cfg.Sampling.MaxCTAs {
+		// Sample at least enough CTAs to populate the modeled SMs at the
+		// kernel's natural residency.
+		minSample := ctasPerSM * cfg.ModeledSMs
+		sampledCTAs = cfg.Sampling.MaxCTAs
+		if sampledCTAs < minSample {
+			sampledCTAs = minSample
+		}
+		if sampledCTAs > totalCTAs {
+			sampledCTAs = totalCTAs
+		}
+	}
+
+	// Memory system shared across SMs.
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	rl := layoutRegions(k)
+
+	// Modeled SMs.
+	modeled := cfg.ModeledSMs
+	if modeled > sampledCTAs {
+		modeled = sampledCTAs
+	}
+	if modeled < 1 {
+		modeled = 1
+	}
+	sms := make([]*smState, modeled)
+	for i := range sms {
+		sc, err := sched.New(cfg.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+		l1, err := cache.New(cfg.L1D)
+		if err != nil {
+			return nil, err
+		}
+		sms[i] = &smState{id: i, scheduler: sc, l1: l1}
+	}
+
+	st := &KernelStats{Kernel: k}
+	st.TotalThreadInstructions = k.DynamicInstructions()
+	// Exact op/type mixes for the full kernel from the program template.
+	ops := k.Program.OpCounts()
+	types := k.Program.TypeCounts()
+	threads := int64(k.Launch.TotalThreads())
+	for i := range ops {
+		st.OpCounts[i] = ops[i] * threads
+	}
+	for i := range types {
+		st.TypeCounts[i] = types[i] * threads
+	}
+
+	// CTA dispatcher.
+	nextCTA := 0
+	launchCTA := func(sm *smState, now int64) {
+		ctaID := nextCTA
+		nextCTA++
+		sm.resident++
+		remaining := threadsPerBlock
+		for wi := 0; wi < warpsPerCTA; wi++ {
+			lanes := warpSize
+			if remaining < warpSize {
+				lanes = remaining
+			}
+			remaining -= lanes
+			w := newWarp(len(sm.warps), ctaID, lanes, k.Launch.Regs, &fp, now)
+			sm.warps = append(sm.warps, w)
+		}
+	}
+	// Initial assignment.
+	for _, sm := range sms {
+		for sm.resident < ctasPerSM && nextCTA < sampledCTAs {
+			launchCTA(sm, 0)
+		}
+	}
+
+	var now int64
+	var simThreadInstr int64
+	activity := Activity{}
+	maxWarpsResident := 0
+
+	allDone := func() bool {
+		if nextCTA < sampledCTAs {
+			return false
+		}
+		for _, sm := range sms {
+			for _, w := range sm.warps {
+				if !w.done {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// stallTemp accumulates this cycle's per-warp stall attribution so that
+	// fast-forwarded cycles can replay it cheaply.
+	var stallTemp [NumStallReasons]int64
+	candBuf := make([]sched.Candidate, 0, 64)
+
+	for !allDone() {
+		if now > maxSimCycles {
+			return nil, fmt.Errorf("gpusim: kernel %s exceeded %d simulated cycles", k.Name, maxSimCycles)
+		}
+		issuedAny := false
+		for i := range stallTemp {
+			stallTemp[i] = 0
+		}
+
+		for _, sm := range sms {
+			sm.drainFills(now)
+			// Retire finished CTAs and launch new sampled CTAs.
+			retireAndRefill(sm, &nextCTA, sampledCTAs, ctasPerSM, launchCTA, now)
+			live := 0
+			for _, w := range sm.warps {
+				if !w.done {
+					live++
+				}
+			}
+			if live > maxWarpsResident {
+				maxWarpsResident = live
+			}
+
+			issuedIDs := make(map[int]bool, cfg.IssueWidth)
+			for slot := 0; slot < cfg.IssueWidth; slot++ {
+				candBuf = candBuf[:0]
+				for _, w := range sm.warps {
+					if w.done || issuedIDs[w.id] {
+						continue
+					}
+					ready, reason := s.classify(w, sm, now)
+					candBuf = append(candBuf, sched.Candidate{
+						ID:    w.id,
+						Ready: ready,
+						Age:   w.launch,
+						WaitingOnMemory: !ready && (reason == StallMemoryDependency ||
+							reason == StallMemoryThrottle),
+					})
+				}
+				pick := sm.scheduler.Pick(candBuf, now)
+				if pick < 0 {
+					continue
+				}
+				wID := candBuf[pick].ID
+				var picked *warp
+				for _, w := range sm.warps {
+					if w.id == wID {
+						picked = w
+						break
+					}
+				}
+				if picked == nil {
+					continue
+				}
+				ok := s.issue(picked, sm, l2, mem, rl, now, &activity, st)
+				if ok {
+					issuedAny = true
+					issuedIDs[wID] = true
+					simThreadInstr += int64(picked.lanes)
+				}
+			}
+
+			// Per-warp stall attribution for this cycle.
+			for _, w := range sm.warps {
+				if w.done {
+					continue
+				}
+				if issuedIDs[w.id] {
+					continue
+				}
+				ready, reason := s.classify(w, sm, now)
+				if ready {
+					stallTemp[StallNotSelected]++
+				} else {
+					stallTemp[reason]++
+				}
+			}
+		}
+
+		if issuedAny {
+			for i, v := range stallTemp {
+				st.Stalls[i] += v
+			}
+			now++
+			continue
+		}
+
+		// Nothing issued anywhere: fast-forward to the next event and charge
+		// the skipped cycles with this cycle's stall attribution.
+		next := s.nextEvent(sms, now)
+		if next <= now {
+			next = now + 1
+		}
+		skipped := next - now
+		for i, v := range stallTemp {
+			st.Stalls[i] += v * skipped
+		}
+		now = next
+	}
+
+	st.SimCycles = now
+	if st.SimCycles == 0 {
+		st.SimCycles = 1
+	}
+	st.SimThreadInstructions = simThreadInstr
+	if simThreadInstr == 0 {
+		simThreadInstr = 1
+	}
+	st.ScaleFactor = float64(st.TotalThreadInstructions) / float64(simThreadInstr)
+
+	// Scale memory system and activity statistics to the full kernel.
+	st.L2 = l2.Stats()
+	st.DRAM = mem.Stats()
+	for _, sm := range sms {
+		st.L1.Add(sm.l1.Stats())
+	}
+	scaleCache := func(cs *cache.Stats, f float64) {
+		cs.Accesses = int64(float64(cs.Accesses) * f)
+		cs.Hits = int64(float64(cs.Hits) * f)
+		cs.Misses = int64(float64(cs.Misses) * f)
+		cs.MergedMiss = int64(float64(cs.MergedMiss) * f)
+		cs.ResFails = int64(float64(cs.ResFails) * f)
+		cs.Bypasses = int64(float64(cs.Bypasses) * f)
+		cs.Evictions = int64(float64(cs.Evictions) * f)
+		cs.FillsArrive = int64(float64(cs.FillsArrive) * f)
+	}
+	scaleCache(&st.L1, st.ScaleFactor)
+	scaleCache(&st.L2, st.ScaleFactor)
+	st.DRAM.Requests = int64(float64(st.DRAM.Requests) * st.ScaleFactor)
+	st.DRAM.ReadRequests = int64(float64(st.DRAM.ReadRequests) * st.ScaleFactor)
+	st.DRAM.WriteRequests = int64(float64(st.DRAM.WriteRequests) * st.ScaleFactor)
+	st.DRAM.BytesMoved = int64(float64(st.DRAM.BytesMoved) * st.ScaleFactor)
+	st.DRAM.StallCycles = int64(float64(st.DRAM.StallCycles) * st.ScaleFactor)
+	activity.Scale(st.ScaleFactor)
+	st.Activity = activity
+
+	// Estimate full-kernel cycles from the simulated throughput: the device
+	// runs min(SMs, CTAs) SMs in parallel at the observed per-SM rate.
+	perSMThroughput := float64(st.SimThreadInstructions) / float64(st.SimCycles) / float64(len(sms))
+	if perSMThroughput <= 0 {
+		perSMThroughput = 1
+	}
+	utilSMs := cfg.Device.SMs
+	if totalCTAs < utilSMs {
+		utilSMs = totalCTAs
+	}
+	if utilSMs < 1 {
+		utilSMs = 1
+	}
+	st.Cycles = int64(float64(st.TotalThreadInstructions) / (perSMThroughput * float64(utilSMs)))
+	if st.Cycles < st.SimCycles && sampledCTAs == totalCTAs && cfg.Sampling.MaxLoopIters == 0 {
+		// Exhaustive simulation of a small kernel: trust the simulated time.
+		st.Cycles = st.SimCycles
+	}
+	if st.Cycles <= 0 {
+		st.Cycles = 1
+	}
+	st.Seconds = float64(st.Cycles) / (float64(cfg.Device.CoreClockMHz) * 1e6)
+
+	st.MaxResidentWarpsPerSM = maxWarpsResident
+	residentThreads := maxWarpsResident * warpSize
+	if residentThreads > 0 {
+		st.AllocatedRegsPerSM = k.Launch.Regs * residentThreads
+		st.LiveRegsPerSM = k.Program.MaxRegister() * residentThreads
+	}
+	return st, nil
+}
+
+// retireAndRefill removes finished CTAs' bookkeeping and launches new sampled
+// CTAs while capacity is available.
+func retireAndRefill(sm *smState, nextCTA *int, sampledCTAs, maxPerSM int, launch func(*smState, int64), now int64) {
+	// Count live CTAs.
+	liveCTAs := map[int]bool{}
+	for _, w := range sm.warps {
+		if !w.done {
+			liveCTAs[w.ctaID] = true
+		}
+	}
+	sm.resident = len(liveCTAs)
+	for sm.resident < maxPerSM && *nextCTA < sampledCTAs {
+		launch(sm, now)
+	}
+}
+
+// classify reports whether the warp can issue now and, when it cannot, the
+// nvprof-style reason.
+func (s *Simulator) classify(w *warp, sm *smState, now int64) (bool, StallReason) {
+	if w.done {
+		return false, StallOther
+	}
+	if w.syncUntil > now {
+		return false, StallSync
+	}
+	if w.fetchReady > now {
+		return false, StallInstFetch
+	}
+	ins := w.current()
+	if blocked := w.srcBlock(ins, now); blocked >= 0 {
+		switch {
+		case w.regFromConst[blocked]:
+			return false, StallConstMemDependency
+		case w.regFromMem[blocked]:
+			return false, StallMemoryDependency
+		default:
+			return false, StallExecDependency
+		}
+	}
+	unit := isa.UnitFor(ins)
+	if sm.unitFree[unit] > now {
+		return false, StallPipeBusy
+	}
+	if ins.IsMem() && ins.Space == isa.SpaceGlobal {
+		if sm.l1.Config().Bypassed() {
+			// Without an L1, the finite LSU / interconnect queues throttle
+			// further global accesses.
+			if len(sm.bypassInFlight) >= maxOutstandingBypass {
+				return false, StallMemoryThrottle
+			}
+		} else if cfg := sm.l1.Config(); cfg.MSHRs > 0 && sm.l1.PendingMisses() >= cfg.MSHRs {
+			// A full MSHR file throttles further global accesses.
+			return false, StallMemoryThrottle
+		}
+	}
+	return true, StallOther
+}
+
+// issue executes one instruction of the warp.  It returns false when the
+// instruction could not complete (memory throttle) and must be retried.
+func (s *Simulator) issue(w *warp, sm *smState, l2 *cache.Cache, mem *dram.DRAM, rl regionLayout,
+	now int64, act *Activity, st *KernelStats) bool {
+
+	ins := w.current()
+	unit := isa.UnitFor(ins)
+	lanes := int64(w.lanes)
+	portCycles := int64(isa.ThroughputCPI(ins))
+
+	if ins.IsMem() && ins.Space == isa.SpaceGlobal {
+		ready, transactions, ok := s.globalAccess(w, sm, l2, mem, rl, ins, now, st)
+		if !ok {
+			st.Stalls[StallMemoryThrottle]++
+			return false
+		}
+		act.GlobalAccesses += int64(transactions)
+		// The load/store port is occupied for one cycle per generated memory
+		// transaction, so poorly coalesced accesses consume proportionally
+		// more issue bandwidth.
+		portCycles = int64(transactions)
+		if portCycles < 1 {
+			portCycles = 1
+		}
+		if ins.IsLoad() {
+			w.writeDst(ins, ready, true, false)
+		}
+	} else if ins.IsMem() && ins.Space == isa.SpaceShared {
+		act.SharedAccesses += lanes
+		if ins.IsLoad() {
+			w.writeDst(ins, now+24, true, false)
+		}
+	} else if ins.IsMem() && ins.Space == isa.SpaceConst {
+		act.ConstAccesses++
+		if ins.IsLoad() {
+			w.writeDst(ins, now+20, false, true)
+		}
+	} else if ins.Op == isa.OpBar {
+		// Barrier: the warp waits for its CTA mates (approximated as a fixed
+		// window proportional to the CTA's warp count).
+		w.syncUntil = now + int64(8*len(sm.warps))
+	} else {
+		latency := int64(isa.Latency(ins))
+		w.writeDst(ins, now+latency, false, false)
+	}
+
+	// Pipeline occupancy and activity accounting.
+	sm.unitFree[unit] = now + portCycles
+	act.IssuedInstructions += lanes
+	act.RegReads += int64(ins.NSrcs) * lanes
+	if ins.Dst != isa.NoReg {
+		act.RegWrites += lanes
+	}
+	switch unit {
+	case isa.UnitSP, isa.UnitCtrl, isa.UnitNone:
+		act.SPOps += lanes
+	case isa.UnitFPU:
+		act.FPUOps += lanes
+	case isa.UnitSFU:
+		act.SFUOps += lanes
+	}
+	if w.pc == 0 {
+		act.InstFetches++
+	}
+
+	w.advance(now)
+	return true
+}
+
+// globalAccess models a global-memory warp transaction: coalescing, L1, L2
+// and DRAM.  It returns the cycle at which the data is available, the number
+// of memory transactions generated, and false if the L1 could not reserve an
+// MSHR.
+func (s *Simulator) globalAccess(w *warp, sm *smState, l2 *cache.Cache, mem *dram.DRAM, rl regionLayout,
+	ins isa.Instruction, now int64, st *KernelStats) (ready int64, transactions int, ok bool) {
+
+	pat := ins.Pattern
+	base := rl.base[pat.Region]
+	footprint := pat.Footprint
+	if footprint == 0 {
+		footprint = rl.size[pat.Region]
+	}
+	if footprint == 0 {
+		footprint = 256
+	}
+	lineBytes := uint64(128)
+
+	// Coalesce the lanes' addresses into unique 128-byte transactions.
+	lines := make(map[uint64]struct{}, 4)
+	iter := int64(w.iterIndex())
+	for lane := 0; lane < w.lanes; lane++ {
+		off := int64(pat.Base) + int64(lane)*pat.ThreadStride + iter*pat.IterStride + int64(w.ctaID)*pat.BlockStride
+		if off < 0 {
+			off = -off
+		}
+		addr := base + uint64(off)%footprint
+		lines[addr/lineBytes] = struct{}{}
+	}
+
+	ready = now
+	l1 := sm.l1
+	for lineAddr := range lines {
+		addr := lineAddr * lineBytes
+		var lineReady int64
+		if l1.Config().Bypassed() {
+			lineReady = s.l2Access(l2, mem, addr, ins.IsStore(), now)
+			sm.bypassInFlight = append(sm.bypassInFlight, lineReady)
+		} else {
+			switch l1.Access(addr, ins.IsStore()) {
+			case cache.Hit:
+				lineReady = now + int64(l1.Config().HitLatency)
+			case cache.MissMerged:
+				lineReady = now + int64(l1.Config().HitLatency) + 30
+			case cache.ReservationFail:
+				return 0, 0, false
+			default: // Miss
+				lineReady = s.l2Access(l2, mem, addr, ins.IsStore(), now)
+				// The MSHR stays allocated until the fill returns.
+				sm.fills = append(sm.fills, pendingFill{addr: addr, ready: lineReady})
+			}
+		}
+		if lineReady > ready {
+			ready = lineReady
+		}
+	}
+	// Serialize additional transactions on the LSU port.
+	ready += int64(2 * (len(lines) - 1))
+	return ready, len(lines), true
+}
+
+// l2Access models an access that missed (or bypassed) the L1.
+func (s *Simulator) l2Access(l2 *cache.Cache, mem *dram.DRAM, addr uint64, isWrite bool, now int64) int64 {
+	switch l2.Access(addr, isWrite) {
+	case cache.Hit:
+		return now + int64(l2.Config().HitLatency)
+	case cache.MissMerged:
+		return now + int64(l2.Config().HitLatency) + int64(s.cfg.DRAM.LatencyCycles)/2
+	case cache.ReservationFail:
+		// Treat as a miss with an extra queueing penalty.
+		ready := mem.Access(addr, isWrite, now+int64(l2.Config().HitLatency))
+		return ready + 50
+	default: // Miss
+		ready := mem.Access(addr, isWrite, now+int64(l2.Config().HitLatency))
+		l2.Fill(addr)
+		return ready
+	}
+}
+
+// nextEvent returns the earliest cycle at which any warp could become ready.
+func (s *Simulator) nextEvent(sms []*smState, now int64) int64 {
+	next := int64(-1)
+	consider := func(t int64) {
+		if t > now && (next == -1 || t < next) {
+			next = t
+		}
+	}
+	for _, sm := range sms {
+		for _, f := range sm.fills {
+			consider(f.ready)
+		}
+		for _, r := range sm.bypassInFlight {
+			consider(r)
+		}
+		for _, w := range sm.warps {
+			if w.done {
+				continue
+			}
+			consider(w.syncUntil)
+			consider(w.fetchReady)
+			ins := w.current()
+			for s := 0; s < int(ins.NSrcs); s++ {
+				r := ins.Srcs[s]
+				if r != isa.NoReg && int(r) < len(w.regReady) {
+					consider(w.regReady[r])
+				}
+			}
+			consider(sm.unitFree[isa.UnitFor(ins)])
+		}
+	}
+	if next == -1 {
+		return now + 1
+	}
+	return next
+}

@@ -1,0 +1,390 @@
+package gpusim_test
+
+import (
+	"testing"
+
+	"tango/internal/cache"
+	"tango/internal/device"
+	"tango/internal/gpusim"
+	"tango/internal/isa"
+	"tango/internal/kernel"
+	"tango/internal/networks"
+	"tango/internal/sched"
+)
+
+// fastSim returns a simulator with coarse sampling for quick tests.
+func fastSim(t *testing.T, cfg gpusim.Config) *gpusim.Simulator {
+	t.Helper()
+	cfg = cfg.WithSampling(gpusim.FastSampling())
+	sim, err := gpusim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func runNet(t *testing.T, sim *gpusim.Simulator, name string) *gpusim.RunStats {
+	t.Helper()
+	n, err := networks.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sim.RunNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestConfigValidateDefaults(t *testing.T) {
+	cfg := gpusim.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.ModeledSMs <= 0 || cfg.IssueWidth <= 0 {
+		t.Error("defaults should be filled")
+	}
+	zero := gpusim.Config{}
+	if err := zero.Validate(); err == nil {
+		t.Error("zero config should fail (no device)")
+	}
+	bad := gpusim.DefaultConfig()
+	bad.Scheduler = "bogus"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+	bad = gpusim.DefaultConfig()
+	bad.L2 = cache.Config{}
+	if err := bad.Validate(); err == nil {
+		t.Error("bypassed L2 should fail")
+	}
+	bad = gpusim.DefaultConfig()
+	bad.Sampling.MaxCTAs = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative sampling should fail")
+	}
+}
+
+func TestConfigWithHelpers(t *testing.T) {
+	cfg := gpusim.DefaultConfig().WithL1Size(0)
+	if !cfg.L1D.Bypassed() {
+		t.Error("WithL1Size(0) should bypass the L1")
+	}
+	cfg = gpusim.DefaultConfig().WithL1Size(128 << 10)
+	if cfg.L1D.SizeBytes != 128<<10 {
+		t.Errorf("L1 size = %d", cfg.L1D.SizeBytes)
+	}
+	cfg = gpusim.DefaultConfig().WithScheduler(sched.LRR)
+	if cfg.Scheduler != sched.LRR {
+		t.Error("WithScheduler did not apply")
+	}
+}
+
+func TestStallReasonNames(t *testing.T) {
+	if len(gpusim.StallReasons()) != int(gpusim.NumStallReasons) {
+		t.Error("StallReasons() should enumerate every reason")
+	}
+	for _, r := range gpusim.StallReasons() {
+		if r.String() == "" || r.String() == "unknown" {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+	if gpusim.StallMemoryThrottle.String() != "memory_throttle" {
+		t.Error("unexpected stall name")
+	}
+}
+
+func TestRunKernelBasicInvariants(t *testing.T) {
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := fastSim(t, gpusim.DefaultConfig())
+	st, err := sim.RunKernel(ks[0]) // conv1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles <= 0 || st.Seconds <= 0 {
+		t.Errorf("cycles=%d seconds=%v must be positive", st.Cycles, st.Seconds)
+	}
+	if st.SimCycles <= 0 || st.SimThreadInstructions <= 0 {
+		t.Error("simulated portion must be non-empty")
+	}
+	if st.ScaleFactor < 1 {
+		t.Errorf("scale factor %v must be >= 1", st.ScaleFactor)
+	}
+	if st.TotalThreadInstructions != ks[0].DynamicInstructions() {
+		t.Error("total instruction accounting mismatch")
+	}
+	var opTotal int64
+	for _, c := range st.OpCounts {
+		opTotal += c
+	}
+	if opTotal != st.TotalThreadInstructions {
+		t.Errorf("op counts sum %d, want %d", opTotal, st.TotalThreadInstructions)
+	}
+	var typeTotal int64
+	for _, c := range st.TypeCounts {
+		typeTotal += c
+	}
+	if typeTotal != st.TotalThreadInstructions {
+		t.Errorf("type counts sum %d, want %d", typeTotal, st.TotalThreadInstructions)
+	}
+	if st.StallTotal() == 0 {
+		t.Error("a convolution kernel should record stall cycles")
+	}
+	if st.Activity.IssuedInstructions <= 0 || st.Activity.RegReads <= 0 {
+		t.Error("activity counters should be populated")
+	}
+	if st.L2.Accesses == 0 {
+		t.Error("global memory traffic should reach the L2")
+	}
+	if st.IPC() <= 0 {
+		t.Error("IPC should be positive")
+	}
+	if st.AllocatedRegsPerSM <= 0 || st.LiveRegsPerSM <= 0 {
+		t.Error("register usage should be recorded")
+	}
+	if st.AllocatedRegsPerSM < st.LiveRegsPerSM {
+		t.Error("allocated registers cannot be fewer than live registers")
+	}
+}
+
+func TestRunKernelRejectsInvalidKernel(t *testing.T) {
+	sim := fastSim(t, gpusim.DefaultConfig())
+	if _, err := sim.RunKernel(&kernel.Kernel{Name: "empty"}); err == nil {
+		t.Error("invalid kernel should fail")
+	}
+}
+
+func TestRunNetworkAllBenchmarksSmallSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite simulation skipped in -short mode")
+	}
+	sim := fastSim(t, gpusim.DefaultConfig())
+	for _, name := range []string{"GRU", "LSTM", "CifarNet"} {
+		rs := runNet(t, sim, name)
+		if rs.TotalCycles() <= 0 {
+			t.Errorf("%s: no cycles", name)
+		}
+		if len(rs.Kernels) == 0 {
+			t.Errorf("%s: no kernels", name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sim1 := fastSim(t, gpusim.DefaultConfig())
+	sim2 := fastSim(t, gpusim.DefaultConfig())
+	a := runNet(t, sim1, "CifarNet")
+	b := runNet(t, sim2, "CifarNet")
+	if a.TotalCycles() != b.TotalCycles() {
+		t.Errorf("simulation must be deterministic: %d vs %d", a.TotalCycles(), b.TotalCycles())
+	}
+	for i := range a.Kernels {
+		if a.Kernels[i].Cycles != b.Kernels[i].Cycles {
+			t.Errorf("kernel %s cycles differ", a.Kernels[i].Kernel.Name)
+		}
+		if a.Kernels[i].Stalls != b.Kernels[i].Stalls {
+			t.Errorf("kernel %s stalls differ", a.Kernels[i].Kernel.Name)
+		}
+	}
+}
+
+func TestConvolutionDominatesCifarNet(t *testing.T) {
+	// Observation 1: convolution layers take the majority of CNN execution
+	// time.
+	sim := fastSim(t, gpusim.DefaultConfig())
+	rs := runNet(t, sim, "CifarNet")
+	byClass := rs.CyclesByClass()
+	conv := byClass[networks.ClassConv]
+	if conv*2 < rs.TotalCycles() {
+		t.Errorf("conv cycles %d should exceed half of total %d", conv, rs.TotalCycles())
+	}
+}
+
+func TestCacheSensitivityCNNvsRNN(t *testing.T) {
+	// Observation 2: on-chip cache helps CNNs; RNN sensitivity beyond the
+	// default L1 size is negligible.
+	if testing.Short() {
+		t.Skip("cache sweep skipped in -short mode")
+	}
+	run := func(name string, l1 int) int64 {
+		sim := fastSim(t, gpusim.DefaultConfig().WithL1Size(l1))
+		return runNet(t, sim, name).TotalCycles()
+	}
+	cifarNo := run("CifarNet", 0)
+	cifar64 := run("CifarNet", 64<<10)
+	if cifar64 >= cifarNo {
+		t.Errorf("CifarNet with 64KB L1 (%d cycles) should beat no-L1 (%d)", cifar64, cifarNo)
+	}
+	gru64 := run("GRU", 64<<10)
+	gru256 := run("GRU", 256<<10)
+	diff := float64(gru64-gru256) / float64(gru64)
+	if diff > 0.05 || diff < -0.05 {
+		t.Errorf("GRU should be insensitive to L1 growth beyond 64KB, got %.1f%% change", diff*100)
+	}
+}
+
+func TestSchedulerKindsAllRun(t *testing.T) {
+	for _, k := range sched.Kinds() {
+		sim := fastSim(t, gpusim.DefaultConfig().WithScheduler(k))
+		rs := runNet(t, sim, "CifarNet")
+		if rs.TotalCycles() <= 0 {
+			t.Errorf("scheduler %s produced no cycles", k)
+		}
+	}
+}
+
+func TestBypassedL1RoutesTrafficToL2(t *testing.T) {
+	simNo := fastSim(t, gpusim.DefaultConfig().WithL1Size(0))
+	simWith := fastSim(t, gpusim.DefaultConfig())
+	no := runNet(t, simNo, "CifarNet")
+	with := runNet(t, simWith, "CifarNet")
+	var l2No, l2With int64
+	for _, k := range no.Kernels {
+		l2No += k.L2.Accesses
+	}
+	for _, k := range with.Kernels {
+		l2With += k.L2.Accesses
+	}
+	if l2No <= l2With {
+		t.Errorf("bypassing L1 should increase L2 traffic: %d vs %d", l2No, l2With)
+	}
+	for _, k := range no.Kernels {
+		if k.L1.Accesses != 0 {
+			t.Errorf("%s: bypassed L1 should record no accesses", k.Kernel.Name)
+		}
+	}
+}
+
+func TestFCHasHigherL2MissRatioThanConv(t *testing.T) {
+	// Observation 11: convolution layers have much better data locality than
+	// fully-connected layers.  Compare under a bypassed L1 like Figure 14.
+	sim := fastSim(t, gpusim.DefaultConfig().WithL1Size(0))
+	rs := runNet(t, sim, "CifarNet")
+	byClass := rs.L2ByClass()
+	conv := byClass[networks.ClassConv]
+	fc := byClass[networks.ClassFC]
+	if conv.Accesses == 0 || fc.Accesses == 0 {
+		t.Fatal("expected both conv and fc L2 traffic")
+	}
+	if fc.MissRatio() <= conv.MissRatio() {
+		t.Errorf("FC L2 miss ratio (%.4f) should exceed conv (%.4f)", fc.MissRatio(), conv.MissRatio())
+	}
+}
+
+func TestRNNvsCNNStallCharacter(t *testing.T) {
+	// GRU/LSTM and the CNN layers should all report a breakdown over the
+	// nvprof categories, with memory- and execution-dependency stalls present.
+	sim := fastSim(t, gpusim.DefaultConfig())
+	rs := runNet(t, sim, "LSTM")
+	stalls := rs.StallsByClass()[networks.ClassRNN]
+	var total int64
+	for _, v := range stalls {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("LSTM should record stall cycles")
+	}
+	if stalls[gpusim.StallExecDependency]+stalls[gpusim.StallMemoryDependency] == 0 {
+		t.Error("dependency stalls should be present for the LSTM layer")
+	}
+}
+
+func TestExhaustiveSamplingOnTinyKernel(t *testing.T) {
+	// The last FC layer of CifarNet is small enough to simulate exhaustively;
+	// sampled and exhaustive runs must agree on total instruction counts and
+	// report a scale factor of exactly 1 for the exhaustive case.
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc2 *kernel.Kernel
+	for _, k := range ks {
+		if k.LayerName == "fc2" {
+			fc2 = k
+		}
+	}
+	if fc2 == nil {
+		t.Fatal("fc2 kernel not found")
+	}
+	exCfg := gpusim.DefaultConfig().WithSampling(gpusim.Exhaustive())
+	exSim, err := gpusim.New(exCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := exSim.RunKernel(fc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.ScaleFactor != 1 {
+		t.Errorf("exhaustive run scale factor = %v, want 1", ex.ScaleFactor)
+	}
+	if ex.SimThreadInstructions != ex.TotalThreadInstructions {
+		t.Errorf("exhaustive run should simulate every instruction: %d vs %d",
+			ex.SimThreadInstructions, ex.TotalThreadInstructions)
+	}
+
+	sampled, err := fastSim(t, gpusim.DefaultConfig()).RunKernel(fc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.TotalThreadInstructions != ex.TotalThreadInstructions {
+		t.Error("sampling must not change the total dynamic instruction count")
+	}
+	if sampled.ScaleFactor < 1 {
+		t.Error("sampled scale factor must be >= 1")
+	}
+}
+
+func TestDifferentDevicesGiveDifferentTimes(t *testing.T) {
+	// The same workload should be slower on the 2-SM TX1 than on the 28-SM
+	// Pascal simulator configuration.
+	pascal := fastSim(t, gpusim.ConfigFor(device.PascalGP102()))
+	tx1 := fastSim(t, gpusim.ConfigFor(device.TX1()))
+	a := runNet(t, pascal, "CifarNet")
+	b := runNet(t, tx1, "CifarNet")
+	if b.TotalSeconds() <= a.TotalSeconds() {
+		t.Errorf("TX1 (%.6fs) should be slower than GP102 (%.6fs)", b.TotalSeconds(), a.TotalSeconds())
+	}
+}
+
+func TestOpMixObservation7(t *testing.T) {
+	// Observation 7: the top operations (add, mad, mul, shl, plus the load
+	// family) dominate execution.
+	sim := fastSim(t, gpusim.DefaultConfig())
+	rs := runNet(t, sim, "CifarNet")
+	ops := rs.OpTotals()
+	var total int64
+	for _, c := range ops {
+		total += c
+	}
+	top := ops[isa.OpAdd] + ops[isa.OpMad] + ops[isa.OpMad24] + ops[isa.OpMul] + ops[isa.OpShl] + ops[isa.OpLd]
+	if total == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if float64(top)/float64(total) < 0.5 {
+		t.Errorf("top operations cover %.1f%%, want > 50%%", 100*float64(top)/float64(total))
+	}
+}
+
+func TestActivityAddAndScale(t *testing.T) {
+	a := gpusim.Activity{IssuedInstructions: 10, RegReads: 20, SPOps: 5}
+	a.Add(gpusim.Activity{IssuedInstructions: 1, FPUOps: 2})
+	if a.IssuedInstructions != 11 || a.FPUOps != 2 {
+		t.Errorf("Add result %+v", a)
+	}
+	a.Scale(2)
+	if a.IssuedInstructions != 22 || a.RegReads != 40 {
+		t.Errorf("Scale result %+v", a)
+	}
+}

@@ -1,0 +1,589 @@
+package kernel
+
+import (
+	"fmt"
+
+	"tango/internal/isa"
+	"tango/internal/networks"
+	"tango/internal/nn"
+)
+
+// genContext carries everything a layer code generator needs.
+type genContext struct {
+	layer    *networks.Layer
+	inShape  []int
+	outShape []int
+
+	inputBytes  int64
+	weightBytes int64
+	outputBytes int64
+}
+
+// Register naming convention used by the generators.  The exact indices only
+// matter for dependence tracking in the simulator and for the per-thread
+// register counts reported in Table III.
+const (
+	rTid   isa.Reg = 0  // thread index x
+	rTidY  isa.Reg = 1  // thread index y
+	rCta   isa.Reg = 2  // block index
+	rIdx0  isa.Reg = 3  // index scratch
+	rIdx1  isa.Reg = 4  // index scratch
+	rIdx2  isa.Reg = 5  // index scratch
+	rIdx3  isa.Reg = 6  // index scratch
+	rPred  isa.Reg = 7  // bounds predicate
+	rAcc   isa.Reg = 8  // f32 accumulator
+	rVal   isa.Reg = 9  // loaded input value
+	rWgt   isa.Reg = 10 // loaded weight value
+	rBias  isa.Reg = 11 // loaded bias value
+	rTmp0  isa.Reg = 12 // f32 scratch
+	rTmp1  isa.Reg = 13 // f32 scratch
+	rTmp2  isa.Reg = 14 // f32 scratch
+	rOutA  isa.Reg = 15 // output address
+	rLoop  isa.Reg = 16 // loop counter
+	rTmp3  isa.Reg = 17 // extra scratch
+	rTmp4  isa.Reg = 18 // extra scratch
+	rGate0 isa.Reg = 19 // RNN gate accumulators
+	rGate1 isa.Reg = 20
+	rGate2 isa.Reg = 21
+	rGate3 isa.Reg = 22
+)
+
+func alu(op isa.Opcode, t isa.DType, dst isa.Reg, srcs ...isa.Reg) isa.Instruction {
+	return isa.NewALU(op, t, dst, srcs...)
+}
+
+// threadIndexPrologue is the common index-computation preamble: every kernel
+// derives its global thread / neuron index from the block and thread ids with
+// warp-unit shifts, which the paper identifies as a major source of integer
+// work (Observation 8).
+func threadIndexPrologue() []isa.Instruction {
+	return []isa.Instruction{
+		alu(isa.OpMov, isa.TypeU32, rTid),
+		alu(isa.OpMov, isa.TypeU32, rTidY),
+		alu(isa.OpMov, isa.TypeU32, rCta),
+		alu(isa.OpShl, isa.TypeU32, rIdx0, rCta),                 // blockIdx * blockDim (warp-unit shift)
+		alu(isa.OpMad24, isa.TypeU32, rIdx1, rTidY, rIdx0, rTid), // global linear index
+		alu(isa.OpShl, isa.TypeU32, rIdx2, rIdx1),                // byte offset
+		alu(isa.OpSet, isa.TypeU32, rPred, rIdx1),                // bounds guard
+	}
+}
+
+// loopClose ends a loop body: advance the induction variable and branch back.
+func loopClose() []isa.Instruction {
+	return []isa.Instruction{
+		alu(isa.OpAdd, isa.TypeU32, rLoop, rLoop),
+		alu(isa.OpSet, isa.TypeU32, rPred, rLoop),
+		alu(isa.OpBra, isa.TypeNone, isa.NoReg),
+	}
+}
+
+// storeEpilogue computes the output address and stores the accumulator.
+func storeEpilogue(src isa.Reg, outBytes int64, fusedReLU bool) []isa.Instruction {
+	var eps []isa.Instruction
+	if fusedReLU {
+		// ReLU as a compare-select against zero.
+		eps = append(eps,
+			alu(isa.OpSet, isa.TypeF32, rPred, src),
+			alu(isa.OpMax, isa.TypeF32, src, src),
+		)
+	}
+	eps = append(eps,
+		alu(isa.OpMad24, isa.TypeU32, rOutA, rIdx1, rIdx2, rIdx0),
+		isa.NewStore(isa.TypeF32, src, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionOutput,
+			ThreadStride: 4,
+			BlockStride:  128,
+			Footprint:    uint64(outBytes),
+		}),
+		alu(isa.OpExit, isa.TypeNone, isa.NoReg),
+	)
+	return eps
+}
+
+// genConv lowers a convolution layer: each thread produces one output element
+// by iterating over inChannels/groups x kernelH x kernelW input/weight pairs.
+func genConv(ctx genContext) Program {
+	p := ctx.layer.Conv
+	groups := p.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	trip := (p.InChannels / groups) * p.KernelH * p.KernelW
+	inW := ctx.inShape[2]
+
+	prologue := append(threadIndexPrologue(),
+		// Per-output-channel bias from constant memory.
+		isa.NewLoad(isa.TypeF32, rBias, isa.SpaceConst, isa.AccessPattern{
+			Region: isa.RegionBias, ThreadStride: 0, BlockStride: 4, Footprint: uint64(4 * p.OutChannels),
+		}),
+		alu(isa.OpMov, isa.TypeF32, rAcc, rBias),
+		alu(isa.OpMov, isa.TypeU32, rLoop),
+	)
+
+	// The loop body mirrors the instruction mix of the original CUDA kernels
+	// (Figure 9): decomposing the filter position from the induction variable
+	// and rebuilding the input and weight offsets takes a chain of
+	// mul/mad/shl/add/mov integer work around the two loads and the f32
+	// multiply-accumulate, guarded by padding bounds checks with an ssy
+	// before the divergent region.
+	body := []isa.Instruction{
+		alu(isa.OpSsy, isa.TypeNone, isa.NoReg), // divergence point for the padding guard
+		// Decompose the induction variable into (ic, ky, kx).
+		alu(isa.OpMul, isa.TypeU32, rIdx2, rLoop, rIdx0),
+		alu(isa.OpShr, isa.TypeU32, rIdx3, rIdx2),
+		alu(isa.OpMad24, isa.TypeU32, rIdx3, rIdx3, rIdx0, rTid),
+		alu(isa.OpMov, isa.TypeU32, rTmp3, rIdx3),
+		// Input offset: ((ic*inH + iy)*inW + ix) with warp-unit shifts.
+		alu(isa.OpMul, isa.TypeU32, rIdx2, rTmp3, rIdx1),
+		alu(isa.OpShl, isa.TypeU32, rIdx2, rIdx2),
+		alu(isa.OpAdd, isa.TypeU32, rIdx2, rIdx2, rIdx1),
+		alu(isa.OpSet, isa.TypeU16, rPred, rIdx2), // padding bounds check (y)
+		alu(isa.OpSet, isa.TypeU16, rPred, rIdx2), // padding bounds check (x)
+		alu(isa.OpNop, isa.TypeNone, isa.NoReg),   // predicated-off slot
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionInput,
+			ThreadStride: int64(4 * p.StrideW),
+			IterStride:   4,
+			BlockStride:  int64(4 * inW),
+			Footprint:    uint64(ctx.inputBytes),
+		}),
+		// Weight offset and load; the address is uniform across the warp.
+		alu(isa.OpMul, isa.TypeU32, rIdx3, rLoop, rCta),
+		alu(isa.OpShl, isa.TypeU32, rIdx3, rIdx3),
+		alu(isa.OpAdd, isa.TypeU32, rIdx3, rIdx3, rIdx0),
+		alu(isa.OpMad24, isa.TypeU32, rIdx3, rIdx3, rCta, rIdx0),
+		alu(isa.OpMov, isa.TypeU32, rTmp4, rIdx3),
+		isa.NewLoad(isa.TypeF32, rWgt, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionWeights,
+			ThreadStride: 0,
+			IterStride:   4,
+			BlockStride:  int64(4 * trip),
+			Footprint:    uint64(ctx.weightBytes),
+		}),
+		alu(isa.OpMad, isa.TypeF32, rAcc, rVal, rWgt, rAcc),
+		alu(isa.OpAdd, isa.TypeU32, rIdx1, rIdx1, rIdx0),
+	}
+	body = append(body, loopClose()...)
+
+	return Program{
+		Prologue: prologue,
+		Loops:    []Loop{{Body: body, Trip: trip}},
+		Epilogue: storeEpilogue(rAcc, ctx.outputBytes, ctx.layer.FusedReLU),
+	}
+}
+
+// genPool lowers a pooling layer: each thread reduces a kernelH x kernelW
+// window with max or add, creating the tight load-compare dependence chains
+// the paper attributes pooling's data-dependency stalls to.
+func genPool(ctx genContext) Program {
+	p := ctx.layer.Pool
+	trip := p.KernelH * p.KernelW
+	inW := ctx.inShape[2]
+
+	prologue := append(threadIndexPrologue(),
+		alu(isa.OpMov, isa.TypeF32, rAcc),
+		alu(isa.OpMov, isa.TypeU32, rLoop),
+	)
+	reduce := isa.OpMax
+	if p.Kind == nn.AvgPool {
+		reduce = isa.OpAdd
+	}
+	body := []isa.Instruction{
+		alu(isa.OpMad24, isa.TypeU32, rIdx2, rLoop, rIdx0, rTid),
+		alu(isa.OpSet, isa.TypeU16, rPred, rIdx2),
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionInput,
+			ThreadStride: int64(4 * p.StrideW),
+			IterStride:   4,
+			BlockStride:  int64(4 * inW),
+			Footprint:    uint64(ctx.inputBytes),
+		}),
+		alu(reduce, isa.TypeF32, rAcc, rAcc, rVal),
+	}
+	body = append(body, loopClose()...)
+
+	epilogue := []isa.Instruction{}
+	if p.Kind == nn.AvgPool {
+		// Average: multiply by 1/window.
+		epilogue = append(epilogue, alu(isa.OpMul, isa.TypeF32, rAcc, rAcc, rTmp0))
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{
+		Prologue: prologue,
+		Loops:    []Loop{{Body: body, Trip: trip}},
+		Epilogue: epilogue,
+	}
+}
+
+// genFC lowers a fully-connected layer: each thread computes one output
+// neuron as a dot product over the whole flattened input.  The weight matrix
+// is stored input-major (weight[i*out + neuron]) as the original CUDA kernels
+// do, so simultaneous threads read consecutive addresses, while the matrix as
+// a whole is streamed exactly once — which is what gives FC layers their high
+// L2 miss ratios relative to convolutions (Observation 11).  The inner loop
+// is unrolled four ways, mirroring the instruction-level parallelism the CUDA
+// compiler extracts, so independent weight loads overlap their latency.
+func genFC(ctx genContext) Program {
+	inFeatures := 1
+	for _, d := range ctx.inShape {
+		inFeatures *= d
+	}
+	outFeatures := ctx.layer.FCOut
+	rowBytes := int64(outFeatures) * 4 // one input element's weights across all neurons
+
+	prologue := append(threadIndexPrologue(),
+		isa.NewLoad(isa.TypeF32, rBias, isa.SpaceConst, isa.AccessPattern{
+			Region: isa.RegionBias, ThreadStride: 4, Footprint: uint64(4 * ctx.layer.FCOut),
+		}),
+		alu(isa.OpMov, isa.TypeF32, rAcc, rBias),
+		alu(isa.OpMov, isa.TypeU32, rLoop),
+	)
+
+	const unroll = 4
+	valRegs := [unroll]isa.Reg{rVal, rTmp0, rTmp1, rTmp2}
+	wgtRegs := [unroll]isa.Reg{rWgt, rTmp3, rTmp4, rGate0}
+	xLoad := func(dst isa.Reg, lane int) isa.Instruction {
+		return isa.NewLoad(isa.TypeF32, dst, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionInput,
+			Base:         uint64(4 * lane),
+			ThreadStride: 0, // the input vector is shared by every neuron
+			IterStride:   4 * unroll,
+			Footprint:    uint64(ctx.inputBytes),
+		})
+	}
+	wLoad := func(dst isa.Reg, u int) isa.Instruction {
+		return isa.NewLoad(isa.TypeF32, dst, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionWeights,
+			Base:         uint64(u) * uint64(rowBytes),
+			ThreadStride: 4, // weight[i*out + neuron]: coalesced across the warp
+			IterStride:   rowBytes * unroll,
+			BlockStride:  4, // neighbouring blocks own neighbouring neurons
+			Footprint:    uint64(ctx.weightBytes),
+		})
+	}
+
+	body := []isa.Instruction{
+		alu(isa.OpAdd, isa.TypeU32, rIdx2, rIdx2, rLoop),
+		alu(isa.OpMad24, isa.TypeU32, rIdx3, rTid, rIdx0, rLoop),
+	}
+	// Independent loads first so their latencies overlap, then the dependent
+	// multiply-accumulates.
+	for u := 0; u < unroll; u++ {
+		body = append(body, xLoad(valRegs[u], u), wLoad(wgtRegs[u], u))
+	}
+	for u := 0; u < unroll; u++ {
+		body = append(body, alu(isa.OpMad, isa.TypeF32, rAcc, valRegs[u], wgtRegs[u], rAcc))
+	}
+	body = append(body, loopClose()...)
+
+	trip := (inFeatures + unroll - 1) / unroll
+	return Program{
+		Prologue: prologue,
+		Loops:    []Loop{{Body: body, Trip: trip}},
+		Epilogue: storeEpilogue(rAcc, ctx.outputBytes, ctx.layer.FusedReLU),
+	}
+}
+
+// genLRN lowers local response normalization: each thread normalizes one
+// element by the sum of squares over a window of neighbouring channels, using
+// SFU instructions for the power computation.
+func genLRN(ctx genContext) Program {
+	h, w := ctx.inShape[1], ctx.inShape[2]
+	channelStride := int64(4 * h * w)
+	trip := ctx.layer.LRN.LocalSize
+
+	prologue := append(threadIndexPrologue(),
+		alu(isa.OpMov, isa.TypeF32, rAcc),
+		alu(isa.OpMov, isa.TypeU32, rLoop),
+	)
+	body := []isa.Instruction{
+		alu(isa.OpMad24, isa.TypeU32, rIdx2, rLoop, rIdx0, rTid),
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionInput,
+			ThreadStride: 4,
+			IterStride:   channelStride,
+			Footprint:    uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpMul, isa.TypeF32, rTmp0, rVal, rVal),
+		alu(isa.OpAdd, isa.TypeF32, rAcc, rAcc, rTmp0),
+	}
+	body = append(body, loopClose()...)
+
+	epilogue := []isa.Instruction{
+		// denom = (k + alpha/n * sum)^beta via exp2/log2-style SFU ops.
+		alu(isa.OpMad, isa.TypeF32, rTmp1, rAcc, rTmp0, rBias),
+		alu(isa.OpEx2, isa.TypeF32, rTmp2, rTmp1),
+		alu(isa.OpRcp, isa.TypeF32, rTmp2, rTmp2),
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 4, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpMul, isa.TypeF32, rAcc, rVal, rTmp2),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{
+		Prologue: prologue,
+		Loops:    []Loop{{Body: body, Trip: trip}},
+		Epilogue: epilogue,
+	}
+}
+
+// genBatchNorm lowers inference batch normalization: one element per thread,
+// normalized with per-channel statistics from constant memory.
+func genBatchNorm(ctx genContext) Program {
+	prologue := append(threadIndexPrologue(),
+		isa.NewLoad(isa.TypeF32, rTmp0, isa.SpaceConst, isa.AccessPattern{
+			Region: isa.RegionWeights, BlockStride: 4, Footprint: uint64(ctx.weightBytes),
+		}),
+		isa.NewLoad(isa.TypeF32, rTmp1, isa.SpaceConst, isa.AccessPattern{
+			Region: isa.RegionWeights, Base: uint64(ctx.weightBytes / 2), BlockStride: 4, Footprint: uint64(ctx.weightBytes),
+		}),
+		alu(isa.OpRsqrt, isa.TypeF32, rTmp1, rTmp1),
+	)
+	epilogue := []isa.Instruction{
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 4, BlockStride: 128, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpAdd, isa.TypeF32, rTmp2, rVal, rTmp0),
+		alu(isa.OpMul, isa.TypeF32, rAcc, rTmp2, rTmp1),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{Prologue: prologue, Epilogue: epilogue}
+}
+
+// genScale lowers the per-channel affine scale layer.
+func genScale(ctx genContext) Program {
+	prologue := append(threadIndexPrologue(),
+		isa.NewLoad(isa.TypeF32, rTmp0, isa.SpaceConst, isa.AccessPattern{
+			Region: isa.RegionWeights, BlockStride: 4, Footprint: uint64(ctx.weightBytes),
+		}),
+		isa.NewLoad(isa.TypeF32, rTmp1, isa.SpaceConst, isa.AccessPattern{
+			Region: isa.RegionBias, BlockStride: 4, Footprint: uint64(4 * ctx.outShape[0]),
+		}),
+	)
+	epilogue := []isa.Instruction{
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 4, BlockStride: 128, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpMad, isa.TypeF32, rAcc, rVal, rTmp0, rTmp1),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{Prologue: prologue, Epilogue: epilogue}
+}
+
+// genReLU lowers a standalone ReLU layer.
+func genReLU(ctx genContext) Program {
+	prologue := threadIndexPrologue()
+	epilogue := []isa.Instruction{
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 4, BlockStride: 128, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpMax, isa.TypeF32, rAcc, rVal),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{Prologue: prologue, Epilogue: epilogue}
+}
+
+// genEltwise lowers the element-wise shortcut addition of residual blocks.
+func genEltwise(ctx genContext) Program {
+	prologue := threadIndexPrologue()
+	epilogue := []isa.Instruction{
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 4, BlockStride: 128, Footprint: uint64(ctx.inputBytes),
+		}),
+		isa.NewLoad(isa.TypeF32, rWgt, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, Base: uint64(ctx.inputBytes / 2), ThreadStride: 4, BlockStride: 128,
+			Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpAdd, isa.TypeF32, rAcc, rVal, rWgt),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{Prologue: prologue, Epilogue: epilogue}
+}
+
+// genConcat lowers a channel concatenation as a strided copy.
+func genConcat(ctx genContext) Program {
+	prologue := threadIndexPrologue()
+	epilogue := []isa.Instruction{
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 4, BlockStride: 128, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpMov, isa.TypeF32, rAcc, rVal),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{Prologue: prologue, Epilogue: epilogue}
+}
+
+// genSoftmax lowers the classifier softmax: each thread accumulates the
+// exponential sum and normalizes its own class score.
+func genSoftmax(ctx genContext) Program {
+	classes := 1
+	for _, d := range ctx.inShape {
+		classes *= d
+	}
+	prologue := append(threadIndexPrologue(),
+		alu(isa.OpMov, isa.TypeF32, rAcc),
+		alu(isa.OpMov, isa.TypeU32, rLoop),
+	)
+	body := []isa.Instruction{
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 0, IterStride: 4, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpEx2, isa.TypeF32, rTmp0, rVal),
+		alu(isa.OpAdd, isa.TypeF32, rAcc, rAcc, rTmp0),
+	}
+	body = append(body, loopClose()...)
+	epilogue := []isa.Instruction{
+		alu(isa.OpRcp, isa.TypeF32, rTmp1, rAcc),
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 4, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpEx2, isa.TypeF32, rTmp2, rVal),
+		alu(isa.OpMul, isa.TypeF32, rAcc, rTmp2, rTmp1),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{
+		Prologue: prologue,
+		Loops:    []Loop{{Body: body, Trip: classes}},
+		Epilogue: epilogue,
+	}
+}
+
+// genGlobalPool lowers global average pooling: one thread per channel.
+func genGlobalPool(ctx genContext) Program {
+	area := ctx.inShape[1] * ctx.inShape[2]
+	prologue := append(threadIndexPrologue(),
+		alu(isa.OpMov, isa.TypeF32, rAcc),
+		alu(isa.OpMov, isa.TypeU32, rLoop),
+	)
+	body := []isa.Instruction{
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region:       isa.RegionInput,
+			ThreadStride: int64(4 * area), // each thread owns one channel
+			IterStride:   4,
+			Footprint:    uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpAdd, isa.TypeF32, rAcc, rAcc, rVal),
+	}
+	body = append(body, loopClose()...)
+	epilogue := []isa.Instruction{
+		alu(isa.OpMul, isa.TypeF32, rAcc, rAcc, rTmp0),
+	}
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+	return Program{
+		Prologue: prologue,
+		Loops:    []Loop{{Body: body, Trip: area}},
+		Epilogue: epilogue,
+	}
+}
+
+// genRecurrent lowers a GRU or LSTM layer.  One thread owns one hidden neuron
+// and, per time step, accumulates the gate pre-activations over the input and
+// recurrent weight rows, then applies the gate nonlinearities.  LSTM runs
+// four gates against GRU's three and has a longer element-wise epilogue,
+// which is why the paper finds it exhibits more data-dependency stalls.
+func genRecurrent(ctx genContext) Program {
+	l := ctx.layer
+	gates := 3
+	if l.Type == networks.LayerLSTM {
+		gates = 4
+	}
+	hidden := l.Hidden
+	inSize := l.InSize
+	seq := 2 // the suite's models consume the past two days' prices
+
+	prologue := append(threadIndexPrologue(),
+		alu(isa.OpMov, isa.TypeF32, rGate0),
+		alu(isa.OpMov, isa.TypeF32, rGate1),
+		alu(isa.OpMov, isa.TypeF32, rGate2),
+	)
+	if gates == 4 {
+		prologue = append(prologue, alu(isa.OpMov, isa.TypeF32, rGate3))
+	}
+	prologue = append(prologue, alu(isa.OpMov, isa.TypeU32, rLoop))
+
+	rowBytes := int64(hidden) * 4
+	gateBody := []isa.Instruction{
+		alu(isa.OpAdd, isa.TypeU32, rIdx2, rIdx2, rLoop),
+		isa.NewLoad(isa.TypeF32, rVal, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionInput, ThreadStride: 0, IterStride: 4, Footprint: uint64(ctx.inputBytes),
+		}),
+		alu(isa.OpMad24, isa.TypeU32, rIdx3, rTid, rIdx0, rLoop),
+		isa.NewLoad(isa.TypeF32, rWgt, isa.SpaceGlobal, isa.AccessPattern{
+			Region: isa.RegionWeights, ThreadStride: rowBytes, IterStride: 4, Footprint: uint64(ctx.weightBytes),
+		}),
+		alu(isa.OpMad, isa.TypeF32, rGate0, rVal, rWgt, rGate0),
+	}
+	gateBody = append(gateBody, loopClose()...)
+
+	// Gate nonlinearities and state update per time step.
+	epilogue := []isa.Instruction{}
+	for g := 0; g < gates; g++ {
+		dst := []isa.Reg{rGate0, rGate1, rGate2, rGate3}[g]
+		epilogue = append(epilogue,
+			alu(isa.OpEx2, isa.TypeF32, rTmp0, dst),
+			alu(isa.OpAdd, isa.TypeF32, rTmp1, rTmp0, rBias),
+			alu(isa.OpRcp, isa.TypeF32, dst, rTmp1),
+		)
+	}
+	// Element-wise state combination (longer chain for LSTM: cell update plus
+	// the output tanh).
+	epilogue = append(epilogue,
+		alu(isa.OpMul, isa.TypeF32, rTmp2, rGate0, rGate1),
+		alu(isa.OpMul, isa.TypeF32, rTmp3, rGate1, rGate2),
+		alu(isa.OpAdd, isa.TypeF32, rAcc, rTmp2, rTmp3),
+	)
+	if l.Type == networks.LayerLSTM {
+		epilogue = append(epilogue,
+			alu(isa.OpEx2, isa.TypeF32, rTmp4, rAcc),
+			alu(isa.OpRcp, isa.TypeF32, rTmp4, rTmp4),
+			alu(isa.OpMul, isa.TypeF32, rAcc, rTmp4, rGate3),
+		)
+	}
+	epilogue = append(epilogue,
+		alu(isa.OpBar, isa.TypeNone, isa.NoReg), // synchronize hidden state across the block
+	)
+	epilogue = append(epilogue, storeEpilogue(rAcc, ctx.outputBytes, false)...)
+
+	return Program{
+		Prologue: prologue,
+		Loops: []Loop{
+			// Input contributions for every gate and time step.
+			{Body: gateBody, Trip: gates * inSize * seq},
+			// Recurrent contributions for every gate and time step.
+			{Body: gateBody, Trip: gates * hidden * seq},
+		},
+		Epilogue: epilogue,
+	}
+}
+
+// generateProgram dispatches to the per-layer-type generator.
+func generateProgram(ctx genContext) (Program, error) {
+	switch ctx.layer.Type {
+	case networks.LayerConv:
+		return genConv(ctx), nil
+	case networks.LayerPool:
+		return genPool(ctx), nil
+	case networks.LayerFC:
+		return genFC(ctx), nil
+	case networks.LayerLRN:
+		return genLRN(ctx), nil
+	case networks.LayerBatchNorm:
+		return genBatchNorm(ctx), nil
+	case networks.LayerScale:
+		return genScale(ctx), nil
+	case networks.LayerReLU:
+		return genReLU(ctx), nil
+	case networks.LayerEltwise:
+		return genEltwise(ctx), nil
+	case networks.LayerConcat:
+		return genConcat(ctx), nil
+	case networks.LayerSoftmax:
+		return genSoftmax(ctx), nil
+	case networks.LayerGlobalPool:
+		return genGlobalPool(ctx), nil
+	case networks.LayerGRU, networks.LayerLSTM:
+		return genRecurrent(ctx), nil
+	default:
+		return Program{}, fmt.Errorf("kernel: no code generator for layer type %v", ctx.layer.Type)
+	}
+}

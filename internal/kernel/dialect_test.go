@@ -1,0 +1,29 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"tango/internal/kernel"
+	"tango/internal/networks"
+)
+
+func TestDialects(t *testing.T) {
+	// The paper implements all seven networks in CUDA C and additionally
+	// provides OpenCL versions of CifarNet and AlexNet (Section III).
+	for _, name := range networks.Names() {
+		ds := kernel.Dialects(name)
+		if len(ds) == 0 || ds[0] != kernel.DialectCUDA {
+			t.Errorf("%s: every benchmark must have a CUDA dialect, got %v", name, ds)
+		}
+		wantOpenCL := name == "CifarNet" || name == "AlexNet"
+		if kernel.HasOpenCL(name) != wantOpenCL {
+			t.Errorf("%s: HasOpenCL = %v, want %v", name, kernel.HasOpenCL(name), wantOpenCL)
+		}
+		if wantOpenCL && len(ds) != 2 {
+			t.Errorf("%s: expected CUDA and OpenCL dialects, got %v", name, ds)
+		}
+	}
+	if kernel.HasOpenCL("MobileNet") {
+		t.Error("the MobileNet extension has no OpenCL variant")
+	}
+}

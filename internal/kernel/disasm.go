@@ -1,0 +1,74 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+
+	"tango/internal/isa"
+)
+
+// WriteDisassembly writes a human-readable PTX-like listing of the kernel's
+// thread program to w: the launch geometry header, the prologue, each counted
+// loop with its trip count, and the epilogue.  It is the equivalent of
+// inspecting the original suite's .ptx files and is used by tools and tests
+// to audit the generated instruction mix.
+func WriteDisassembly(w io.Writer, k *Kernel) error {
+	if k == nil {
+		return fmt.Errorf("kernel: nil kernel")
+	}
+	if _, err := fmt.Fprintf(w, "// kernel %s  class=%s\n// launch %s\n", k.Name, k.Class, k.Launch); err != nil {
+		return err
+	}
+	write := func(label string, instrs []isa.Instruction) error {
+		if len(instrs) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "%s:\n", label); err != nil {
+			return err
+		}
+		for i, ins := range instrs {
+			if err := writeInstruction(w, i, ins); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("prologue", k.Program.Prologue); err != nil {
+		return err
+	}
+	for li, loop := range k.Program.Loops {
+		if _, err := fmt.Fprintf(w, "loop%d: // %d iterations\n", li, loop.Trip); err != nil {
+			return err
+		}
+		for i, ins := range loop.Body {
+			if err := writeInstruction(w, i, ins); err != nil {
+				return err
+			}
+		}
+	}
+	return write("epilogue", k.Program.Epilogue)
+}
+
+func writeInstruction(w io.Writer, idx int, ins isa.Instruction) error {
+	operands := ""
+	if ins.Dst != isa.NoReg {
+		operands = fmt.Sprintf(" r%d", ins.Dst)
+	}
+	for s := 0; s < int(ins.NSrcs); s++ {
+		if ins.Srcs[s] == isa.NoReg {
+			continue
+		}
+		sep := ", "
+		if operands == "" {
+			sep = " "
+		}
+		operands += fmt.Sprintf("%sr%d", sep, ins.Srcs[s])
+	}
+	suffix := ""
+	if ins.IsMem() && ins.Space == isa.SpaceGlobal {
+		p := ins.Pattern
+		suffix = fmt.Sprintf("  // %s base=%d tstride=%d istride=%d", p.Region, p.Base, p.ThreadStride, p.IterStride)
+	}
+	_, err := fmt.Fprintf(w, "  %3d: %-16s%s%s\n", idx, ins.String(), operands, suffix)
+	return err
+}

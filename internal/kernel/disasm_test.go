@@ -1,0 +1,66 @@
+package kernel_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tango/internal/kernel"
+	"tango/internal/networks"
+)
+
+func TestWriteDisassembly(t *testing.T) {
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := kernel.WriteDisassembly(&buf, ks[0]); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"kernel CifarNet/conv1",
+		"prologue:",
+		"loop0:",
+		"epilogue:",
+		"mad.f32",
+		"ld.f32.global",
+		"st.f32.global",
+		"// 75 iterations", // 3 channels x 5x5 kernel
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+	if err := kernel.WriteDisassembly(&buf, nil); err == nil {
+		t.Error("nil kernel should fail")
+	}
+}
+
+func TestDisassemblyCoversAllNetworks(t *testing.T) {
+	for _, name := range networks.Names() {
+		n, err := networks.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := kernel.Generate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, k := range ks {
+			buf.Reset()
+			if err := kernel.WriteDisassembly(&buf, k); err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s: empty disassembly", k.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package kernel
+
+import (
+	"fmt"
+
+	"tango/internal/networks"
+)
+
+// Generate lowers every layer of a built network into a kernel, in layer
+// order.  The result is the simulator's workload and the source of the
+// Table III launch-geometry report.
+func Generate(n *networks.Network) ([]*Kernel, error) {
+	if n == nil || !n.Built() {
+		return nil, fmt.Errorf("kernel: network must be built before lowering")
+	}
+	specs, err := n.WeightSpecs()
+	if err != nil {
+		return nil, err
+	}
+	weightBytesByLayer := make(map[string]int64)
+	for _, s := range specs {
+		weightBytesByLayer[s.Layer] += int64(s.Count) * 4
+	}
+
+	kernels := make([]*Kernel, 0, len(n.Layers))
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		inShape := layerInputShape(n, li)
+		inputBytes := int64(shapeElems(inShape)) * 4
+		if l.Type == networks.LayerEltwise || l.Type == networks.LayerConcat {
+			// These read every producer.
+			total := int64(0)
+			for idx := range l.Inputs {
+				total += int64(shapeElems(inputShapeAt(n, li, idx))) * 4
+			}
+			inputBytes = total
+		}
+		outputBytes := int64(shapeElems(l.OutShape)) * 4
+
+		ctx := genContext{
+			layer:       l,
+			inShape:     inShape,
+			outShape:    l.OutShape,
+			inputBytes:  inputBytes,
+			weightBytes: weightBytesByLayer[l.Name],
+			outputBytes: outputBytes,
+		}
+		prog, err := generateProgram(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: %s/%s: %w", n.Name, l.Name, err)
+		}
+		grid, block := launchGeometry(l, l.OutShape)
+		regs, smem, cmem := staticResources(l, prog)
+
+		k := &Kernel{
+			Name:        n.Name + "/" + l.Name,
+			Network:     n.Name,
+			LayerName:   l.Name,
+			LayerType:   l.Type,
+			Class:       l.EffectiveClass(),
+			Launch:      LaunchConfig{Grid: grid, Block: block, Regs: regs, SmemBytes: smem, CmemBytes: cmem},
+			Program:     prog,
+			InputBytes:  inputBytes,
+			WeightBytes: weightBytesByLayer[l.Name],
+			OutputBytes: outputBytes,
+		}
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		kernels = append(kernels, k)
+	}
+	return kernels, nil
+}
+
+// layerInputShape resolves the primary input shape of layer li.
+func layerInputShape(n *networks.Network, li int) []int {
+	return inputShapeAt(n, li, 0)
+}
+
+// inputShapeAt resolves the shape feeding input slot idx of layer li.
+func inputShapeAt(n *networks.Network, li, idx int) []int {
+	ref := n.Layers[li].Inputs[idx]
+	if ref == networks.InputRef {
+		return n.InputShape
+	}
+	return n.Layers[ref].OutShape
+}
+
+func shapeElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}

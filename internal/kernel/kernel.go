@@ -1,0 +1,209 @@
+// Package kernel lowers network layers into GPU kernels: a launch
+// configuration (grid and block dimensions, register, shared- and
+// constant-memory usage, reproducing Table III of the paper) and a per-thread
+// instruction program over the PTX-like ISA that the architecture simulator
+// executes.
+package kernel
+
+import (
+	"fmt"
+
+	"tango/internal/isa"
+	"tango/internal/networks"
+)
+
+// LaunchConfig is the CUDA-style launch geometry and static resource usage of
+// one kernel.
+type LaunchConfig struct {
+	// Grid and Block are the kernel launch dimensions (x, y, z).
+	Grid  [3]int
+	Block [3]int
+	// Regs is the number of registers allocated per thread.
+	Regs int
+	// SmemBytes is the static shared memory per block in bytes.
+	SmemBytes int
+	// CmemBytes is the constant memory referenced by the kernel in bytes.
+	CmemBytes int
+}
+
+// ThreadsPerBlock returns the block size in threads.
+func (c LaunchConfig) ThreadsPerBlock() int { return c.Block[0] * c.Block[1] * c.Block[2] }
+
+// Blocks returns the total number of thread blocks.
+func (c LaunchConfig) Blocks() int { return c.Grid[0] * c.Grid[1] * c.Grid[2] }
+
+// TotalThreads returns the total number of threads the kernel launches.
+func (c LaunchConfig) TotalThreads() int { return c.ThreadsPerBlock() * c.Blocks() }
+
+// WarpsPerBlock returns the number of 32-thread warps per block (rounded up).
+func (c LaunchConfig) WarpsPerBlock() int { return (c.ThreadsPerBlock() + 31) / 32 }
+
+// String formats the geometry like the paper's Table III.
+func (c LaunchConfig) String() string {
+	return fmt.Sprintf("grid(%d,%d,%d) block(%d,%d,%d) regs=%d smem=%d cmem=%d",
+		c.Grid[0], c.Grid[1], c.Grid[2], c.Block[0], c.Block[1], c.Block[2],
+		c.Regs, c.SmemBytes, c.CmemBytes)
+}
+
+// Loop is a counted inner loop of a thread program.  The simulator may sample
+// a subset of the iterations and scale the resulting statistics.
+type Loop struct {
+	// Body is executed Trip times.
+	Body []isa.Instruction
+	// Trip is the iteration count (>= 0).
+	Trip int
+}
+
+// Program is the per-thread instruction template of a kernel: a prologue,
+// zero or more counted loops, and an epilogue.  Every thread of the kernel
+// executes the same template; memory instructions derive per-thread addresses
+// from their access patterns.
+type Program struct {
+	Prologue []isa.Instruction
+	Loops    []Loop
+	Epilogue []isa.Instruction
+}
+
+// DynamicInstructions returns the number of dynamic instructions one thread
+// executes.
+func (p Program) DynamicInstructions() int64 {
+	n := int64(len(p.Prologue)) + int64(len(p.Epilogue))
+	for _, l := range p.Loops {
+		n += int64(len(l.Body)) * int64(l.Trip)
+	}
+	return n
+}
+
+// OpCounts returns the dynamic per-opcode instruction counts of one thread.
+func (p Program) OpCounts() [isa.NumOpcodes]int64 {
+	var counts [isa.NumOpcodes]int64
+	accum := func(ins []isa.Instruction, mult int64) {
+		for _, i := range ins {
+			counts[i.Op] += mult
+		}
+	}
+	accum(p.Prologue, 1)
+	for _, l := range p.Loops {
+		accum(l.Body, int64(l.Trip))
+	}
+	accum(p.Epilogue, 1)
+	return counts
+}
+
+// TypeCounts returns the dynamic per-data-type instruction counts of one
+// thread.
+func (p Program) TypeCounts() [isa.NumDTypes]int64 {
+	var counts [isa.NumDTypes]int64
+	accum := func(ins []isa.Instruction, mult int64) {
+		for _, i := range ins {
+			counts[i.Type] += mult
+		}
+	}
+	accum(p.Prologue, 1)
+	for _, l := range p.Loops {
+		accum(l.Body, int64(l.Trip))
+	}
+	accum(p.Epilogue, 1)
+	return counts
+}
+
+// MaxRegister returns the highest register index referenced by the program
+// plus one, i.e. the per-thread register demand.
+func (p Program) MaxRegister() int {
+	max := 0
+	scan := func(ins []isa.Instruction) {
+		for _, i := range ins {
+			if i.Dst != isa.NoReg && int(i.Dst)+1 > max {
+				max = int(i.Dst) + 1
+			}
+			for s := 0; s < int(i.NSrcs); s++ {
+				if i.Srcs[s] != isa.NoReg && int(i.Srcs[s])+1 > max {
+					max = int(i.Srcs[s]) + 1
+				}
+			}
+		}
+	}
+	scan(p.Prologue)
+	for _, l := range p.Loops {
+		scan(l.Body)
+	}
+	scan(p.Epilogue)
+	return max
+}
+
+// Kernel is one launchable unit of work: a layer of a network lowered to a
+// launch configuration and a thread program.
+type Kernel struct {
+	// Name identifies the kernel, e.g. "AlexNet/conv1".
+	Name string
+	// Network is the owning benchmark name.
+	Network string
+	// LayerName is the source layer.
+	LayerName string
+	// LayerType is the source layer type.
+	LayerType networks.LayerType
+	// Class is the reporting class used in per-layer-type figures.
+	Class string
+	// Launch is the launch geometry and static resources.
+	Launch LaunchConfig
+	// Program is the per-thread instruction template.
+	Program Program
+	// InputBytes, WeightBytes and OutputBytes size the kernel's global-memory
+	// regions; the simulator lays them out and bounds access footprints.
+	InputBytes  int64
+	WeightBytes int64
+	OutputBytes int64
+}
+
+// DynamicInstructions returns the total dynamic instruction count across all
+// threads of the kernel.
+func (k *Kernel) DynamicInstructions() int64 {
+	return k.Program.DynamicInstructions() * int64(k.Launch.TotalThreads())
+}
+
+// Validate performs internal consistency checks.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("kernel: unnamed kernel")
+	}
+	if k.Launch.TotalThreads() <= 0 {
+		return fmt.Errorf("kernel %s: no threads", k.Name)
+	}
+	if k.Launch.ThreadsPerBlock() > 1024 {
+		return fmt.Errorf("kernel %s: %d threads per block exceeds 1024", k.Name, k.Launch.ThreadsPerBlock())
+	}
+	if k.Program.DynamicInstructions() <= 0 {
+		return fmt.Errorf("kernel %s: empty program", k.Name)
+	}
+	if k.Launch.Regs < k.Program.MaxRegister() {
+		return fmt.Errorf("kernel %s: launch reports %d registers but program uses %d",
+			k.Name, k.Launch.Regs, k.Program.MaxRegister())
+	}
+	check := func(ins isa.Instruction) error {
+		if ins.IsMem() && ins.Space == isa.SpaceGlobal && ins.Pattern.Region == isa.RegionNone {
+			return fmt.Errorf("kernel %s: global memory access without region", k.Name)
+		}
+		return nil
+	}
+	for _, i := range k.Program.Prologue {
+		if err := check(i); err != nil {
+			return err
+		}
+	}
+	for _, l := range k.Program.Loops {
+		if l.Trip < 0 {
+			return fmt.Errorf("kernel %s: negative loop trip count", k.Name)
+		}
+		for _, i := range l.Body {
+			if err := check(i); err != nil {
+				return err
+			}
+		}
+	}
+	for _, i := range k.Program.Epilogue {
+		if err := check(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

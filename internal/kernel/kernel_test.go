@@ -1,0 +1,382 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"tango/internal/isa"
+	"tango/internal/kernel"
+	"tango/internal/networks"
+)
+
+func generate(t *testing.T, name string) []*kernel.Kernel {
+	t.Helper()
+	n, err := networks.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+func TestGenerateAllNetworks(t *testing.T) {
+	for _, name := range networks.Names() {
+		ks := generate(t, name)
+		if len(ks) == 0 {
+			t.Errorf("%s produced no kernels", name)
+			continue
+		}
+		for _, k := range ks {
+			if err := k.Validate(); err != nil {
+				t.Errorf("%s: %v", k.Name, err)
+			}
+			if k.DynamicInstructions() <= 0 {
+				t.Errorf("%s: no dynamic instructions", k.Name)
+			}
+			if k.Class == "" {
+				t.Errorf("%s: missing reporting class", k.Name)
+			}
+		}
+	}
+}
+
+func TestGenerateRequiresBuiltNetwork(t *testing.T) {
+	if _, err := kernel.Generate(nil); err == nil {
+		t.Error("nil network should fail")
+	}
+	if _, err := kernel.Generate(&networks.Network{Name: "x"}); err == nil {
+		t.Error("unbuilt network should fail")
+	}
+}
+
+func TestGenerateOneKernelPerLayer(t *testing.T) {
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != len(n.Layers) {
+		t.Errorf("generated %d kernels for %d layers", len(ks), len(n.Layers))
+	}
+	for i, k := range ks {
+		if k.LayerName != n.Layers[i].Name {
+			t.Errorf("kernel %d is %q, want %q", i, k.LayerName, n.Layers[i].Name)
+		}
+	}
+}
+
+func TestLaunchGeometryTableIII(t *testing.T) {
+	// Spot-check launch geometry against Table III of the paper.
+	cases := []struct {
+		net   string
+		layer string
+		block [3]int
+		grid  [3]int
+	}{
+		// CifarNet conv layers run one 32x32 block.
+		{"CifarNet", "conv1", [3]int{32, 32, 1}, [3]int{32, 1, 1}},
+		// CifarNet FC layers: one block of (64,1,1) / (9,1,1) threads.
+		{"CifarNet", "fc1", [3]int{64, 1, 1}, [3]int{1, 1, 1}},
+		// AlexNet conv2 runs 256 blocks of 27x27 threads.
+		{"AlexNet", "conv2", [3]int{27, 27, 1}, [3]int{256, 1, 1}},
+		// AlexNet fc6: 4096 blocks of one thread (Table III).
+		{"AlexNet", "fc6", [3]int{1, 1, 1}, [3]int{4096, 1, 1}},
+		// SqueezeNet fire6 squeeze: 48 channels of 27x27.
+		{"SqueezeNet", "fire6/squeeze1x1", [3]int{27, 27, 1}, [3]int{48, 1, 1}},
+		// GRU: a single (10,10,1) block; LSTM: a single (100,1,1) block.
+		{"GRU", "gru1", [3]int{10, 10, 1}, [3]int{1, 1, 1}},
+		{"LSTM", "lstm1", [3]int{100, 1, 1}, [3]int{1, 1, 1}},
+	}
+	kernelsByNet := map[string][]*kernel.Kernel{}
+	for _, c := range cases {
+		ks, ok := kernelsByNet[c.net]
+		if !ok {
+			ks = generate(t, c.net)
+			kernelsByNet[c.net] = ks
+		}
+		var found *kernel.Kernel
+		for _, k := range ks {
+			if k.LayerName == c.layer {
+				found = k
+				break
+			}
+		}
+		if found == nil {
+			t.Errorf("%s: no kernel for layer %s", c.net, c.layer)
+			continue
+		}
+		if found.Launch.Block != c.block || found.Launch.Grid != c.grid {
+			t.Errorf("%s/%s launch = %v, want block %v grid %v",
+				c.net, c.layer, found.Launch, c.block, c.grid)
+		}
+	}
+}
+
+func TestLaunchBlockLimit(t *testing.T) {
+	for _, name := range networks.Names() {
+		for _, k := range generate(t, name) {
+			if k.Launch.ThreadsPerBlock() > 1024 {
+				t.Errorf("%s: %d threads per block exceeds the CUDA limit", k.Name, k.Launch.ThreadsPerBlock())
+			}
+			if k.Launch.TotalThreads() <= 0 {
+				t.Errorf("%s: no threads", k.Name)
+			}
+		}
+	}
+}
+
+func TestLaunchCoversOutputNeurons(t *testing.T) {
+	// One thread per neuron: the launch must provide at least as many threads
+	// as output elements (it may round up to tile boundaries).
+	for _, name := range []string{"CifarNet", "AlexNet", "SqueezeNet", "VGGNet"} {
+		n, err := networks.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := kernel.Generate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range ks {
+			out := n.Layers[i].OutShape
+			elems := 1
+			for _, d := range out {
+				elems *= d
+			}
+			if k.Launch.TotalThreads() < elems {
+				t.Errorf("%s: %d threads for %d output elements", k.Name, k.Launch.TotalThreads(), elems)
+			}
+		}
+	}
+}
+
+func TestRegisterCountsMatchTableIIIRanges(t *testing.T) {
+	// Table III reports per-thread register counts between 5 and 31; our
+	// launch configs must stay within a plausible GPU range and cover the
+	// registers the program actually uses.
+	for _, name := range networks.Names() {
+		for _, k := range generate(t, name) {
+			if k.Launch.Regs < 5 || k.Launch.Regs > 64 {
+				t.Errorf("%s: %d registers per thread is implausible", k.Name, k.Launch.Regs)
+			}
+			if k.Launch.Regs < k.Program.MaxRegister() {
+				t.Errorf("%s: launch regs %d < program demand %d", k.Name, k.Launch.Regs, k.Program.MaxRegister())
+			}
+		}
+	}
+}
+
+func TestRNNResourceUsage(t *testing.T) {
+	// Table III: GRU uses 504 bytes of shared memory and 56 of constant
+	// memory; LSTM uses 936 and 60.
+	gru := generate(t, "GRU")[0]
+	if gru.Launch.SmemBytes != 504 || gru.Launch.CmemBytes != 56 {
+		t.Errorf("GRU resources smem=%d cmem=%d, want 504/56", gru.Launch.SmemBytes, gru.Launch.CmemBytes)
+	}
+	lstm := generate(t, "LSTM")[0]
+	if lstm.Launch.SmemBytes != 936 || lstm.Launch.CmemBytes != 60 {
+		t.Errorf("LSTM resources smem=%d cmem=%d, want 936/60", lstm.Launch.SmemBytes, lstm.Launch.CmemBytes)
+	}
+	if lstm.Launch.Regs <= gru.Launch.Regs {
+		t.Errorf("LSTM (%d regs) should use more registers than GRU (%d)", lstm.Launch.Regs, gru.Launch.Regs)
+	}
+}
+
+func TestConvKernelInstructionMix(t *testing.T) {
+	// The convolution kernel's dynamic instruction mix must be dominated by
+	// the add/mad/mul/shl/ld family (Observation 7).
+	ks := generate(t, "AlexNet")
+	var conv *kernel.Kernel
+	for _, k := range ks {
+		if k.LayerName == "conv2" {
+			conv = k
+			break
+		}
+	}
+	if conv == nil {
+		t.Fatal("AlexNet conv2 kernel not found")
+	}
+	ops := conv.Program.OpCounts()
+	var total int64
+	for _, c := range ops {
+		total += c
+	}
+	top4 := ops[isa.OpAdd] + ops[isa.OpMad] + ops[isa.OpMad24] + ops[isa.OpMul] + ops[isa.OpShl]
+	if total == 0 || float64(top4)/float64(total) < 0.4 {
+		t.Errorf("add/mad/mul/shl cover %d/%d dynamic instructions, want > 40%%", top4, total)
+	}
+	if ops[isa.OpLd] == 0 || ops[isa.OpSt] == 0 {
+		t.Error("conv kernel must load inputs and store outputs")
+	}
+}
+
+func TestConvLoopTripMatchesReduction(t *testing.T) {
+	ks := generate(t, "CifarNet")
+	for _, k := range ks {
+		if k.LayerType != networks.LayerConv {
+			continue
+		}
+		n, err := networks.NewCifarNet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := n.Layer(k.LayerName)
+		want := l.Conv.InChannels * l.Conv.KernelH * l.Conv.KernelW
+		if len(k.Program.Loops) != 1 || k.Program.Loops[0].Trip != want {
+			t.Errorf("%s: loop trip %d, want %d", k.Name, k.Program.Loops[0].Trip, want)
+		}
+	}
+}
+
+func TestIntegerHeavyDataTypes(t *testing.T) {
+	// Observation 8: integer data types dominate even in floating-point
+	// networks because of index computation.
+	for _, name := range []string{"ResNet", "AlexNet"} {
+		var f32, integer int64
+		for _, k := range generate(t, name) {
+			types := k.Program.TypeCounts()
+			perThread := [isa.NumDTypes]int64{}
+			for dt, c := range types {
+				perThread[dt] = c * int64(k.Launch.TotalThreads())
+			}
+			f32 += perThread[isa.TypeF32]
+			integer += perThread[isa.TypeU32] + perThread[isa.TypeU16] + perThread[isa.TypeS32] + perThread[isa.TypeS16]
+		}
+		if integer <= f32 {
+			t.Errorf("%s: integer-typed instructions (%d) should outnumber f32 (%d)", name, integer, f32)
+		}
+	}
+}
+
+func TestFCUsesStridedWeightAccess(t *testing.T) {
+	// FC weight loads must stream per-thread rows (large thread stride),
+	// while conv weight loads are uniform across the warp.  This asymmetry
+	// drives the paper's L2 miss-ratio contrast (Observation 11).
+	ks := generate(t, "AlexNet")
+	var fcStride, convStride int64 = -1, -1
+	for _, k := range ks {
+		var isFC bool
+		switch k.LayerName {
+		case "fc6":
+			isFC = true
+		case "conv3":
+			isFC = false
+		default:
+			continue
+		}
+		for _, l := range k.Program.Loops {
+			for _, ins := range l.Body {
+				if ins.IsLoad() && ins.Pattern.Region == isa.RegionWeights {
+					if isFC {
+						fcStride = ins.Pattern.ThreadStride
+					} else {
+						convStride = ins.Pattern.ThreadStride
+					}
+				}
+			}
+		}
+	}
+	if fcStride <= 0 {
+		t.Fatalf("fc weight loads should have a positive thread stride, got %d", fcStride)
+	}
+	if convStride != 0 {
+		t.Fatalf("conv weight loads should be warp-uniform, got stride %d", convStride)
+	}
+}
+
+func TestKernelValidateCatchesErrors(t *testing.T) {
+	good := generate(t, "CifarNet")[0]
+
+	bad := *good
+	bad.Launch.Block = [3]int{64, 32, 1} // 2048 threads per block
+	if err := bad.Validate(); err == nil {
+		t.Error("over-limit block should fail validation")
+	}
+
+	bad = *good
+	bad.Launch.Regs = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("register underflow should fail validation")
+	}
+
+	bad = *good
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("unnamed kernel should fail validation")
+	}
+
+	bad = *good
+	bad.Program = kernel.Program{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty program should fail validation")
+	}
+}
+
+func TestLaunchConfigHelpers(t *testing.T) {
+	c := kernel.LaunchConfig{Grid: [3]int{4, 2, 1}, Block: [3]int{32, 4, 1}}
+	if c.ThreadsPerBlock() != 128 {
+		t.Errorf("ThreadsPerBlock = %d, want 128", c.ThreadsPerBlock())
+	}
+	if c.Blocks() != 8 {
+		t.Errorf("Blocks = %d, want 8", c.Blocks())
+	}
+	if c.TotalThreads() != 1024 {
+		t.Errorf("TotalThreads = %d, want 1024", c.TotalThreads())
+	}
+	if c.WarpsPerBlock() != 4 {
+		t.Errorf("WarpsPerBlock = %d, want 4", c.WarpsPerBlock())
+	}
+	if c.String() == "" {
+		t.Error("String() should not be empty")
+	}
+}
+
+func TestProgramAccounting(t *testing.T) {
+	p := kernel.Program{
+		Prologue: []isa.Instruction{isa.NewALU(isa.OpMov, isa.TypeU32, 1)},
+		Loops: []kernel.Loop{{
+			Body: []isa.Instruction{
+				isa.NewALU(isa.OpMad, isa.TypeF32, 2, 1, 1, 2),
+				isa.NewALU(isa.OpBra, isa.TypeNone, isa.NoReg),
+			},
+			Trip: 10,
+		}},
+		Epilogue: []isa.Instruction{isa.NewALU(isa.OpExit, isa.TypeNone, isa.NoReg)},
+	}
+	if got := p.DynamicInstructions(); got != 22 {
+		t.Errorf("DynamicInstructions = %d, want 22", got)
+	}
+	ops := p.OpCounts()
+	if ops[isa.OpMad] != 10 || ops[isa.OpBra] != 10 || ops[isa.OpMov] != 1 || ops[isa.OpExit] != 1 {
+		t.Errorf("unexpected op counts: %v", ops)
+	}
+	types := p.TypeCounts()
+	if types[isa.TypeF32] != 10 || types[isa.TypeU32] != 1 {
+		t.Errorf("unexpected type counts: %v", types)
+	}
+	if p.MaxRegister() != 3 {
+		t.Errorf("MaxRegister = %d, want 3", p.MaxRegister())
+	}
+}
+
+func TestRNNDynamicInstructionsSmall(t *testing.T) {
+	// RNN kernels are tiny compared to CNN kernels (they motivate the paper's
+	// observation that RNNs are insensitive to cache size).
+	gru := generate(t, "GRU")
+	alex := generate(t, "AlexNet")
+	var gruTotal, alexTotal int64
+	for _, k := range gru {
+		gruTotal += k.DynamicInstructions()
+	}
+	for _, k := range alex {
+		alexTotal += k.DynamicInstructions()
+	}
+	if gruTotal*100 > alexTotal {
+		t.Errorf("GRU dynamic instructions (%d) should be <1%% of AlexNet's (%d)", gruTotal, alexTotal)
+	}
+}

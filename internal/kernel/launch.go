@@ -1,0 +1,156 @@
+package kernel
+
+import (
+	"tango/internal/networks"
+)
+
+// maxThreadsPerBlock is the CUDA block-size limit the launch heuristics obey.
+const maxThreadsPerBlock = 1024
+
+// planeTiles are the square tile widths the launch heuristic tries, largest
+// first, when a feature-map plane exceeds one thread block.  The values mirror
+// the tilings the original suite uses (e.g. VGGNet's 14x14 blocks over
+// 224x224 maps).
+var planeTiles = []int{32, 28, 16, 14, 8, 7, 4, 2, 1}
+
+// launchGeometry derives grid and block dimensions for a layer with the given
+// output shape, following the paper's one-thread-per-neuron mapping.
+func launchGeometry(l *networks.Layer, outShape []int) (grid, block [3]int) {
+	switch l.Type {
+	case networks.LayerGRU:
+		// Table III: GRU layer runs one block of (10,10,1) threads.
+		side := intSqrt(l.Hidden)
+		if side*side != l.Hidden {
+			return [3]int{1, 1, 1}, [3]int{l.Hidden, 1, 1}
+		}
+		return [3]int{1, 1, 1}, [3]int{side, side, 1}
+	case networks.LayerLSTM:
+		// Table III: LSTM layer runs one block of (100,1,1) threads.
+		return [3]int{1, 1, 1}, [3]int{l.Hidden, 1, 1}
+	}
+
+	if len(outShape) == 3 {
+		c, h, w := outShape[0], outShape[1], outShape[2]
+		if h*w <= maxThreadsPerBlock {
+			// One block per output channel, one thread per output pixel
+			// (AlexNet / SqueezeNet / ResNet style in Table III).
+			return [3]int{c, 1, 1}, [3]int{w, h, 1}
+		}
+		// Tile the plane (VGGNet style in Table III).
+		t := 1
+		for _, cand := range planeTiles {
+			if cand*cand <= maxThreadsPerBlock && cand <= h && cand <= w {
+				t = cand
+				break
+			}
+		}
+		return [3]int{ceilDiv(h, t), ceilDiv(w, t), c}, [3]int{t, t, 1}
+	}
+
+	// Rank-1 outputs (FC, global pooling, softmax, RNN heads).
+	n := 1
+	for _, d := range outShape {
+		n *= d
+	}
+	if n <= maxThreadsPerBlock {
+		return [3]int{1, 1, 1}, [3]int{n, 1, 1}
+	}
+	// Table III: AlexNet's fully-connected layers launch one thread per
+	// block, grid (4096,1,1) block (1,1,1).
+	return [3]int{n, 1, 1}, [3]int{1, 1, 1}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// minRegsByType gives the lower bound on reported per-thread register counts
+// per layer type, matching the ranges of Table III.
+var minRegsByType = map[networks.LayerType]int{
+	networks.LayerConv:       18,
+	networks.LayerPool:       12,
+	networks.LayerFC:         8,
+	networks.LayerLRN:        13,
+	networks.LayerBatchNorm:  12,
+	networks.LayerScale:      12,
+	networks.LayerReLU:       8,
+	networks.LayerEltwise:    11,
+	networks.LayerConcat:     8,
+	networks.LayerSoftmax:    10,
+	networks.LayerGlobalPool: 14,
+	networks.LayerGRU:        12,
+	networks.LayerLSTM:       22,
+}
+
+// smemByType gives the static shared-memory footprint per block in bytes per
+// layer type, matching Table III.
+var smemByType = map[networks.LayerType]int{
+	networks.LayerConv:       56,
+	networks.LayerPool:       60,
+	networks.LayerFC:         58,
+	networks.LayerLRN:        64,
+	networks.LayerBatchNorm:  52,
+	networks.LayerScale:      52,
+	networks.LayerReLU:       32,
+	networks.LayerEltwise:    48,
+	networks.LayerConcat:     40,
+	networks.LayerSoftmax:    40,
+	networks.LayerGlobalPool: 40,
+	networks.LayerGRU:        504,
+	networks.LayerLSTM:       936,
+}
+
+// staticResources derives register, shared-memory and constant-memory usage
+// for a lowered layer from its program and parameters.
+func staticResources(l *networks.Layer, prog Program) (regs, smem, cmem int) {
+	regs = prog.MaxRegister()
+	if min, ok := minRegsByType[l.Type]; ok && regs < min {
+		regs = min
+	}
+	smem = smemByType[l.Type]
+	if smem == 0 {
+		smem = 40
+	}
+
+	// Constant memory holds per-kernel scalars plus small broadcast
+	// parameters such as biases; Table III reports 0-308 bytes.
+	switch l.Type {
+	case networks.LayerConv:
+		cmem = clamp(4*l.Conv.OutChannels/8+12, 12, 308)
+	case networks.LayerFC:
+		cmem = 204
+	case networks.LayerLRN:
+		cmem = 308
+	case networks.LayerPool:
+		cmem = 20
+	case networks.LayerGRU:
+		cmem = 56
+	case networks.LayerLSTM:
+		cmem = 60
+	case networks.LayerBatchNorm:
+		cmem = 12
+	case networks.LayerScale, networks.LayerGlobalPool:
+		cmem = 4
+	case networks.LayerEltwise, networks.LayerReLU:
+		cmem = 8
+	default:
+		cmem = 4
+	}
+	return regs, smem, cmem
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

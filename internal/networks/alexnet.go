@@ -1,0 +1,70 @@
+package networks
+
+import "tango/internal/nn"
+
+// NewAlexNet returns the AlexNet workload: five convolution layers, two
+// local-response-normalization layers, three max-pooling layers and three
+// fully-connected layers over 3x227x227 inputs, classifying the 1000 ImageNet
+// classes of the reference pre-trained model.
+func NewAlexNet() (*Network, error) {
+	n := &Network{
+		Name:       "AlexNet",
+		Kind:       KindCNN,
+		InputShape: []int{3, 227, 227},
+		NumClasses: 1000,
+	}
+	prev := InputRef
+	add := func(l Layer) int {
+		l.Inputs = []int{prev}
+		n.Layers = append(n.Layers, l)
+		prev = len(n.Layers) - 1
+		return prev
+	}
+
+	// conv1: 96 filters 11x11 stride 4 -> 96x55x55.
+	add(Layer{Name: "conv1", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 3, OutChannels: 96, KernelH: 11, KernelW: 11, StrideH: 4, StrideW: 4,
+	}})
+	// norm1: local response normalization across channels.
+	add(Layer{Name: "norm1", Type: LayerLRN, LRN: nn.DefaultLRN()})
+	// pool1: max 3x3 stride 2 -> 96x27x27.
+	add(Layer{Name: "pool1", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2,
+	}})
+	// conv2: 256 filters 5x5 pad 2, 2 groups -> 256x27x27.
+	add(Layer{Name: "conv2", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 96, OutChannels: 256, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2, Groups: 2,
+	}})
+	// norm2.
+	add(Layer{Name: "norm2", Type: LayerLRN, LRN: nn.DefaultLRN()})
+	// pool2: max 3x3 stride 2 -> 256x13x13.
+	add(Layer{Name: "pool2", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2,
+	}})
+	// conv3: 384 filters 3x3 pad 1 -> 384x13x13.
+	add(Layer{Name: "conv3", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 256, OutChannels: 384, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+	}})
+	// conv4: 384 filters 3x3 pad 1, 2 groups -> 384x13x13.
+	add(Layer{Name: "conv4", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 384, OutChannels: 384, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2,
+	}})
+	// conv5: 256 filters 3x3 pad 1, 2 groups -> 256x13x13.
+	add(Layer{Name: "conv5", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 384, OutChannels: 256, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, Groups: 2,
+	}})
+	// pool5: max 3x3 stride 2 -> 256x6x6.
+	add(Layer{Name: "pool5", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2,
+	}})
+	// fc6, fc7: 4096 outputs; fc8: 1000 ImageNet classes.
+	add(Layer{Name: "fc6", Type: LayerFC, FCOut: 4096, FusedReLU: true})
+	add(Layer{Name: "fc7", Type: LayerFC, FCOut: 4096, FusedReLU: true})
+	add(Layer{Name: "fc8", Type: LayerFC, FCOut: 1000})
+	add(Layer{Name: "softmax", Type: LayerSoftmax, Class: ClassOther})
+
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

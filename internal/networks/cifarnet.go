@@ -1,0 +1,58 @@
+package networks
+
+import "tango/internal/nn"
+
+// NewCifarNet returns the CifarNet workload: three convolution layers and two
+// fully-connected layers over 3x32x32 inputs, classifying nine traffic-signal
+// classes as in the paper's pre-trained model (Table I).
+func NewCifarNet() (*Network, error) {
+	n := &Network{
+		Name:       "CifarNet",
+		Kind:       KindCNN,
+		InputShape: []int{3, 32, 32},
+		NumClasses: 9,
+	}
+	prev := InputRef
+	add := func(l Layer) int {
+		l.Inputs = []int{prev}
+		n.Layers = append(n.Layers, l)
+		prev = len(n.Layers) - 1
+		return prev
+	}
+
+	// conv1: 32 filters 5x5, pad 2 -> 32x32x32, fused ReLU.
+	add(Layer{Name: "conv1", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 3, OutChannels: 32, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2,
+	}})
+	// pool1: max 3x3 stride 2 -> 32x16x16.
+	add(Layer{Name: "pool1", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1,
+	}})
+	// conv2: 32 filters 5x5, pad 2 -> 32x16x16, fused ReLU.
+	add(Layer{Name: "conv2", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 32, OutChannels: 32, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2,
+	}})
+	// pool2: avg 3x3 stride 2 -> 32x8x8.
+	add(Layer{Name: "pool2", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.AvgPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1,
+	}})
+	// conv3: 64 filters 5x5, pad 2 -> 64x8x8, fused ReLU.
+	add(Layer{Name: "conv3", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 32, OutChannels: 64, KernelH: 5, KernelW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2,
+	}})
+	// pool3: avg 3x3 stride 2 -> 64x4x4.
+	add(Layer{Name: "pool3", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.AvgPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1,
+	}})
+	// fc1: 64 outputs (Table III: blockDim (64,1,1)).
+	add(Layer{Name: "fc1", Type: LayerFC, FCOut: 64, FusedReLU: true})
+	// fc2: 9 traffic-signal classes.
+	add(Layer{Name: "fc2", Type: LayerFC, FCOut: 9})
+	// softmax converts scores to class probabilities.
+	add(Layer{Name: "softmax", Type: LayerSoftmax, Class: ClassOther})
+
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

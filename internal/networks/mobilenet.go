@@ -1,0 +1,77 @@
+package networks
+
+import "tango/internal/nn"
+
+// NewMobileNet returns the MobileNet v1 workload built from depthwise
+// separable convolutions (a 3x3 depthwise convolution followed by a 1x1
+// pointwise convolution).  The paper lists MobileNet as the next network
+// being added to the suite; it is provided here as an extension benchmark and
+// is not part of the seven-network figure set.
+func NewMobileNet() (*Network, error) {
+	n := &Network{
+		Name:       "MobileNet",
+		Kind:       KindCNN,
+		InputShape: []int{3, 224, 224},
+		NumClasses: 1000,
+	}
+	prev := InputRef
+	add := func(l Layer) int {
+		l.Inputs = []int{prev}
+		n.Layers = append(n.Layers, l)
+		prev = len(n.Layers) - 1
+		return prev
+	}
+	conv := func(name string, inC, outC, stride int) {
+		add(Layer{Name: name, Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+			InChannels: inC, OutChannels: outC,
+			KernelH: 3, KernelW: 3, StrideH: stride, StrideW: stride, PadH: 1, PadW: 1,
+		}})
+	}
+	// depthwise 3x3 (one filter per channel) then pointwise 1x1.
+	separable := func(name string, inC, outC, stride int) {
+		add(Layer{Name: name + "/dw", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+			InChannels: inC, OutChannels: inC, Groups: inC,
+			KernelH: 3, KernelW: 3, StrideH: stride, StrideW: stride, PadH: 1, PadW: 1,
+		}})
+		add(Layer{Name: name + "/pw", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+			InChannels: inC, OutChannels: outC,
+			KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1,
+		}})
+	}
+
+	// Stem: 3x224x224 -> 32x112x112.
+	conv("conv1", 3, 32, 2)
+	type block struct {
+		in, out, stride int
+	}
+	blocks := []block{
+		{32, 64, 1},
+		{64, 128, 2},
+		{128, 128, 1},
+		{128, 256, 2},
+		{256, 256, 1},
+		{256, 512, 2},
+		{512, 512, 1},
+		{512, 512, 1},
+		{512, 512, 1},
+		{512, 512, 1},
+		{512, 512, 1},
+		{512, 1024, 2},
+		{1024, 1024, 1},
+	}
+	for i, bl := range blocks {
+		separable(layerName("sep", i+2), bl.in, bl.out, bl.stride)
+	}
+	add(Layer{Name: "pool", Type: LayerGlobalPool})
+	add(Layer{Name: "fc1000", Type: LayerFC, FCOut: 1000})
+	add(Layer{Name: "softmax", Type: LayerSoftmax, Class: ClassOther})
+
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func layerName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

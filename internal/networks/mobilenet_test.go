@@ -1,0 +1,81 @@
+package networks_test
+
+import (
+	"strings"
+	"testing"
+
+	"tango/internal/networks"
+)
+
+func TestExtensionNames(t *testing.T) {
+	exts := networks.ExtensionNames()
+	if len(exts) != 1 || exts[0] != "MobileNet" {
+		t.Fatalf("ExtensionNames() = %v, want [MobileNet]", exts)
+	}
+	// Extensions must not leak into the paper's seven-network suite.
+	for _, name := range networks.Names() {
+		if name == "MobileNet" {
+			t.Error("MobileNet must not be part of the figure-reproduction set")
+		}
+	}
+}
+
+func TestMobileNetStructure(t *testing.T) {
+	n, err := networks.New("MobileNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind != networks.KindCNN || n.NumClasses != 1000 {
+		t.Errorf("MobileNet identity wrong: %v %d", n.Kind, n.NumClasses)
+	}
+	depthwise, pointwise := 0, 0
+	for _, l := range n.Layers {
+		if l.Type != networks.LayerConv {
+			continue
+		}
+		if strings.HasSuffix(l.Name, "/dw") {
+			depthwise++
+			if l.Conv.Groups != l.Conv.InChannels {
+				t.Errorf("%s: depthwise conv must have one group per channel", l.Name)
+			}
+		}
+		if strings.HasSuffix(l.Name, "/pw") {
+			pointwise++
+			if l.Conv.KernelH != 1 || l.Conv.KernelW != 1 {
+				t.Errorf("%s: pointwise conv must be 1x1", l.Name)
+			}
+		}
+	}
+	// MobileNet v1 has 13 depthwise-separable blocks.
+	if depthwise != 13 || pointwise != 13 {
+		t.Errorf("MobileNet has %d depthwise and %d pointwise convs, want 13 each", depthwise, pointwise)
+	}
+	cases := map[string][]int{
+		"conv1":    {32, 112, 112},
+		"sep02/pw": {64, 112, 112},
+		"sep03/pw": {128, 56, 56},
+		"sep07/pw": {512, 14, 14},
+		"sep13/pw": {1024, 7, 7},
+		"sep14/pw": {1024, 7, 7},
+		"pool":     {1024},
+		"fc1000":   {1000},
+	}
+	for name, want := range cases {
+		l := n.Layer(name)
+		if l == nil {
+			t.Errorf("MobileNet missing layer %q", name)
+			continue
+		}
+		if !shapeEq(l.OutShape, want) {
+			t.Errorf("MobileNet %s output %v, want %v", name, l.OutShape, want)
+		}
+	}
+	// MobileNet's point is parameter efficiency: far fewer weights than VGG.
+	wb, err := n.WeightBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb > 25<<20 {
+		t.Errorf("MobileNet weights %d bytes, expected ~17MB (4.2M parameters)", wb)
+	}
+}

@@ -1,0 +1,131 @@
+package networks
+
+import (
+	"fmt"
+
+	"tango/internal/nn"
+)
+
+// NewResNet50 returns the ResNet-50 workload: a 7x7 stem convolution followed
+// by 16 bottleneck residual blocks (3+4+6+3) with batch-norm/scale/ReLU
+// sub-layers and element-wise shortcut additions, then global average pooling
+// and a single fully-connected classifier over 1000 ImageNet classes, as in
+// the Caffe reference model the paper uses.
+func NewResNet50() (*Network, error) {
+	n := &Network{
+		Name:       "ResNet",
+		Kind:       KindCNN,
+		InputShape: []int{3, 224, 224},
+		NumClasses: 1000,
+	}
+	idx := func() int { return len(n.Layers) - 1 }
+	prev := InputRef
+
+	addSeq := func(l Layer) int {
+		l.Inputs = []int{prev}
+		n.Layers = append(n.Layers, l)
+		prev = idx()
+		return prev
+	}
+	// convBNScale appends conv -> batchnorm -> scale reading from `from` and
+	// returns the index of the scale layer.  ReLU is appended separately so
+	// that the per-layer-type statistics include Relu entries as Table III
+	// does for ResNet.
+	convBNScale := func(name string, from int, p nn.ConvParams) int {
+		n.Layers = append(n.Layers, Layer{Name: name, Type: LayerConv, Inputs: []int{from}, Conv: p})
+		conv := idx()
+		n.Layers = append(n.Layers, Layer{Name: "bn_" + name, Type: LayerBatchNorm, Inputs: []int{conv}})
+		bn := idx()
+		n.Layers = append(n.Layers, Layer{Name: "scale_" + name, Type: LayerScale, Inputs: []int{bn}})
+		return idx()
+	}
+	relu := func(name string, from int) int {
+		n.Layers = append(n.Layers, Layer{Name: name, Type: LayerReLU, Inputs: []int{from}})
+		return idx()
+	}
+
+	// Stem: conv1 64 filters 7x7 stride 2 pad 3 -> 64x112x112.
+	stem := convBNScale("conv1", InputRef, nn.ConvParams{
+		InChannels: 3, OutChannels: 64, KernelH: 7, KernelW: 7, StrideH: 2, StrideW: 2, PadH: 3, PadW: 3,
+	})
+	prev = relu("conv1_relu", stem)
+	// pool1: max 3x3 stride 2 (ceil) -> 64x56x56.
+	addSeq(Layer{Name: "pool1", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, CeilMode: true,
+	}})
+
+	// bottleneck appends one residual block.  mid is the 1x1/3x3 width, out
+	// the block output width; stride applies to the first 1x1 convolution of
+	// blocks that downsample; project selects a convolutional shortcut.
+	inCh := 64
+	bottleneck := func(name string, mid, out, stride int, project bool) error {
+		if inCh <= 0 {
+			return fmt.Errorf("networks: resnet block %s has no input channels", name)
+		}
+		blockIn := prev
+
+		shortcut := blockIn
+		if project {
+			shortcut = convBNScale(name+"_branch1", blockIn, nn.ConvParams{
+				InChannels: inCh, OutChannels: out, KernelH: 1, KernelW: 1, StrideH: stride, StrideW: stride,
+			})
+		}
+
+		a := convBNScale(name+"_branch2a", blockIn, nn.ConvParams{
+			InChannels: inCh, OutChannels: mid, KernelH: 1, KernelW: 1, StrideH: stride, StrideW: stride,
+		})
+		a = relu(name+"_branch2a_relu", a)
+		b := convBNScale(name+"_branch2b", a, nn.ConvParams{
+			InChannels: mid, OutChannels: mid, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		})
+		b = relu(name+"_branch2b_relu", b)
+		c := convBNScale(name+"_branch2c", b, nn.ConvParams{
+			InChannels: mid, OutChannels: out, KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1,
+		})
+
+		n.Layers = append(n.Layers, Layer{Name: name, Type: LayerEltwise, Inputs: []int{c, shortcut}})
+		sum := idx()
+		prev = relu(name+"_relu", sum)
+		inCh = out
+		return nil
+	}
+
+	type stage struct {
+		prefix string
+		blocks int
+		mid    int
+		out    int
+		stride int
+	}
+	stages := []stage{
+		{"res2", 3, 64, 256, 1},
+		{"res3", 4, 128, 512, 2},
+		{"res4", 6, 256, 1024, 2},
+		{"res5", 3, 512, 2048, 2},
+	}
+	for _, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			name := fmt.Sprintf("%s%c", st.prefix, 'a'+b)
+			stride := 1
+			project := false
+			if b == 0 {
+				stride = st.stride
+				project = true
+			}
+			if err := bottleneck(name, st.mid, st.out, stride, project); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Head: global average pooling over the 7x7 maps, then the single
+	// fully-connected classifier.
+	addSeq(Layer{Name: "pool5", Type: LayerGlobalPool})
+	addSeq(Layer{Name: "fc1000", Type: LayerFC, FCOut: 1000})
+	addSeq(Layer{Name: "softmax", Type: LayerSoftmax, Class: ClassOther})
+
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,52 @@
+package networks
+
+// rnnHidden is the hidden-state width of the suite's GRU and LSTM models.
+// Table III lists one kernel of 100 threads per recurrent layer (blockDim
+// (10,10,1) for GRU and (100,1,1) for LSTM), i.e. one thread per hidden
+// neuron.
+const rnnHidden = 100
+
+// rnnSeqLen is the number of time steps: the models predict the next bitcoin
+// price from the past two days' prices (Table I).
+const rnnSeqLen = 2
+
+// NewGRU returns the GRU workload: a single gated-recurrent-unit layer of 100
+// hidden neurons unrolled over two time steps, followed by a fully-connected
+// regression head that projects the final hidden state to the predicted
+// price.
+func NewGRU() (*Network, error) {
+	n := &Network{
+		Name:       "GRU",
+		Kind:       KindRNN,
+		InputShape: []int{1},
+		SeqLen:     rnnSeqLen,
+		Layers: []Layer{
+			{Name: "gru1", Type: LayerGRU, Inputs: []int{InputRef}, Hidden: rnnHidden, InSize: 1},
+			{Name: "fc_out", Type: LayerFC, Inputs: []int{0}, FCOut: 1},
+		},
+	}
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// NewLSTM returns the LSTM workload: a single long-short-term-memory layer of
+// 100 hidden neurons unrolled over two time steps, followed by a
+// fully-connected regression head.
+func NewLSTM() (*Network, error) {
+	n := &Network{
+		Name:       "LSTM",
+		Kind:       KindRNN,
+		InputShape: []int{1},
+		SeqLen:     rnnSeqLen,
+		Layers: []Layer{
+			{Name: "lstm1", Type: LayerLSTM, Inputs: []int{InputRef}, Hidden: rnnHidden, InSize: 1},
+			{Name: "fc_out", Type: LayerFC, Inputs: []int{0}, FCOut: 1},
+		},
+	}
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,287 @@
+package networks
+
+import (
+	"fmt"
+
+	"tango/internal/nn"
+	"tango/internal/tensor"
+)
+
+// Result carries the outputs of one native inference run.
+type Result struct {
+	// Output is the final layer's output tensor.
+	Output *tensor.Tensor
+	// PredictedClass is the arg-max of the final output (CNN classifiers);
+	// -1 for regression outputs.
+	PredictedClass int
+	// LayerOutputs holds every layer's output tensor, indexed like
+	// Network.Layers.
+	LayerOutputs []*tensor.Tensor
+}
+
+// Run executes a CNN natively on the given CHW input using the supplied
+// weights and returns the per-layer outputs.  For RNNs use RunSequence.
+func (n *Network) Run(input *tensor.Tensor, w Weights) (*Result, error) {
+	if !n.built {
+		return nil, fmt.Errorf("networks: %s: Run before Build", n.Name)
+	}
+	if n.Kind != KindCNN {
+		return nil, fmt.Errorf("networks: %s is an RNN; use RunSequence", n.Name)
+	}
+	if input == nil || !equalShape(input.Shape(), n.InputShape) {
+		got := []int(nil)
+		if input != nil {
+			got = input.Shape()
+		}
+		return nil, fmt.Errorf("networks: %s expects input shape %v, got %v", n.Name, n.InputShape, got)
+	}
+	outs := make([]*tensor.Tensor, len(n.Layers))
+	resolve := func(li, idx int) *tensor.Tensor {
+		ref := n.Layers[li].Inputs[idx]
+		if ref == InputRef {
+			return input
+		}
+		return outs[ref]
+	}
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		in0 := resolve(li, 0)
+		out, err := n.runLayer(li, l, in0, func(idx int) *tensor.Tensor { return resolve(li, idx) }, w)
+		if err != nil {
+			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+		}
+		if l.FusedReLU {
+			nn.ReLUInPlace(out)
+		}
+		outs[li] = out
+	}
+	final := outs[len(outs)-1]
+	return &Result{Output: final, PredictedClass: final.MaxIndex(), LayerOutputs: outs}, nil
+}
+
+// runLayer executes a single non-recurrent layer.
+func (n *Network) runLayer(li int, l *Layer, in0 *tensor.Tensor, input func(int) *tensor.Tensor, w Weights) (*tensor.Tensor, error) {
+	switch l.Type {
+	case LayerConv:
+		wt, err := w.Get(l.Name, "weights", l.Conv.WeightCount())
+		if err != nil {
+			return nil, err
+		}
+		b, err := w.Get(l.Name, "bias", l.Conv.OutChannels)
+		if err != nil {
+			return nil, err
+		}
+		return nn.Conv2D(in0, wt, b, l.Conv)
+	case LayerPool:
+		return nn.Pool2D(in0, l.Pool)
+	case LayerFC:
+		inCount := in0.Len()
+		wt, err := w.Get(l.Name, "weights", l.FCOut*inCount)
+		if err != nil {
+			return nil, err
+		}
+		b, err := w.Get(l.Name, "bias", l.FCOut)
+		if err != nil {
+			return nil, err
+		}
+		return nn.FullyConnected(in0, wt, b, l.FCOut)
+	case LayerLRN:
+		return nn.LRN(in0, l.LRN)
+	case LayerBatchNorm:
+		c := l.OutShape[0]
+		mean, err := w.Get(l.Name, "mean", c)
+		if err != nil {
+			return nil, err
+		}
+		variance, err := w.Get(l.Name, "variance", c)
+		if err != nil {
+			return nil, err
+		}
+		return nn.BatchNorm(in0, nn.BatchNormParams{Mean: mean, Variance: variance})
+	case LayerScale:
+		c := l.OutShape[0]
+		gamma, err := w.Get(l.Name, "gamma", c)
+		if err != nil {
+			return nil, err
+		}
+		beta, err := w.Get(l.Name, "beta", c)
+		if err != nil {
+			return nil, err
+		}
+		return nn.Scale(in0, gamma, beta)
+	case LayerReLU:
+		return nn.ReLU(in0), nil
+	case LayerEltwise:
+		return nn.EltwiseAdd(in0, input(1))
+	case LayerConcat:
+		parts := make([]*tensor.Tensor, len(l.Inputs))
+		for i := range l.Inputs {
+			parts[i] = input(i)
+		}
+		return nn.ConcatChannels(parts...)
+	case LayerSoftmax:
+		return nn.Softmax(in0), nil
+	case LayerGlobalPool:
+		return nn.GlobalAvgPool(in0)
+	default:
+		return nil, fmt.Errorf("unsupported layer type %v in CNN graph", l.Type)
+	}
+}
+
+// RunSequence executes an RNN natively over a sequence of input vectors
+// (each of length InputShape[0]) and returns the final output.  The networks
+// in the suite end with a fully-connected regression head that projects the
+// final hidden state to the predicted value.
+func (n *Network) RunSequence(seq []*tensor.Tensor, w Weights) (*Result, error) {
+	if !n.built {
+		return nil, fmt.Errorf("networks: %s: RunSequence before Build", n.Name)
+	}
+	if n.Kind != KindRNN {
+		return nil, fmt.Errorf("networks: %s is a CNN; use Run", n.Name)
+	}
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("networks: %s: empty input sequence", n.Name)
+	}
+	inSize := n.InputShape[0]
+	for i, x := range seq {
+		if x == nil || x.Len() != inSize {
+			return nil, fmt.Errorf("networks: %s: sequence element %d must have %d features", n.Name, i, inSize)
+		}
+	}
+
+	outs := make([]*tensor.Tensor, len(n.Layers))
+	var current *tensor.Tensor
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		switch l.Type {
+		case LayerLSTM:
+			lw, err := loadLSTMWeights(l, w)
+			if err != nil {
+				return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+			}
+			st := nn.NewLSTMState(l.Hidden)
+			for _, x := range seq {
+				st, err = nn.LSTMCell(lw, st, x)
+				if err != nil {
+					return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+				}
+			}
+			current = st.H
+		case LayerGRU:
+			gw, err := loadGRUWeights(l, w)
+			if err != nil {
+				return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+			}
+			h := tensor.New(l.Hidden)
+			for _, x := range seq {
+				h, err = nn.GRUCell(gw, h, x)
+				if err != nil {
+					return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+				}
+			}
+			current = h
+		case LayerFC:
+			if current == nil {
+				return nil, fmt.Errorf("networks: %s layer %q: FC before recurrent layer", n.Name, l.Name)
+			}
+			wt, err := w.Get(l.Name, "weights", l.FCOut*current.Len())
+			if err != nil {
+				return nil, err
+			}
+			b, err := w.Get(l.Name, "bias", l.FCOut)
+			if err != nil {
+				return nil, err
+			}
+			current, err = nn.FullyConnected(current, wt, b, l.FCOut)
+			if err != nil {
+				return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+			}
+		default:
+			return nil, fmt.Errorf("networks: %s layer %q: unsupported layer type %v in RNN graph", n.Name, l.Name, l.Type)
+		}
+		if l.FusedReLU && current != nil {
+			nn.ReLUInPlace(current)
+		}
+		outs[li] = current
+	}
+	return &Result{Output: current, PredictedClass: -1, LayerOutputs: outs}, nil
+}
+
+func loadLSTMWeights(l *Layer, w Weights) (*nn.LSTMWeights, error) {
+	h, in := l.Hidden, l.InSize
+	get := func(p string, count int) (*tensor.Tensor, error) { return w.Get(l.Name, p, count) }
+	var err error
+	lw := &nn.LSTMWeights{Hidden: h, Input: in}
+	if lw.Wi, err = get("Wi", h*in); err != nil {
+		return nil, err
+	}
+	if lw.Wf, err = get("Wf", h*in); err != nil {
+		return nil, err
+	}
+	if lw.Wo, err = get("Wo", h*in); err != nil {
+		return nil, err
+	}
+	if lw.Wc, err = get("Wc", h*in); err != nil {
+		return nil, err
+	}
+	if lw.Ui, err = get("Ui", h*h); err != nil {
+		return nil, err
+	}
+	if lw.Uf, err = get("Uf", h*h); err != nil {
+		return nil, err
+	}
+	if lw.Uo, err = get("Uo", h*h); err != nil {
+		return nil, err
+	}
+	if lw.Uc, err = get("Uc", h*h); err != nil {
+		return nil, err
+	}
+	if lw.Bi, err = get("Bi", h); err != nil {
+		return nil, err
+	}
+	if lw.Bf, err = get("Bf", h); err != nil {
+		return nil, err
+	}
+	if lw.Bo, err = get("Bo", h); err != nil {
+		return nil, err
+	}
+	if lw.Bc, err = get("Bc", h); err != nil {
+		return nil, err
+	}
+	return lw, nil
+}
+
+func loadGRUWeights(l *Layer, w Weights) (*nn.GRUWeights, error) {
+	h, in := l.Hidden, l.InSize
+	get := func(p string, count int) (*tensor.Tensor, error) { return w.Get(l.Name, p, count) }
+	var err error
+	gw := &nn.GRUWeights{Hidden: h, Input: in}
+	if gw.Wr, err = get("Wr", h*in); err != nil {
+		return nil, err
+	}
+	if gw.Wz, err = get("Wz", h*in); err != nil {
+		return nil, err
+	}
+	if gw.Wh, err = get("Wh", h*in); err != nil {
+		return nil, err
+	}
+	if gw.Ur, err = get("Ur", h*h); err != nil {
+		return nil, err
+	}
+	if gw.Uz, err = get("Uz", h*h); err != nil {
+		return nil, err
+	}
+	if gw.Uh, err = get("Uh", h*h); err != nil {
+		return nil, err
+	}
+	if gw.Br, err = get("Br", h); err != nil {
+		return nil, err
+	}
+	if gw.Bz, err = get("Bz", h); err != nil {
+		return nil, err
+	}
+	if gw.Bh, err = get("Bh", h); err != nil {
+		return nil, err
+	}
+	return gw, nil
+}

@@ -1,0 +1,129 @@
+package networks
+
+import (
+	"fmt"
+
+	"tango/internal/nn"
+)
+
+// fireSpec describes the channel counts of one SqueezeNet fire module.
+type fireSpec struct {
+	name      string
+	squeeze   int
+	expand1x1 int
+	expand3x3 int
+}
+
+// NewSqueezeNet returns the SqueezeNet v1.0 workload: two convolution layers,
+// eight fire modules and a global average pooling layer over 3x227x227
+// inputs, classifying 1000 ImageNet classes.  Each fire module contributes a
+// squeeze 1x1 convolution and two expand convolutions (1x1 and 3x3) followed
+// by a channel concatenation, matching Table III's per-kernel decomposition.
+func NewSqueezeNet() (*Network, error) {
+	n := &Network{
+		Name:       "SqueezeNet",
+		Kind:       KindCNN,
+		InputShape: []int{3, 227, 227},
+		NumClasses: 1000,
+	}
+	idx := func() int { return len(n.Layers) - 1 }
+	prev := InputRef
+
+	addSeq := func(l Layer) int {
+		l.Inputs = []int{prev}
+		n.Layers = append(n.Layers, l)
+		prev = idx()
+		return prev
+	}
+
+	// conv1: 96 filters 7x7 stride 2 -> 96x111x111.
+	addSeq(Layer{Name: "conv1", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 3, OutChannels: 96, KernelH: 7, KernelW: 7, StrideH: 2, StrideW: 2,
+	}})
+	// pool1: max 3x3 stride 2 (ceil) -> 96x55x55.
+	addSeq(Layer{Name: "pool1", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, CeilMode: true,
+	}})
+
+	inCh := 96
+	addFire := func(f fireSpec) error {
+		if inCh <= 0 {
+			return fmt.Errorf("networks: fire module %s has no input channels", f.name)
+		}
+		squeezeIn := prev
+		n.Layers = append(n.Layers, Layer{
+			Name: f.name + "/squeeze1x1", Type: LayerConv, Class: ClassFireSqueeze, FusedReLU: true,
+			Inputs: []int{squeezeIn},
+			Conv: nn.ConvParams{InChannels: inCh, OutChannels: f.squeeze,
+				KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1},
+		})
+		squeezeOut := idx()
+		n.Layers = append(n.Layers, Layer{
+			Name: f.name + "/expand1x1", Type: LayerConv, Class: ClassFireExpand, FusedReLU: true,
+			Inputs: []int{squeezeOut},
+			Conv: nn.ConvParams{InChannels: f.squeeze, OutChannels: f.expand1x1,
+				KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1},
+		})
+		e1 := idx()
+		n.Layers = append(n.Layers, Layer{
+			Name: f.name + "/expand3x3", Type: LayerConv, Class: ClassFireExpand, FusedReLU: true,
+			Inputs: []int{squeezeOut},
+			Conv: nn.ConvParams{InChannels: f.squeeze, OutChannels: f.expand3x3,
+				KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+		})
+		e3 := idx()
+		n.Layers = append(n.Layers, Layer{
+			Name: f.name + "/concat", Type: LayerConcat, Class: ClassOther,
+			Inputs: []int{e1, e3},
+		})
+		prev = idx()
+		inCh = f.expand1x1 + f.expand3x3
+		return nil
+	}
+
+	fires := []fireSpec{
+		{"fire2", 16, 64, 64},
+		{"fire3", 16, 64, 64},
+		{"fire4", 32, 128, 128},
+	}
+	for _, f := range fires {
+		if err := addFire(f); err != nil {
+			return nil, err
+		}
+	}
+	// pool4: max 3x3 stride 2 (ceil) -> 27x27.
+	addSeq(Layer{Name: "pool4", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, CeilMode: true,
+	}})
+	fires = []fireSpec{
+		{"fire5", 32, 128, 128},
+		{"fire6", 48, 192, 192},
+		{"fire7", 48, 192, 192},
+		{"fire8", 64, 256, 256},
+	}
+	for _, f := range fires {
+		if err := addFire(f); err != nil {
+			return nil, err
+		}
+	}
+	// pool8: max 3x3 stride 2 (ceil) -> 13x13.
+	addSeq(Layer{Name: "pool8", Type: LayerPool, Pool: nn.PoolParams{
+		Kind: nn.MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, CeilMode: true,
+	}})
+	if err := addFire(fireSpec{"fire9", 64, 256, 256}); err != nil {
+		return nil, err
+	}
+	// conv10: 1000 filters 1x1 -> 1000x13x13 (the paper notes this is the
+	// longest layer of SqueezeNet).
+	addSeq(Layer{Name: "conv10", Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+		InChannels: 512, OutChannels: 1000, KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1,
+	}})
+	// Global average pooling reduces each class map to one score.
+	addSeq(Layer{Name: "pool10", Type: LayerGlobalPool})
+	addSeq(Layer{Name: "softmax", Type: LayerSoftmax, Class: ClassOther})
+
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

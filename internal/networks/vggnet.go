@@ -1,0 +1,60 @@
+package networks
+
+import (
+	"fmt"
+
+	"tango/internal/nn"
+)
+
+// NewVGGNet returns the 16-layer VGGNet workload: thirteen 3x3 convolution
+// layers, five max-pooling layers, three fully-connected layers and a softmax
+// over 3x224x224 inputs with 1000 ImageNet classes.
+func NewVGGNet() (*Network, error) {
+	n := &Network{
+		Name:       "VGGNet",
+		Kind:       KindCNN,
+		InputShape: []int{3, 224, 224},
+		NumClasses: 1000,
+	}
+	prev := InputRef
+	add := func(l Layer) int {
+		l.Inputs = []int{prev}
+		n.Layers = append(n.Layers, l)
+		prev = len(n.Layers) - 1
+		return prev
+	}
+	conv := func(name string, inC, outC int) {
+		add(Layer{Name: name, Type: LayerConv, FusedReLU: true, Conv: nn.ConvParams{
+			InChannels: inC, OutChannels: outC, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+		}})
+	}
+	pool := func(name string) {
+		add(Layer{Name: name, Type: LayerPool, Pool: nn.PoolParams{
+			Kind: nn.MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2,
+		}})
+	}
+
+	type block struct {
+		convs int
+		width int
+	}
+	blocks := []block{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	inC := 3
+	for bi, b := range blocks {
+		for c := 0; c < b.convs; c++ {
+			conv(fmt.Sprintf("conv%d_%d", bi+1, c+1), inC, b.width)
+			inC = b.width
+		}
+		pool(fmt.Sprintf("pool%d", bi+1))
+	}
+
+	add(Layer{Name: "fc6", Type: LayerFC, FCOut: 4096, FusedReLU: true})
+	add(Layer{Name: "fc7", Type: LayerFC, FCOut: 4096, FusedReLU: true})
+	add(Layer{Name: "fc8", Type: LayerFC, FCOut: 1000})
+	add(Layer{Name: "softmax", Type: LayerSoftmax, Class: ClassOther})
+
+	if err := n.Build(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise and returns a new tensor.  The paper's
+// Observation 8 notes that ReLU's zeroing is one reason integer pipelines see
+// heavy use even in floating-point networks.
+func ReLU(input *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(input.Shape()...)
+	in := input.Data()
+	o := out.Data()
+	for i, v := range in {
+		if v > 0 {
+			o[i] = v
+		}
+	}
+	return out
+}
+
+// ReLUInPlace applies max(0, x) in place, matching the fused behaviour of the
+// conv+relu kernels.
+func ReLUInPlace(t *tensor.Tensor) {
+	d := t.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+}
+
+// Sigmoid applies the logistic function element-wise.
+func Sigmoid(input *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(input.Shape()...)
+	for i, v := range input.Data() {
+		out.Data()[i] = float32(1.0 / (1.0 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// Tanh applies the hyperbolic tangent element-wise.
+func Tanh(input *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(input.Shape()...)
+	for i, v := range input.Data() {
+		out.Data()[i] = float32(math.Tanh(float64(v)))
+	}
+	return out
+}
+
+// EltwiseAdd returns a + b element-wise; the tensors must share a shape.
+// ResNet shortcut connections use it.
+func EltwiseAdd(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	if !tensor.SameShape(a, b) {
+		return nil, fmt.Errorf("%w: eltwise add %v vs %v", tensor.ErrShape, a.Shape(), b.Shape())
+	}
+	out := tensor.New(a.Shape()...)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := range ad {
+		od[i] = ad[i] + bd[i]
+	}
+	return out, nil
+}
+
+// EltwiseMul returns a * b element-wise; the tensors must share a shape.
+// The LSTM and GRU gate equations use it.
+func EltwiseMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	if !tensor.SameShape(a, b) {
+		return nil, fmt.Errorf("%w: eltwise mul %v vs %v", tensor.ErrShape, a.Shape(), b.Shape())
+	}
+	out := tensor.New(a.Shape()...)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := range ad {
+		od[i] = ad[i] * bd[i]
+	}
+	return out, nil
+}

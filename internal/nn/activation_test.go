@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tango/internal/tensor"
+)
+
+func TestReLU(t *testing.T) {
+	in := mustTensor(t, []float32{-2, -0.5, 0, 0.5, 3}, 5)
+	out := ReLU(in)
+	want := []float32{0, 0, 0, 0.5, 3}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+	// Original untouched.
+	if in.Data()[0] != -2 {
+		t.Error("ReLU must not modify its input")
+	}
+}
+
+func TestReLUInPlace(t *testing.T) {
+	in := mustTensor(t, []float32{-1, 2, -3}, 3)
+	ReLUInPlace(in)
+	if in.Data()[0] != 0 || in.Data()[1] != 2 || in.Data()[2] != 0 {
+		t.Errorf("ReLUInPlace result %v", in.Data())
+	}
+}
+
+func TestSigmoidKnown(t *testing.T) {
+	in := mustTensor(t, []float32{0, 100, -100}, 3)
+	out := Sigmoid(in)
+	if math.Abs(float64(out.Data()[0])-0.5) > 1e-6 {
+		t.Errorf("sigmoid(0) = %v, want 0.5", out.Data()[0])
+	}
+	if out.Data()[1] < 0.999 || out.Data()[2] > 0.001 {
+		t.Errorf("sigmoid saturation wrong: %v", out.Data())
+	}
+}
+
+func TestTanhKnown(t *testing.T) {
+	in := mustTensor(t, []float32{0, 1}, 2)
+	out := Tanh(in)
+	if out.Data()[0] != 0 {
+		t.Errorf("tanh(0) = %v, want 0", out.Data()[0])
+	}
+	if math.Abs(float64(out.Data()[1])-math.Tanh(1)) > 1e-6 {
+		t.Errorf("tanh(1) = %v", out.Data()[1])
+	}
+}
+
+func TestEltwiseAddMul(t *testing.T) {
+	a := mustTensor(t, []float32{1, 2, 3}, 3)
+	b := mustTensor(t, []float32{10, 20, 30}, 3)
+	sum, err := EltwiseAdd(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := EltwiseMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data() {
+		if sum.Data()[i] != a.Data()[i]+b.Data()[i] {
+			t.Errorf("add[%d] wrong", i)
+		}
+		if prod.Data()[i] != a.Data()[i]*b.Data()[i] {
+			t.Errorf("mul[%d] wrong", i)
+		}
+	}
+	c := tensor.New(4)
+	if _, err := EltwiseAdd(a, c); err == nil {
+		t.Error("shape mismatch add should fail")
+	}
+	if _, err := EltwiseMul(a, c); err == nil {
+		t.Error("shape mismatch mul should fail")
+	}
+}
+
+// Property: ReLU output is always non-negative and idempotent.
+func TestQuickReLUIdempotent(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		in := tensor.New(size)
+		in.FillNormal(tensor.NewRNG(seed), 2)
+		once := ReLU(in)
+		twice := ReLU(once)
+		if once.Min() < 0 {
+			return false
+		}
+		return tensor.ApproxEqual(once, twice, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sigmoid output lies in (0, 1) and is monotone.
+func TestQuickSigmoidRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		in := tensor.New(32)
+		in.FillNormal(tensor.NewRNG(seed), 4)
+		out := Sigmoid(in)
+		for i, v := range out.Data() {
+			if v < 0 || v > 1 {
+				return false
+			}
+			// Monotonicity check against a shifted copy.
+			shifted := float32(1.0 / (1.0 + math.Exp(-float64(in.Data()[i])-1)))
+			if shifted < v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EltwiseAdd is commutative.
+func TestQuickEltwiseAddCommutative(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%32) + 1
+		r := tensor.NewRNG(seed)
+		a := tensor.New(size)
+		b := tensor.New(size)
+		a.FillNormal(r, 1)
+		b.FillNormal(r, 1)
+		ab, err1 := EltwiseAdd(a, b)
+		ba, err2 := EltwiseAdd(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tensor.ApproxEqual(ab, ba, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/tensor"
+)
+
+// This file provides the back-propagation counterparts of the suite's forward
+// kernels.  The paper ships inference-only kernels and lists training-phase
+// back-propagation as planned future work (Section II-C); these functions
+// implement that extension for the layer types the small networks need:
+// fully-connected, convolution, ReLU, pooling and a softmax cross-entropy
+// head, plus a plain SGD update.
+
+// FCGradients holds the gradients of a fully-connected layer.
+type FCGradients struct {
+	// Input is dL/dInput with the flattened input's length.
+	Input *tensor.Tensor
+	// Weights is dL/dW with outFeatures x inFeatures elements.
+	Weights *tensor.Tensor
+	// Bias is dL/dB with outFeatures elements.
+	Bias *tensor.Tensor
+}
+
+// FullyConnectedBackward computes the gradients of FullyConnected given the
+// layer input, its weights and the gradient of the loss with respect to the
+// layer output.
+func FullyConnectedBackward(input, weights, gradOut *tensor.Tensor, outFeatures int) (*FCGradients, error) {
+	inFeatures := input.Len()
+	if outFeatures <= 0 || gradOut.Len() != outFeatures {
+		return nil, fmt.Errorf("nn: fc backward expects %d output gradients, got %d", outFeatures, gradOut.Len())
+	}
+	if weights.Len() != outFeatures*inFeatures {
+		return nil, fmt.Errorf("nn: fc backward expects %d weights, got %d", outFeatures*inFeatures, weights.Len())
+	}
+	g := &FCGradients{
+		Input:   tensor.New(inFeatures),
+		Weights: tensor.New(outFeatures * inFeatures),
+		Bias:    tensor.New(outFeatures),
+	}
+	x := input.Data()
+	w := weights.Data()
+	go_ := gradOut.Data()
+	for of := 0; of < outFeatures; of++ {
+		gOut := go_[of]
+		g.Bias.Data()[of] = gOut
+		row := w[of*inFeatures : (of+1)*inFeatures]
+		gRow := g.Weights.Data()[of*inFeatures : (of+1)*inFeatures]
+		for i := 0; i < inFeatures; i++ {
+			gRow[i] = gOut * x[i]
+			g.Input.Data()[i] += gOut * row[i]
+		}
+	}
+	return g, nil
+}
+
+// ConvGradients holds the gradients of a convolution layer.
+type ConvGradients struct {
+	// Input is dL/dInput in CHW layout.
+	Input *tensor.Tensor
+	// Weights is dL/dW with the same layout as the forward weights.
+	Weights *tensor.Tensor
+	// Bias is dL/dB with one element per output channel.
+	Bias *tensor.Tensor
+}
+
+// Conv2DBackward computes the gradients of Conv2D given the layer input, its
+// weights, the convolution parameters and the gradient of the loss with
+// respect to the layer output (CHW, matching the forward output shape).
+func Conv2DBackward(input, weights, gradOut *tensor.Tensor, p ConvParams) (*ConvGradients, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if input.Rank() != 3 || gradOut.Rank() != 3 {
+		return nil, fmt.Errorf("nn: conv backward needs CHW tensors")
+	}
+	inC, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
+	if inC != p.InChannels {
+		return nil, fmt.Errorf("nn: conv backward expects %d input channels, got %d", p.InChannels, inC)
+	}
+	outH, outW := p.OutputDims(inH, inW)
+	if gradOut.Dim(0) != p.OutChannels || gradOut.Dim(1) != outH || gradOut.Dim(2) != outW {
+		return nil, fmt.Errorf("nn: conv backward expects output gradient %dx%dx%d, got %v",
+			p.OutChannels, outH, outW, gradOut.Shape())
+	}
+	if weights.Len() != p.WeightCount() {
+		return nil, fmt.Errorf("nn: conv backward expects %d weights, got %d", p.WeightCount(), weights.Len())
+	}
+	groups := p.groups()
+	inCPerGroup := p.InChannels / groups
+	outCPerGroup := p.OutChannels / groups
+
+	g := &ConvGradients{
+		Input:   tensor.New(inC, inH, inW),
+		Weights: tensor.New(weights.Len()),
+		Bias:    tensor.New(p.OutChannels),
+	}
+	in := input.Data()
+	w := weights.Data()
+	gOut := gradOut.Data()
+
+	for oc := 0; oc < p.OutChannels; oc++ {
+		group := oc / outCPerGroup
+		icBase := group * inCPerGroup
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				gv := gOut[(oc*outH+oy)*outW+ox]
+				if gv == 0 {
+					continue
+				}
+				g.Bias.Data()[oc] += gv
+				for ic := 0; ic < inCPerGroup; ic++ {
+					for ky := 0; ky < p.KernelH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < p.KernelW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							inIdx := ((icBase+ic)*inH+iy)*inW + ix
+							wIdx := ((oc*inCPerGroup+ic)*p.KernelH+ky)*p.KernelW + kx
+							g.Weights.Data()[wIdx] += gv * in[inIdx]
+							g.Input.Data()[inIdx] += gv * w[wIdx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// ReLUBackward propagates the output gradient through a ReLU: gradients flow
+// only where the forward input was positive.
+func ReLUBackward(input, gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if !tensor.SameShape(input, gradOut) {
+		return nil, fmt.Errorf("%w: relu backward %v vs %v", tensor.ErrShape, input.Shape(), gradOut.Shape())
+	}
+	out := tensor.New(input.Shape()...)
+	in := input.Data()
+	g := gradOut.Data()
+	for i := range in {
+		if in[i] > 0 {
+			out.Data()[i] = g[i]
+		}
+	}
+	return out, nil
+}
+
+// Pool2DBackward propagates the output gradient through a pooling layer.  For
+// max pooling the gradient routes to the window's arg-max element; for
+// average pooling it is distributed uniformly over the window.
+func Pool2DBackward(input, gradOut *tensor.Tensor, p PoolParams) (*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if input.Rank() != 3 || gradOut.Rank() != 3 {
+		return nil, fmt.Errorf("nn: pool backward needs CHW tensors")
+	}
+	c, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
+	outH, outW := p.OutputDims(inH, inW)
+	if gradOut.Dim(0) != c || gradOut.Dim(1) != outH || gradOut.Dim(2) != outW {
+		return nil, fmt.Errorf("nn: pool backward expects gradient %dx%dx%d, got %v", c, outH, outW, gradOut.Shape())
+	}
+	grad := tensor.New(c, inH, inW)
+	in := input.Data()
+	g := gradOut.Data()
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				gv := g[(ch*outH+oy)*outW+ox]
+				// Collect the valid window positions.
+				window := make([]int, 0, p.KernelH*p.KernelW)
+				bestIdx := -1
+				bestVal := float32(math.Inf(-1))
+				for ky := 0; ky < p.KernelH; ky++ {
+					iy := oy*p.StrideH - p.PadH + ky
+					if iy < 0 || iy >= inH {
+						continue
+					}
+					for kx := 0; kx < p.KernelW; kx++ {
+						ix := ox*p.StrideW - p.PadW + kx
+						if ix < 0 || ix >= inW {
+							continue
+						}
+						idx := (ch*inH+iy)*inW + ix
+						window = append(window, idx)
+						if in[idx] > bestVal {
+							bestVal = in[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				if len(window) == 0 {
+					continue
+				}
+				if p.Kind == MaxPool {
+					grad.Data()[bestIdx] += gv
+				} else {
+					share := gv / float32(len(window))
+					for _, idx := range window {
+						grad.Data()[idx] += share
+					}
+				}
+			}
+		}
+	}
+	return grad, nil
+}
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against a
+// target class and the gradient of the loss with respect to the logits
+// (softmax(logits) - onehot(target)).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, target int) (float64, *tensor.Tensor, error) {
+	n := logits.Len()
+	if target < 0 || target >= n {
+		return 0, nil, fmt.Errorf("nn: target class %d out of range [0,%d)", target, n)
+	}
+	probs := Softmax(logits)
+	p := float64(probs.Data()[target])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	loss := -math.Log(p)
+	grad := probs.Clone()
+	grad.Data()[target] -= 1
+	return loss, grad, nil
+}
+
+// SGDStep applies an in-place stochastic-gradient-descent update:
+// param -= lr * grad.
+func SGDStep(param, grad *tensor.Tensor, lr float32) error {
+	if !tensor.SameShape(param, grad) {
+		return fmt.Errorf("%w: sgd %v vs %v", tensor.ErrShape, param.Shape(), grad.Shape())
+	}
+	p := param.Data()
+	g := grad.Data()
+	for i := range p {
+		p[i] -= lr * g[i]
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"tango/internal/tensor"
+)
+
+// numericalGrad estimates d(loss)/d(x[i]) by central finite differences.
+func numericalGrad(eval func() float64, x *tensor.Tensor, i int) float64 {
+	const eps = 1e-3
+	orig := x.Data()[i]
+	x.Data()[i] = orig + eps
+	plus := eval()
+	x.Data()[i] = orig - eps
+	minus := eval()
+	x.Data()[i] = orig
+	return (plus - minus) / (2 * eps)
+}
+
+func TestFullyConnectedBackwardGradientCheck(t *testing.T) {
+	r := tensor.NewRNG(11)
+	const in, out = 6, 4
+	x := tensor.New(in)
+	x.FillNormal(r, 1)
+	w := tensor.New(out * in)
+	w.FillNormal(r, 0.5)
+	b := tensor.New(out)
+	b.FillNormal(r, 0.1)
+	target := 2
+
+	loss := func() float64 {
+		y, err := FullyConnected(x, w, b, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := SoftmaxCrossEntropy(y, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	y, err := FullyConnected(x, w, b, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gradLogits, err := SoftmaxCrossEntropy(y, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FullyConnectedBackward(x, w, gradLogits, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < in; i++ {
+		want := numericalGrad(loss, x, i)
+		got := float64(g.Input.Data()[i])
+		if math.Abs(want-got) > 1e-2 {
+			t.Errorf("dL/dx[%d] = %v, finite difference %v", i, got, want)
+		}
+	}
+	for i := 0; i < out*in; i += 5 {
+		want := numericalGrad(loss, w, i)
+		got := float64(g.Weights.Data()[i])
+		if math.Abs(want-got) > 1e-2 {
+			t.Errorf("dL/dw[%d] = %v, finite difference %v", i, got, want)
+		}
+	}
+	for i := 0; i < out; i++ {
+		want := numericalGrad(loss, b, i)
+		got := float64(g.Bias.Data()[i])
+		if math.Abs(want-got) > 1e-2 {
+			t.Errorf("dL/db[%d] = %v, finite difference %v", i, got, want)
+		}
+	}
+}
+
+func TestConv2DBackwardGradientCheck(t *testing.T) {
+	r := tensor.NewRNG(13)
+	p := ConvParams{InChannels: 2, OutChannels: 3, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	x := tensor.New(2, 4, 4)
+	x.FillNormal(r, 1)
+	w := tensor.New(p.WeightCount())
+	w.FillNormal(r, 0.3)
+	b := tensor.New(p.OutChannels)
+	b.FillNormal(r, 0.1)
+
+	// Scalar loss: sum of squares of the conv output.
+	loss := func() float64 {
+		y, err := Conv2D(x, w, b, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, v := range y.Data() {
+			s += 0.5 * float64(v) * float64(v)
+		}
+		return s
+	}
+
+	y, err := Conv2D(x, w, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dL/dy = y for the sum-of-squares loss.
+	g, err := Conv2DBackward(x, w, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, i := range []int{0, 7, 13, 31} {
+		want := numericalGrad(loss, x, i)
+		got := float64(g.Input.Data()[i])
+		if math.Abs(want-got) > 0.05*math.Max(1, math.Abs(want)) {
+			t.Errorf("dL/dx[%d] = %v, finite difference %v", i, got, want)
+		}
+	}
+	for _, i := range []int{0, 5, 17, 26} {
+		want := numericalGrad(loss, w, i)
+		got := float64(g.Weights.Data()[i])
+		if math.Abs(want-got) > 0.05*math.Max(1, math.Abs(want)) {
+			t.Errorf("dL/dw[%d] = %v, finite difference %v", i, got, want)
+		}
+	}
+	for i := 0; i < p.OutChannels; i++ {
+		want := numericalGrad(loss, b, i)
+		got := float64(g.Bias.Data()[i])
+		if math.Abs(want-got) > 0.05*math.Max(1, math.Abs(want)) {
+			t.Errorf("dL/db[%d] = %v, finite difference %v", i, got, want)
+		}
+	}
+}
+
+func TestBackwardShapeErrors(t *testing.T) {
+	if _, err := FullyConnectedBackward(tensor.New(4), tensor.New(8), tensor.New(3), 2); err == nil {
+		t.Error("mismatched gradient length should fail")
+	}
+	if _, err := FullyConnectedBackward(tensor.New(4), tensor.New(7), tensor.New(2), 2); err == nil {
+		t.Error("mismatched weight length should fail")
+	}
+	p := ConvParams{InChannels: 1, OutChannels: 1, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1}
+	if _, err := Conv2DBackward(tensor.New(1, 4, 4), tensor.New(9), tensor.New(1, 3, 3), p); err == nil {
+		t.Error("wrong gradient shape should fail")
+	}
+	if _, err := ReLUBackward(tensor.New(3), tensor.New(4)); err == nil {
+		t.Error("relu backward shape mismatch should fail")
+	}
+	if _, err := Pool2DBackward(tensor.New(1, 4, 4), tensor.New(1, 3, 3),
+		PoolParams{Kind: MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}); err == nil {
+		t.Error("wrong pool gradient shape should fail")
+	}
+	if _, _, err := SoftmaxCrossEntropy(tensor.New(3), 5); err == nil {
+		t.Error("target out of range should fail")
+	}
+	if err := SGDStep(tensor.New(3), tensor.New(4), 0.1); err == nil {
+		t.Error("sgd shape mismatch should fail")
+	}
+}
+
+func TestReLUBackward(t *testing.T) {
+	in := mustTensor(t, []float32{-1, 2, -3, 4}, 4)
+	g := mustTensor(t, []float32{10, 10, 10, 10}, 4)
+	out, err := ReLUBackward(in, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 10, 0, 10}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("grad[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	in := mustTensor(t, []float32{
+		1, 5,
+		3, 2,
+	}, 1, 2, 2)
+	g := mustTensor(t, []float32{7}, 1, 1, 1)
+	out, err := Pool2DBackward(in, g, PoolParams{Kind: MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 7, 0, 0}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("grad[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestAvgPoolBackwardDistributes(t *testing.T) {
+	in := tensor.New(1, 2, 2)
+	g := mustTensor(t, []float32{8}, 1, 1, 1)
+	out, err := Pool2DBackward(in, g, PoolParams{Kind: AvgPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data() {
+		if v != 2 {
+			t.Errorf("grad[%d] = %v, want 2", i, v)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	logits := mustTensor(t, []float32{1, 2, 3}, 3)
+	loss, grad, err := SoftmaxCrossEntropy(logits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Errorf("loss %v should be positive", loss)
+	}
+	// Gradient sums to zero and is negative only at the target.
+	sum := 0.0
+	for i, v := range grad.Data() {
+		sum += float64(v)
+		if i == 2 && v >= 0 {
+			t.Error("target gradient should be negative")
+		}
+		if i != 2 && v <= 0 {
+			t.Error("non-target gradients should be positive")
+		}
+	}
+	if math.Abs(sum) > 1e-5 {
+		t.Errorf("gradient sums to %v, want 0", sum)
+	}
+}
+
+// TestTrainingLoopLearnsToyTask exercises the full future-work extension: a
+// small conv + fc network trained with SGD on a two-class toy problem should
+// drive its training loss down and classify the patterns correctly.
+func TestTrainingLoopLearnsToyTask(t *testing.T) {
+	r := tensor.NewRNG(29)
+	conv := ConvParams{InChannels: 1, OutChannels: 4, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	convW := tensor.New(conv.WeightCount())
+	convW.FillNormal(r, 0.4)
+	convB := tensor.New(conv.OutChannels)
+	const classes = 2
+	fcIn := 4 * 6 * 6
+	fcW := tensor.New(classes * fcIn)
+	fcW.FillNormal(r, 0.2)
+	fcB := tensor.New(classes)
+
+	// Two synthetic 6x6 patterns: class 0 bright on the left, class 1 bright
+	// on the right, plus noise.
+	sample := func(class int, seed uint64) *tensor.Tensor {
+		rr := tensor.NewRNG(seed)
+		img := tensor.New(1, 6, 6)
+		img.FillNormal(rr, 0.1)
+		for y := 0; y < 6; y++ {
+			for x := 0; x < 3; x++ {
+				if class == 0 {
+					img.Set(img.At(0, y, x)+1, 0, y, x)
+				} else {
+					img.Set(img.At(0, y, x+3)+1, 0, y, x+3)
+				}
+			}
+		}
+		return img
+	}
+
+	forward := func(img *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor, error) {
+		c, err := Conv2D(img, convW, convB, conv)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		a := ReLU(c)
+		logits, err := FullyConnected(a, fcW, fcB, classes)
+		return c, a, logits, err
+	}
+
+	const lr = 0.05
+	var firstLoss, lastLoss float64
+	for epoch := 0; epoch < 60; epoch++ {
+		var epochLoss float64
+		for i := 0; i < 8; i++ {
+			class := i % 2
+			img := sample(class, uint64(epoch*100+i))
+			convOut, act, logits, err := forward(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss, gradLogits, err := SoftmaxCrossEntropy(logits, class)
+			if err != nil {
+				t.Fatal(err)
+			}
+			epochLoss += loss
+
+			fcGrad, err := FullyConnectedBackward(act, fcW, gradLogits, classes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gradAct, err := fcGrad.Input.Reshape(4, 6, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gradConvOut, err := ReLUBackward(convOut, gradAct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			convGrad, err := Conv2DBackward(img, convW, gradConvOut, conv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, upd := range []struct{ p, g *tensor.Tensor }{
+				{fcW, fcGrad.Weights}, {fcB, fcGrad.Bias},
+				{convW, convGrad.Weights}, {convB, convGrad.Bias},
+			} {
+				if err := SGDStep(upd.p, upd.g, lr); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if epoch == 0 {
+			firstLoss = epochLoss
+		}
+		lastLoss = epochLoss
+	}
+	if lastLoss >= firstLoss*0.5 {
+		t.Errorf("training did not reduce the loss: first %v, last %v", firstLoss, lastLoss)
+	}
+	// Both patterns must now classify correctly.
+	for class := 0; class < classes; class++ {
+		_, _, logits, err := forward(sample(class, 999))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if logits.MaxIndex() != class {
+			t.Errorf("trained network misclassifies pattern %d (logits %v)", class, logits.Data())
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package nn implements the fundamental mathematical layer computations of
+// the Tango benchmark suite: convolution, pooling, fully-connected, local
+// response normalization, batch normalization, scale, element-wise addition,
+// activation functions, softmax, SqueezeNet fire modules, and the LSTM and
+// GRU recurrent cells.
+//
+// Each function corresponds to one CUDA/OpenCL kernel in the original
+// benchmark suite.  Inputs use CHW layout (channels, height, width) with an
+// implicit batch size of one, matching the single-image inference the paper
+// evaluates.
+package nn
+
+import (
+	"fmt"
+
+	"tango/internal/tensor"
+)
+
+// ConvParams describes a 2-D convolution layer.
+type ConvParams struct {
+	// InChannels and OutChannels are the feature-map depths.
+	InChannels  int
+	OutChannels int
+	// KernelH and KernelW are the filter sizes.
+	KernelH int
+	KernelW int
+	// StrideH and StrideW are the filter step sizes.
+	StrideH int
+	StrideW int
+	// PadH and PadW are the zero-padding amounts on each side.
+	PadH int
+	PadW int
+	// Groups splits input and output channels into independent groups
+	// (AlexNet-style grouped convolution).  Zero means one group.
+	Groups int
+}
+
+// Validate checks the parameters for internal consistency.
+func (p ConvParams) Validate() error {
+	if p.InChannels <= 0 || p.OutChannels <= 0 {
+		return fmt.Errorf("nn: conv channels must be positive, got in=%d out=%d", p.InChannels, p.OutChannels)
+	}
+	if p.KernelH <= 0 || p.KernelW <= 0 {
+		return fmt.Errorf("nn: conv kernel must be positive, got %dx%d", p.KernelH, p.KernelW)
+	}
+	if p.StrideH <= 0 || p.StrideW <= 0 {
+		return fmt.Errorf("nn: conv stride must be positive, got %dx%d", p.StrideH, p.StrideW)
+	}
+	if p.PadH < 0 || p.PadW < 0 {
+		return fmt.Errorf("nn: conv padding must be non-negative, got %dx%d", p.PadH, p.PadW)
+	}
+	g := p.Groups
+	if g == 0 {
+		g = 1
+	}
+	if p.InChannels%g != 0 || p.OutChannels%g != 0 {
+		return fmt.Errorf("nn: conv groups %d must divide channels in=%d out=%d", g, p.InChannels, p.OutChannels)
+	}
+	return nil
+}
+
+// groups returns the effective group count.
+func (p ConvParams) groups() int {
+	if p.Groups <= 0 {
+		return 1
+	}
+	return p.Groups
+}
+
+// OutputDims returns the output height and width for an input of inH x inW.
+func (p ConvParams) OutputDims(inH, inW int) (outH, outW int) {
+	outH = (inH+2*p.PadH-p.KernelH)/p.StrideH + 1
+	outW = (inW+2*p.PadW-p.KernelW)/p.StrideW + 1
+	return outH, outW
+}
+
+// WeightCount returns the number of filter weights.
+func (p ConvParams) WeightCount() int {
+	return p.OutChannels * (p.InChannels / p.groups()) * p.KernelH * p.KernelW
+}
+
+// MACs returns the number of multiply-accumulate operations for an input of
+// inH x inW, the dominant cost the paper's Observation 1 attributes to
+// convolution layers.
+func (p ConvParams) MACs(inH, inW int) int64 {
+	outH, outW := p.OutputDims(inH, inW)
+	perOutput := int64(p.InChannels/p.groups()) * int64(p.KernelH) * int64(p.KernelW)
+	return int64(p.OutChannels) * int64(outH) * int64(outW) * perOutput
+}
+
+// Conv2D performs a 2-D convolution of input (CHW) with weights
+// (outC x inC/groups x kh x kw) and a per-output-channel bias.  It returns a
+// new CHW tensor.  One output element corresponds to one simulated GPU
+// thread, mirroring the paper's one-thread-per-neuron mapping.
+func Conv2D(input *tensor.Tensor, weights, bias *tensor.Tensor, p ConvParams) (*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("nn: conv input must be CHW, got shape %v", input.Shape())
+	}
+	inC, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
+	if inC != p.InChannels {
+		return nil, fmt.Errorf("nn: conv expects %d input channels, got %d", p.InChannels, inC)
+	}
+	if weights.Len() != p.WeightCount() {
+		return nil, fmt.Errorf("nn: conv expects %d weights, got %d", p.WeightCount(), weights.Len())
+	}
+	if bias != nil && bias.Len() != p.OutChannels {
+		return nil, fmt.Errorf("nn: conv expects %d biases, got %d", p.OutChannels, bias.Len())
+	}
+	outH, outW := p.OutputDims(inH, inW)
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: conv output dims %dx%d are not positive for input %dx%d", outH, outW, inH, inW)
+	}
+
+	out := tensor.New(p.OutChannels, outH, outW)
+	groups := p.groups()
+	inCPerGroup := p.InChannels / groups
+	outCPerGroup := p.OutChannels / groups
+	in := input.Data()
+	w := weights.Data()
+	o := out.Data()
+
+	for oc := 0; oc < p.OutChannels; oc++ {
+		group := oc / outCPerGroup
+		icBase := group * inCPerGroup
+		b := float32(0)
+		if bias != nil {
+			b = bias.Data()[oc]
+		}
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := b
+				for ic := 0; ic < inCPerGroup; ic++ {
+					for ky := 0; ky < p.KernelH; ky++ {
+						iy := oy*p.StrideH - p.PadH + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						for kx := 0; kx < p.KernelW; kx++ {
+							ix := ox*p.StrideW - p.PadW + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							iv := in[((icBase+ic)*inH+iy)*inW+ix]
+							wv := w[((oc*inCPerGroup+ic)*p.KernelH+ky)*p.KernelW+kx]
+							sum += iv * wv
+						}
+					}
+				}
+				o[(oc*outH+oy)*outW+ox] = sum
+			}
+		}
+	}
+	return out, nil
+}

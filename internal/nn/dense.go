@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/tensor"
+)
+
+// FullyConnected computes out = W*x + b where x is the flattened input,
+// W has shape (outFeatures x inFeatures) and b has length outFeatures.
+// It returns a rank-1 tensor of length outFeatures.
+func FullyConnected(input, weights, bias *tensor.Tensor, outFeatures int) (*tensor.Tensor, error) {
+	if outFeatures <= 0 {
+		return nil, fmt.Errorf("nn: fc output features must be positive, got %d", outFeatures)
+	}
+	inFeatures := input.Len()
+	if weights.Len() != outFeatures*inFeatures {
+		return nil, fmt.Errorf("nn: fc expects %d weights (%dx%d), got %d",
+			outFeatures*inFeatures, outFeatures, inFeatures, weights.Len())
+	}
+	if bias != nil && bias.Len() != outFeatures {
+		return nil, fmt.Errorf("nn: fc expects %d biases, got %d", outFeatures, bias.Len())
+	}
+	out := tensor.New(outFeatures)
+	x := input.Data()
+	w := weights.Data()
+	o := out.Data()
+	for of := 0; of < outFeatures; of++ {
+		sum := float32(0)
+		if bias != nil {
+			sum = bias.Data()[of]
+		}
+		row := w[of*inFeatures : (of+1)*inFeatures]
+		for i, xv := range x {
+			sum += row[i] * xv
+		}
+		o[of] = sum
+	}
+	return out, nil
+}
+
+// MatVec computes y = W*x for a (rows x cols) matrix W, returning a rank-1
+// tensor of length rows.  It is the core primitive of the RNN gate equations.
+func MatVec(w *tensor.Tensor, x *tensor.Tensor, rows, cols int) (*tensor.Tensor, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("nn: matvec dims must be positive, got %dx%d", rows, cols)
+	}
+	if w.Len() != rows*cols {
+		return nil, fmt.Errorf("nn: matvec matrix needs %d elements, got %d", rows*cols, w.Len())
+	}
+	if x.Len() != cols {
+		return nil, fmt.Errorf("nn: matvec vector needs %d elements, got %d", cols, x.Len())
+	}
+	out := tensor.New(rows)
+	wd := w.Data()
+	xd := x.Data()
+	for r := 0; r < rows; r++ {
+		sum := float32(0)
+		row := wd[r*cols : (r+1)*cols]
+		for c, xv := range xd {
+			sum += row[c] * xv
+		}
+		out.Data()[r] = sum
+	}
+	return out, nil
+}
+
+// Softmax returns the normalized exponential of the input, computed with the
+// usual max-subtraction for numerical stability.
+func Softmax(input *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(input.Shape()...)
+	in := input.Data()
+	max := input.Max()
+	sum := float64(0)
+	for i, v := range in {
+		e := math.Exp(float64(v - max))
+		out.Data()[i] = float32(e)
+		sum += e
+	}
+	if sum == 0 {
+		return out
+	}
+	inv := float32(1.0 / sum)
+	for i := range out.Data() {
+		out.Data()[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/tensor"
+)
+
+// LRNParams describes AlexNet-style local response normalization across
+// channels.
+type LRNParams struct {
+	// LocalSize is the number of channels the normalization window spans.
+	LocalSize int
+	Alpha     float64
+	Beta      float64
+	K         float64
+}
+
+// DefaultLRN returns the AlexNet reference parameters (n=5, alpha=1e-4,
+// beta=0.75, k=2).
+func DefaultLRN() LRNParams {
+	return LRNParams{LocalSize: 5, Alpha: 1e-4, Beta: 0.75, K: 2}
+}
+
+// Validate checks the parameters for internal consistency.
+func (p LRNParams) Validate() error {
+	if p.LocalSize <= 0 {
+		return fmt.Errorf("nn: lrn local size must be positive, got %d", p.LocalSize)
+	}
+	if p.Beta < 0 || p.Alpha < 0 {
+		return fmt.Errorf("nn: lrn alpha/beta must be non-negative, got %v/%v", p.Alpha, p.Beta)
+	}
+	return nil
+}
+
+// LRN applies local response normalization across channels of a CHW input:
+// out[c] = in[c] / (k + alpha/n * sum_{c'} in[c']^2)^beta.
+func LRN(input *tensor.Tensor, p LRNParams) (*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("nn: lrn input must be CHW, got shape %v", input.Shape())
+	}
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	out := tensor.New(c, h, w)
+	in := input.Data()
+	o := out.Data()
+	half := p.LocalSize / 2
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for ch := 0; ch < c; ch++ {
+				sum := 0.0
+				lo := ch - half
+				if lo < 0 {
+					lo = 0
+				}
+				hi := ch + half
+				if hi >= c {
+					hi = c - 1
+				}
+				for cc := lo; cc <= hi; cc++ {
+					v := float64(in[(cc*h+y)*w+x])
+					sum += v * v
+				}
+				denom := math.Pow(p.K+p.Alpha/float64(p.LocalSize)*sum, p.Beta)
+				o[(ch*h+y)*w+x] = float32(float64(in[(ch*h+y)*w+x]) / denom)
+			}
+		}
+	}
+	return out, nil
+}
+
+// BatchNormParams carries the per-channel statistics of an inference-time
+// batch normalization layer (ResNet uses BatchNorm followed by Scale).
+type BatchNormParams struct {
+	Mean     *tensor.Tensor // length C
+	Variance *tensor.Tensor // length C
+	Epsilon  float64
+}
+
+// BatchNorm normalizes each channel of a CHW input with the stored mean and
+// variance: out = (in - mean) / sqrt(var + eps).
+func BatchNorm(input *tensor.Tensor, p BatchNormParams) (*tensor.Tensor, error) {
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("nn: batchnorm input must be CHW, got shape %v", input.Shape())
+	}
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	if p.Mean == nil || p.Variance == nil {
+		return nil, fmt.Errorf("nn: batchnorm requires mean and variance")
+	}
+	if p.Mean.Len() != c || p.Variance.Len() != c {
+		return nil, fmt.Errorf("nn: batchnorm stats length %d/%d, want %d", p.Mean.Len(), p.Variance.Len(), c)
+	}
+	eps := p.Epsilon
+	if eps == 0 {
+		eps = 1e-5
+	}
+	out := tensor.New(c, h, w)
+	in := input.Data()
+	o := out.Data()
+	for ch := 0; ch < c; ch++ {
+		mean := p.Mean.Data()[ch]
+		inv := float32(1.0 / math.Sqrt(float64(p.Variance.Data()[ch])+eps))
+		for i := 0; i < h*w; i++ {
+			o[ch*h*w+i] = (in[ch*h*w+i] - mean) * inv
+		}
+	}
+	return out, nil
+}
+
+// Scale applies the per-channel affine transform out = in*gamma + beta that
+// Caffe models pair with BatchNorm.
+func Scale(input *tensor.Tensor, gamma, beta *tensor.Tensor) (*tensor.Tensor, error) {
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("nn: scale input must be CHW, got shape %v", input.Shape())
+	}
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	if gamma == nil || gamma.Len() != c {
+		return nil, fmt.Errorf("nn: scale expects %d gammas", c)
+	}
+	if beta != nil && beta.Len() != c {
+		return nil, fmt.Errorf("nn: scale expects %d betas, got %d", c, beta.Len())
+	}
+	out := tensor.New(c, h, w)
+	in := input.Data()
+	o := out.Data()
+	for ch := 0; ch < c; ch++ {
+		g := gamma.Data()[ch]
+		b := float32(0)
+		if beta != nil {
+			b = beta.Data()[ch]
+		}
+		for i := 0; i < h*w; i++ {
+			o[ch*h*w+i] = in[ch*h*w+i]*g + b
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"tango/internal/tensor"
+)
+
+func TestDefaultLRN(t *testing.T) {
+	p := DefaultLRN()
+	if p.LocalSize != 5 || p.Beta != 0.75 || p.K != 2 {
+		t.Errorf("unexpected default LRN params: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default LRN params invalid: %v", err)
+	}
+}
+
+func TestLRNValidate(t *testing.T) {
+	bad := []LRNParams{
+		{LocalSize: 0, Alpha: 1, Beta: 1, K: 1},
+		{LocalSize: 5, Alpha: -1, Beta: 1, K: 1},
+		{LocalSize: 5, Alpha: 1, Beta: -1, K: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid LRN params accepted", i)
+		}
+	}
+}
+
+func TestLRNSingleChannel(t *testing.T) {
+	// One channel, n=1: out = in / (k + alpha*in^2)^beta.
+	in := mustTensor(t, []float32{2}, 1, 1, 1)
+	p := LRNParams{LocalSize: 1, Alpha: 1, Beta: 1, K: 1}
+	out, err := LRN(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / (1.0 + 1.0*4.0)
+	if math.Abs(float64(out.Data()[0])-want) > 1e-6 {
+		t.Errorf("LRN = %v, want %v", out.Data()[0], want)
+	}
+}
+
+func TestLRNDampensLargeActivations(t *testing.T) {
+	in := tensor.New(8, 4, 4)
+	in.Fill(10)
+	out, err := LRN(in, DefaultLRN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Max() >= in.Max() {
+		t.Errorf("LRN should dampen activations: max %v >= %v", out.Max(), in.Max())
+	}
+	if out.Min() <= 0 {
+		t.Errorf("LRN of positive input should stay positive, min %v", out.Min())
+	}
+}
+
+func TestLRNErrors(t *testing.T) {
+	if _, err := LRN(tensor.New(4), DefaultLRN()); err == nil {
+		t.Error("non-CHW input should fail")
+	}
+	if _, err := LRN(tensor.New(1, 2, 2), LRNParams{LocalSize: 0}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestBatchNormKnown(t *testing.T) {
+	in := mustTensor(t, []float32{1, 2, 3, 4}, 1, 2, 2)
+	mean := mustTensor(t, []float32{2.5}, 1)
+	variance := mustTensor(t, []float32{1.25}, 1)
+	out, err := BatchNorm(in, BatchNormParams{Mean: mean, Variance: variance, Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized output should have roughly zero mean and unit variance.
+	if math.Abs(out.Sum()) > 1e-4 {
+		t.Errorf("batchnorm mean %v, want ~0", out.Sum()/4)
+	}
+	varSum := 0.0
+	for _, v := range out.Data() {
+		varSum += float64(v) * float64(v)
+	}
+	if math.Abs(varSum/4-1) > 1e-3 {
+		t.Errorf("batchnorm variance %v, want ~1", varSum/4)
+	}
+}
+
+func TestBatchNormErrors(t *testing.T) {
+	in := tensor.New(2, 2, 2)
+	if _, err := BatchNorm(in, BatchNormParams{}); err == nil {
+		t.Error("missing stats should fail")
+	}
+	if _, err := BatchNorm(in, BatchNormParams{Mean: tensor.New(1), Variance: tensor.New(2)}); err == nil {
+		t.Error("stat length mismatch should fail")
+	}
+	if _, err := BatchNorm(tensor.New(4), BatchNormParams{Mean: tensor.New(1), Variance: tensor.New(1)}); err == nil {
+		t.Error("non-CHW input should fail")
+	}
+}
+
+func TestScaleKnown(t *testing.T) {
+	in := mustTensor(t, []float32{1, 2, 3, 4}, 2, 1, 2)
+	gamma := mustTensor(t, []float32{2, 10}, 2)
+	beta := mustTensor(t, []float32{1, 0}, 2)
+	out, err := Scale(in, gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3, 5, 30, 40}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestScaleWithoutBeta(t *testing.T) {
+	in := mustTensor(t, []float32{1, 2}, 1, 1, 2)
+	gamma := mustTensor(t, []float32{3}, 1)
+	out, err := Scale(in, gamma, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 3 || out.Data()[1] != 6 {
+		t.Errorf("scale without beta = %v", out.Data())
+	}
+}
+
+func TestScaleErrors(t *testing.T) {
+	in := tensor.New(2, 2, 2)
+	if _, err := Scale(in, tensor.New(1), nil); err == nil {
+		t.Error("gamma length mismatch should fail")
+	}
+	if _, err := Scale(in, tensor.New(2), tensor.New(3)); err == nil {
+		t.Error("beta length mismatch should fail")
+	}
+	if _, err := Scale(tensor.New(4), tensor.New(2), nil); err == nil {
+		t.Error("non-CHW input should fail")
+	}
+}

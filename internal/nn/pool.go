@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/tensor"
+)
+
+// PoolKind selects the pooling reduction.
+type PoolKind uint8
+
+// Pooling reductions used by the benchmark networks.
+const (
+	MaxPool PoolKind = iota
+	AvgPool
+)
+
+// String returns the pooling kind name.
+func (k PoolKind) String() string {
+	if k == MaxPool {
+		return "max"
+	}
+	return "avg"
+}
+
+// PoolParams describes a spatial pooling layer.
+type PoolParams struct {
+	Kind    PoolKind
+	KernelH int
+	KernelW int
+	StrideH int
+	StrideW int
+	PadH    int
+	PadW    int
+	// CeilMode selects Caffe-style ceiling output size computation, which
+	// AlexNet and SqueezeNet reference models use (e.g. 55 -> 27 with k=3,s=2).
+	CeilMode bool
+}
+
+// Validate checks the parameters for internal consistency.
+func (p PoolParams) Validate() error {
+	if p.KernelH <= 0 || p.KernelW <= 0 {
+		return fmt.Errorf("nn: pool kernel must be positive, got %dx%d", p.KernelH, p.KernelW)
+	}
+	if p.StrideH <= 0 || p.StrideW <= 0 {
+		return fmt.Errorf("nn: pool stride must be positive, got %dx%d", p.StrideH, p.StrideW)
+	}
+	if p.PadH < 0 || p.PadW < 0 {
+		return fmt.Errorf("nn: pool padding must be non-negative, got %dx%d", p.PadH, p.PadW)
+	}
+	return nil
+}
+
+// OutputDims returns the output spatial size for an inH x inW input.
+func (p PoolParams) OutputDims(inH, inW int) (outH, outW int) {
+	num := func(in, pad, k, s int) int {
+		if p.CeilMode {
+			return int(math.Ceil(float64(in+2*pad-k)/float64(s))) + 1
+		}
+		return (in+2*pad-k)/s + 1
+	}
+	return num(inH, p.PadH, p.KernelH, p.StrideH), num(inW, p.PadW, p.KernelW, p.StrideW)
+}
+
+// Pool2D applies max or average pooling to a CHW input.
+func Pool2D(input *tensor.Tensor, p PoolParams) (*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("nn: pool input must be CHW, got shape %v", input.Shape())
+	}
+	c, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
+	outH, outW := p.OutputDims(inH, inW)
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: pool output dims %dx%d are not positive for input %dx%d", outH, outW, inH, inW)
+	}
+	out := tensor.New(c, outH, outW)
+	in := input.Data()
+	o := out.Data()
+
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				var acc float32
+				if p.Kind == MaxPool {
+					acc = float32(math.Inf(-1))
+				}
+				count := 0
+				for ky := 0; ky < p.KernelH; ky++ {
+					iy := oy*p.StrideH - p.PadH + ky
+					if iy < 0 || iy >= inH {
+						continue
+					}
+					for kx := 0; kx < p.KernelW; kx++ {
+						ix := ox*p.StrideW - p.PadW + kx
+						if ix < 0 || ix >= inW {
+							continue
+						}
+						v := in[(ch*inH+iy)*inW+ix]
+						if p.Kind == MaxPool {
+							if v > acc {
+								acc = v
+							}
+						} else {
+							acc += v
+						}
+						count++
+					}
+				}
+				if p.Kind == AvgPool {
+					if count > 0 {
+						acc /= float32(count)
+					}
+				} else if count == 0 {
+					acc = 0
+				}
+				o[(ch*outH+oy)*outW+ox] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool reduces each channel of a CHW input to its spatial mean,
+// returning a rank-1 tensor of length C.  SqueezeNet's final layer uses it.
+func GlobalAvgPool(input *tensor.Tensor) (*tensor.Tensor, error) {
+	if input.Rank() != 3 {
+		return nil, fmt.Errorf("nn: global pool input must be CHW, got shape %v", input.Shape())
+	}
+	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	out := tensor.New(c)
+	in := input.Data()
+	area := float32(h * w)
+	for ch := 0; ch < c; ch++ {
+		sum := float32(0)
+		for i := 0; i < h*w; i++ {
+			sum += in[ch*h*w+i]
+		}
+		out.Data()[ch] = sum / area
+	}
+	return out, nil
+}

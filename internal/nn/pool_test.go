@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tango/internal/tensor"
+)
+
+func TestPoolParamsValidate(t *testing.T) {
+	good := PoolParams{Kind: MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []PoolParams{
+		{KernelH: 0, KernelW: 2, StrideH: 2, StrideW: 2},
+		{KernelH: 2, KernelW: 2, StrideH: 0, StrideW: 2},
+		{KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2, PadH: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestPoolKindString(t *testing.T) {
+	if MaxPool.String() != "max" || AvgPool.String() != "avg" {
+		t.Error("unexpected pool kind names")
+	}
+}
+
+func TestMaxPoolKnown(t *testing.T) {
+	in := mustTensor(t, []float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out, err := Pool2D(in, PoolParams{Kind: MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+}
+
+func TestAvgPoolKnown(t *testing.T) {
+	in := mustTensor(t, []float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	out, err := Pool2D(in, PoolParams{Kind: AvgPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || math.Abs(float64(out.Data()[0]-2.5)) > 1e-6 {
+		t.Errorf("avg pool = %v, want [2.5]", out.Data())
+	}
+}
+
+func TestPoolCeilMode(t *testing.T) {
+	// Ceil and floor modes differ when (in - k) is not a multiple of the
+	// stride: for a 14-wide input with k=3, s=2, floor gives (14-3)/2+1 = 6
+	// while Caffe-style ceil gives ceil(11/2)+1 = 7.
+	p := PoolParams{Kind: MaxPool, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, CeilMode: true}
+	h, w := p.OutputDims(14, 14)
+	if h != 7 || w != 7 {
+		t.Errorf("ceil mode dims = %dx%d, want 7x7", h, w)
+	}
+	p.CeilMode = false
+	h, w = p.OutputDims(14, 14)
+	if h != 6 || w != 6 {
+		t.Errorf("floor mode dims = %dx%d, want 6x6", h, w)
+	}
+}
+
+func TestPoolErrors(t *testing.T) {
+	flat := tensor.New(8)
+	if _, err := Pool2D(flat, PoolParams{Kind: MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2}); err == nil {
+		t.Error("non-CHW input should fail")
+	}
+	small := tensor.New(1, 1, 1)
+	if _, err := Pool2D(small, PoolParams{Kind: MaxPool, KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1}); err == nil {
+		t.Error("window larger than unpadded input should fail")
+	}
+	if _, err := Pool2D(small, PoolParams{Kind: MaxPool, KernelH: 0, KernelW: 3, StrideH: 1, StrideW: 1}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := mustTensor(t, []float32{
+		1, 2, 3, 4, // channel 0: mean 2.5
+		10, 10, 10, 10, // channel 1: mean 10
+	}, 2, 2, 2)
+	out, err := GlobalAvgPool(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("global pool output length %d, want 2", out.Len())
+	}
+	if math.Abs(float64(out.Data()[0]-2.5)) > 1e-6 || out.Data()[1] != 10 {
+		t.Errorf("global pool = %v", out.Data())
+	}
+	if _, err := GlobalAvgPool(tensor.New(4)); err == nil {
+		t.Error("non-CHW input should fail")
+	}
+}
+
+// Property: max pooling never produces a value larger than the input maximum
+// or smaller than the input minimum.
+func TestQuickMaxPoolBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		in := tensor.New(2, 6, 6)
+		in.FillNormal(tensor.NewRNG(seed), 3)
+		out, err := Pool2D(in, PoolParams{Kind: MaxPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2})
+		if err != nil {
+			return false
+		}
+		return out.Max() <= in.Max() && out.Min() >= in.Min()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: average pooling preserves the global mean when the window tiles
+// the input exactly.
+func TestQuickAvgPoolMeanPreserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		in := tensor.New(1, 4, 4)
+		in.FillUniform(tensor.NewRNG(seed), -1, 1)
+		out, err := Pool2D(in, PoolParams{Kind: AvgPool, KernelH: 2, KernelW: 2, StrideH: 2, StrideW: 2})
+		if err != nil {
+			return false
+		}
+		return math.Abs(in.Sum()/float64(in.Len())-out.Sum()/float64(out.Len())) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

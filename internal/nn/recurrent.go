@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"fmt"
+
+	"tango/internal/tensor"
+)
+
+// LSTMWeights holds the gate parameters of one LSTM layer.  Each W* matrix
+// has shape (hidden x input) and each U* matrix (hidden x hidden); biases
+// have length hidden.  The gate order follows the paper's description: input,
+// forget and output gates plus the candidate cell update.
+type LSTMWeights struct {
+	Hidden int
+	Input  int
+
+	Wi, Wf, Wo, Wc *tensor.Tensor
+	Ui, Uf, Uo, Uc *tensor.Tensor
+	Bi, Bf, Bo, Bc *tensor.Tensor
+}
+
+// Validate checks all weight shapes.
+func (w *LSTMWeights) Validate() error {
+	if w.Hidden <= 0 || w.Input <= 0 {
+		return fmt.Errorf("nn: lstm dims must be positive, got hidden=%d input=%d", w.Hidden, w.Input)
+	}
+	check := func(name string, t *tensor.Tensor, want int) error {
+		if t == nil {
+			return fmt.Errorf("nn: lstm weight %s is nil", name)
+		}
+		if t.Len() != want {
+			return fmt.Errorf("nn: lstm weight %s has %d elements, want %d", name, t.Len(), want)
+		}
+		return nil
+	}
+	hi := w.Hidden * w.Input
+	hh := w.Hidden * w.Hidden
+	for _, c := range []struct {
+		name string
+		t    *tensor.Tensor
+		want int
+	}{
+		{"Wi", w.Wi, hi}, {"Wf", w.Wf, hi}, {"Wo", w.Wo, hi}, {"Wc", w.Wc, hi},
+		{"Ui", w.Ui, hh}, {"Uf", w.Uf, hh}, {"Uo", w.Uo, hh}, {"Uc", w.Uc, hh},
+		{"Bi", w.Bi, w.Hidden}, {"Bf", w.Bf, w.Hidden}, {"Bo", w.Bo, w.Hidden}, {"Bc", w.Bc, w.Hidden},
+	} {
+		if err := check(c.name, c.t, c.want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LSTMState is the recurrent state carried between time steps.
+type LSTMState struct {
+	H *tensor.Tensor // hidden state, length hidden
+	C *tensor.Tensor // cell state, length hidden
+}
+
+// NewLSTMState returns a zero-initialized state for the given hidden size.
+func NewLSTMState(hidden int) LSTMState {
+	return LSTMState{H: tensor.New(hidden), C: tensor.New(hidden)}
+}
+
+// LSTMCell advances the LSTM by one time step with input x (length Input) and
+// returns the new state.
+//
+//	i = sigmoid(Wi*x + Ui*h + bi)
+//	f = sigmoid(Wf*x + Uf*h + bf)
+//	o = sigmoid(Wo*x + Uo*h + bo)
+//	g = tanh(Wc*x + Uc*h + bc)
+//	c' = f.*c + i.*g
+//	h' = o .* tanh(c')
+func LSTMCell(w *LSTMWeights, st LSTMState, x *tensor.Tensor) (LSTMState, error) {
+	if err := w.Validate(); err != nil {
+		return LSTMState{}, err
+	}
+	if x.Len() != w.Input {
+		return LSTMState{}, fmt.Errorf("nn: lstm input has %d elements, want %d", x.Len(), w.Input)
+	}
+	if st.H == nil || st.C == nil || st.H.Len() != w.Hidden || st.C.Len() != w.Hidden {
+		return LSTMState{}, fmt.Errorf("nn: lstm state must have hidden size %d", w.Hidden)
+	}
+	gate := func(wx, uh, b *tensor.Tensor) (*tensor.Tensor, error) {
+		xw, err := MatVec(wx, x, w.Hidden, w.Input)
+		if err != nil {
+			return nil, err
+		}
+		hw, err := MatVec(uh, st.H, w.Hidden, w.Hidden)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := EltwiseAdd(xw, hw)
+		if err != nil {
+			return nil, err
+		}
+		return EltwiseAdd(sum, b)
+	}
+	pi, err := gate(w.Wi, w.Ui, w.Bi)
+	if err != nil {
+		return LSTMState{}, err
+	}
+	pf, err := gate(w.Wf, w.Uf, w.Bf)
+	if err != nil {
+		return LSTMState{}, err
+	}
+	po, err := gate(w.Wo, w.Uo, w.Bo)
+	if err != nil {
+		return LSTMState{}, err
+	}
+	pc, err := gate(w.Wc, w.Uc, w.Bc)
+	if err != nil {
+		return LSTMState{}, err
+	}
+	i := Sigmoid(pi)
+	f := Sigmoid(pf)
+	o := Sigmoid(po)
+	g := Tanh(pc)
+
+	fc, err := EltwiseMul(f, st.C)
+	if err != nil {
+		return LSTMState{}, err
+	}
+	ig, err := EltwiseMul(i, g)
+	if err != nil {
+		return LSTMState{}, err
+	}
+	newC, err := EltwiseAdd(fc, ig)
+	if err != nil {
+		return LSTMState{}, err
+	}
+	newH, err := EltwiseMul(o, Tanh(newC))
+	if err != nil {
+		return LSTMState{}, err
+	}
+	return LSTMState{H: newH, C: newC}, nil
+}
+
+// GRUWeights holds the gate parameters of one GRU layer.  Gate order: reset,
+// update, candidate.
+type GRUWeights struct {
+	Hidden int
+	Input  int
+
+	Wr, Wz, Wh *tensor.Tensor // (hidden x input)
+	Ur, Uz, Uh *tensor.Tensor // (hidden x hidden)
+	Br, Bz, Bh *tensor.Tensor // (hidden)
+}
+
+// Validate checks all weight shapes.
+func (w *GRUWeights) Validate() error {
+	if w.Hidden <= 0 || w.Input <= 0 {
+		return fmt.Errorf("nn: gru dims must be positive, got hidden=%d input=%d", w.Hidden, w.Input)
+	}
+	hi := w.Hidden * w.Input
+	hh := w.Hidden * w.Hidden
+	for _, c := range []struct {
+		name string
+		t    *tensor.Tensor
+		want int
+	}{
+		{"Wr", w.Wr, hi}, {"Wz", w.Wz, hi}, {"Wh", w.Wh, hi},
+		{"Ur", w.Ur, hh}, {"Uz", w.Uz, hh}, {"Uh", w.Uh, hh},
+		{"Br", w.Br, w.Hidden}, {"Bz", w.Bz, w.Hidden}, {"Bh", w.Bh, w.Hidden},
+	} {
+		if c.t == nil {
+			return fmt.Errorf("nn: gru weight %s is nil", c.name)
+		}
+		if c.t.Len() != c.want {
+			return fmt.Errorf("nn: gru weight %s has %d elements, want %d", c.name, c.t.Len(), c.want)
+		}
+	}
+	return nil
+}
+
+// GRUCell advances the GRU by one time step with input x and hidden state h,
+// returning the new hidden state.
+//
+//	r = sigmoid(Wr*x + Ur*h + br)
+//	z = sigmoid(Wz*x + Uz*h + bz)
+//	n = tanh(Wh*x + Uh*(r.*h) + bh)
+//	h' = (1-z).*n + z.*h
+func GRUCell(w *GRUWeights, h *tensor.Tensor, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Len() != w.Input {
+		return nil, fmt.Errorf("nn: gru input has %d elements, want %d", x.Len(), w.Input)
+	}
+	if h == nil || h.Len() != w.Hidden {
+		return nil, fmt.Errorf("nn: gru state must have hidden size %d", w.Hidden)
+	}
+	lin := func(wx, uh, b *tensor.Tensor, hv *tensor.Tensor) (*tensor.Tensor, error) {
+		xw, err := MatVec(wx, x, w.Hidden, w.Input)
+		if err != nil {
+			return nil, err
+		}
+		hw, err := MatVec(uh, hv, w.Hidden, w.Hidden)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := EltwiseAdd(xw, hw)
+		if err != nil {
+			return nil, err
+		}
+		return EltwiseAdd(sum, b)
+	}
+	pr, err := lin(w.Wr, w.Ur, w.Br, h)
+	if err != nil {
+		return nil, err
+	}
+	pz, err := lin(w.Wz, w.Uz, w.Bz, h)
+	if err != nil {
+		return nil, err
+	}
+	r := Sigmoid(pr)
+	z := Sigmoid(pz)
+
+	rh, err := EltwiseMul(r, h)
+	if err != nil {
+		return nil, err
+	}
+	pn, err := lin(w.Wh, w.Uh, w.Bh, rh)
+	if err != nil {
+		return nil, err
+	}
+	n := Tanh(pn)
+
+	out := tensor.New(w.Hidden)
+	for i := 0; i < w.Hidden; i++ {
+		zi := z.Data()[i]
+		out.Data()[i] = (1-zi)*n.Data()[i] + zi*h.Data()[i]
+	}
+	return out, nil
+}

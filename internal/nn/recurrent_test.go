@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"tango/internal/tensor"
+)
+
+// newLSTMWeights builds deterministic small LSTM weights for tests.
+func newLSTMWeights(hidden, input int, seed uint64) *LSTMWeights {
+	r := tensor.NewRNG(seed)
+	mk := func(n int) *tensor.Tensor {
+		t := tensor.New(n)
+		t.FillNormal(r, 0.3)
+		return t
+	}
+	return &LSTMWeights{
+		Hidden: hidden, Input: input,
+		Wi: mk(hidden * input), Wf: mk(hidden * input), Wo: mk(hidden * input), Wc: mk(hidden * input),
+		Ui: mk(hidden * hidden), Uf: mk(hidden * hidden), Uo: mk(hidden * hidden), Uc: mk(hidden * hidden),
+		Bi: mk(hidden), Bf: mk(hidden), Bo: mk(hidden), Bc: mk(hidden),
+	}
+}
+
+// newGRUWeights builds deterministic small GRU weights for tests.
+func newGRUWeights(hidden, input int, seed uint64) *GRUWeights {
+	r := tensor.NewRNG(seed)
+	mk := func(n int) *tensor.Tensor {
+		t := tensor.New(n)
+		t.FillNormal(r, 0.3)
+		return t
+	}
+	return &GRUWeights{
+		Hidden: hidden, Input: input,
+		Wr: mk(hidden * input), Wz: mk(hidden * input), Wh: mk(hidden * input),
+		Ur: mk(hidden * hidden), Uz: mk(hidden * hidden), Uh: mk(hidden * hidden),
+		Br: mk(hidden), Bz: mk(hidden), Bh: mk(hidden),
+	}
+}
+
+func TestLSTMWeightsValidate(t *testing.T) {
+	w := newLSTMWeights(4, 2, 1)
+	if err := w.Validate(); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+	w.Wi = tensor.New(3)
+	if err := w.Validate(); err == nil {
+		t.Error("wrong Wi size should fail")
+	}
+	w.Wi = nil
+	if err := w.Validate(); err == nil {
+		t.Error("nil weight should fail")
+	}
+	bad := &LSTMWeights{Hidden: 0, Input: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-positive hidden should fail")
+	}
+}
+
+func TestGRUWeightsValidate(t *testing.T) {
+	w := newGRUWeights(4, 2, 1)
+	if err := w.Validate(); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+	w.Uh = tensor.New(3)
+	if err := w.Validate(); err == nil {
+		t.Error("wrong Uh size should fail")
+	}
+	w.Uh = nil
+	if err := w.Validate(); err == nil {
+		t.Error("nil weight should fail")
+	}
+}
+
+func TestLSTMCellStateBounds(t *testing.T) {
+	w := newLSTMWeights(8, 2, 7)
+	st := NewLSTMState(8)
+	x := tensor.New(2)
+	x.Fill(0.5)
+	for step := 0; step < 5; step++ {
+		var err error
+		st, err = LSTMCell(w, st, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hidden state is o .* tanh(c), so it must stay within (-1, 1).
+		if st.H.Max() >= 1 || st.H.Min() <= -1 {
+			t.Fatalf("step %d: hidden state out of (-1,1): [%v, %v]", step, st.H.Min(), st.H.Max())
+		}
+	}
+}
+
+func TestLSTMCellZeroWeightsGiveZeroState(t *testing.T) {
+	w := &LSTMWeights{Hidden: 4, Input: 2}
+	mkz := func(n int) *tensor.Tensor { return tensor.New(n) }
+	w.Wi, w.Wf, w.Wo, w.Wc = mkz(8), mkz(8), mkz(8), mkz(8)
+	w.Ui, w.Uf, w.Uo, w.Uc = mkz(16), mkz(16), mkz(16), mkz(16)
+	w.Bi, w.Bf, w.Bo, w.Bc = mkz(4), mkz(4), mkz(4), mkz(4)
+	st, err := LSTMCell(w, NewLSTMState(4), tensor.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With all-zero weights: gates = 0.5, candidate = 0, c' = 0, h' = 0.
+	if math.Abs(float64(st.C.Max())) > 1e-6 || math.Abs(float64(st.H.Max())) > 1e-6 {
+		t.Errorf("zero-weight LSTM state should stay zero: h=%v c=%v", st.H.Data(), st.C.Data())
+	}
+}
+
+func TestLSTMCellErrors(t *testing.T) {
+	w := newLSTMWeights(4, 2, 3)
+	if _, err := LSTMCell(w, NewLSTMState(4), tensor.New(3)); err == nil {
+		t.Error("wrong input length should fail")
+	}
+	if _, err := LSTMCell(w, NewLSTMState(3), tensor.New(2)); err == nil {
+		t.Error("wrong state size should fail")
+	}
+	if _, err := LSTMCell(w, LSTMState{}, tensor.New(2)); err == nil {
+		t.Error("nil state should fail")
+	}
+}
+
+func TestLSTMCellDeterministic(t *testing.T) {
+	w := newLSTMWeights(6, 2, 11)
+	x := tensor.New(2)
+	x.Fill(0.3)
+	a, err := LSTMCell(w, NewLSTMState(6), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LSTMCell(w, NewLSTMState(6), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ApproxEqual(a.H, b.H, 0) || !tensor.ApproxEqual(a.C, b.C, 0) {
+		t.Error("LSTM cell must be deterministic")
+	}
+}
+
+func TestGRUCellBoundsAndDeterminism(t *testing.T) {
+	w := newGRUWeights(8, 2, 5)
+	h := tensor.New(8)
+	x := tensor.New(2)
+	x.Fill(1)
+	var err error
+	for step := 0; step < 5; step++ {
+		h, err = GRUCell(w, h, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// GRU hidden state is a convex combination of tanh outputs and the
+		// previous state, so it stays in (-1, 1) when started at zero.
+		if h.Max() >= 1 || h.Min() <= -1 {
+			t.Fatalf("step %d: hidden state out of (-1,1): [%v, %v]", step, h.Min(), h.Max())
+		}
+	}
+	h2 := tensor.New(8)
+	for step := 0; step < 5; step++ {
+		h2, err = GRUCell(w, h2, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tensor.ApproxEqual(h, h2, 0) {
+		t.Error("GRU cell must be deterministic")
+	}
+}
+
+func TestGRUCellUpdateGateInterpolation(t *testing.T) {
+	// With Wh/Uh/Bh zero the candidate is zero, so h' = z .* h; starting from
+	// h=1 the state must shrink toward zero but keep its sign.
+	w := newGRUWeights(4, 2, 9)
+	w.Wh = tensor.New(4 * 2)
+	w.Uh = tensor.New(4 * 4)
+	w.Bh = tensor.New(4)
+	h := tensor.New(4)
+	h.Fill(1)
+	x := tensor.New(2)
+	out, err := GRUCell(w, h, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data() {
+		if v <= 0 || v >= 1 {
+			t.Errorf("element %d: %v should be in (0,1)", i, v)
+		}
+	}
+}
+
+func TestGRUCellErrors(t *testing.T) {
+	w := newGRUWeights(4, 2, 3)
+	if _, err := GRUCell(w, tensor.New(4), tensor.New(3)); err == nil {
+		t.Error("wrong input length should fail")
+	}
+	if _, err := GRUCell(w, tensor.New(3), tensor.New(2)); err == nil {
+		t.Error("wrong state size should fail")
+	}
+	if _, err := GRUCell(w, nil, tensor.New(2)); err == nil {
+		t.Error("nil state should fail")
+	}
+}

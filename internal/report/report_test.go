@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		ID:      "fig0",
+		Title:   "Example",
+		Columns: []string{"Network", "Cycles"},
+	}
+	tab.AddRow("CifarNet", 12345)
+	tab.AddRow("AlexNet", 6789.5)
+	tab.AddNote("sampled run")
+	s := tab.String()
+	if !strings.Contains(s, "[fig0] Example") {
+		t.Errorf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "CifarNet") || !strings.Contains(s, "12345") {
+		t.Errorf("missing row data: %q", s)
+	}
+	if !strings.Contains(s, "note: sampled run") {
+		t.Errorf("missing note: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title + header + separator + 2 rows + note.
+	if len(lines) != 6 {
+		t.Errorf("unexpected line count %d: %q", len(lines), s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Columns: []string{"A", "LongColumn"}}
+	tab.AddRow("xxxxxxxxxx", "y")
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines[0]) == 0 || len(lines[1]) == 0 {
+		t.Fatal("empty header lines")
+	}
+	// The separator row must be at least as wide as the widest cell.
+	if len(lines[1]) < len("xxxxxxxxxx") {
+		t.Errorf("separator too narrow: %q", lines[1])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"name", "value"}}
+	tab.AddRow("plain", 1)
+	tab.AddRow("with,comma", "quote\"inside")
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Errorf("missing header: %q", csv)
+	}
+	if !strings.Contains(csv, "\"with,comma\"") {
+		t.Errorf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, "\"quote\"\"inside\"") {
+		t.Errorf("quote cell not escaped: %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345.6: "12346",
+		42.42:   "42.4",
+		0.5:     "0.500",
+		0.00001: "1.00e-05",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if FormatPercent(0.254) != "25.4%" {
+		t.Errorf("FormatPercent wrong: %s", FormatPercent(0.254))
+	}
+}

@@ -1,0 +1,203 @@
+// Package sched implements the warp schedulers the paper sweeps in its
+// scheduler-sensitivity experiments (Figures 15 and 16): GTO
+// (greedy-then-oldest), LRR (loose round-robin) and TLV (two-level).
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Candidate describes one schedulable warp at the current cycle.
+type Candidate struct {
+	// ID is the warp's stable identifier within its SM.
+	ID int
+	// Ready reports whether the warp's next instruction can issue this cycle.
+	Ready bool
+	// Age is the cycle the warp was launched (smaller = older).
+	Age int64
+	// WaitingOnMemory reports whether the warp is blocked on an outstanding
+	// memory access (used by the two-level scheduler to demote warps).
+	WaitingOnMemory bool
+}
+
+// Scheduler selects which ready warp issues next.
+type Scheduler interface {
+	// Name returns the scheduler's short name ("gto", "lrr", "tlv").
+	Name() string
+	// Pick returns the index into candidates of the warp to issue, or -1 if
+	// no candidate is ready.
+	Pick(candidates []Candidate, cycle int64) int
+	// Reset clears internal state between kernels.
+	Reset()
+}
+
+// Kind names a scheduler implementation.
+type Kind string
+
+// Scheduler kinds, matching the GPGPU-Sim options the paper uses.
+const (
+	GTO Kind = "gto"
+	LRR Kind = "lrr"
+	TLV Kind = "tlv"
+)
+
+// Kinds returns all scheduler kinds in the paper's order.
+func Kinds() []Kind { return []Kind{GTO, LRR, TLV} }
+
+// New constructs a scheduler of the given kind.
+func New(kind Kind) (Scheduler, error) {
+	switch Kind(strings.ToLower(string(kind))) {
+	case GTO:
+		return &gtoScheduler{lastWarp: -1}, nil
+	case LRR:
+		return &lrrScheduler{}, nil
+	case TLV:
+		return &tlvScheduler{activeLimit: 8}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler kind %q (want gto, lrr or tlv)", kind)
+	}
+}
+
+// gtoScheduler keeps issuing from the most recently issued warp until it
+// stalls, then falls back to the oldest ready warp.
+type gtoScheduler struct {
+	lastWarp int
+}
+
+func (g *gtoScheduler) Name() string { return string(GTO) }
+
+func (g *gtoScheduler) Reset() { g.lastWarp = -1 }
+
+func (g *gtoScheduler) Pick(candidates []Candidate, _ int64) int {
+	// Greedy: continue with the last issued warp if it is still ready.
+	if g.lastWarp >= 0 {
+		for i, c := range candidates {
+			if c.ID == g.lastWarp && c.Ready {
+				return i
+			}
+		}
+	}
+	// Oldest ready warp.
+	best := -1
+	for i, c := range candidates {
+		if !c.Ready {
+			continue
+		}
+		if best == -1 || c.Age < candidates[best].Age ||
+			(c.Age == candidates[best].Age && c.ID < candidates[best].ID) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		g.lastWarp = candidates[best].ID
+	}
+	return best
+}
+
+// lrrScheduler rotates through warps in ID order, starting after the last
+// issued warp.
+type lrrScheduler struct {
+	lastID int
+	seeded bool
+}
+
+func (l *lrrScheduler) Name() string { return string(LRR) }
+
+func (l *lrrScheduler) Reset() { l.lastID = 0; l.seeded = false }
+
+func (l *lrrScheduler) Pick(candidates []Candidate, _ int64) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	start := 0
+	if l.seeded {
+		// Find the first candidate with ID greater than the last issued one.
+		for i, c := range candidates {
+			if c.ID > l.lastID {
+				start = i
+				break
+			}
+		}
+	}
+	for off := 0; off < len(candidates); off++ {
+		i := (start + off) % len(candidates)
+		if candidates[i].Ready {
+			l.lastID = candidates[i].ID
+			l.seeded = true
+			return i
+		}
+	}
+	return -1
+}
+
+// tlvScheduler is a two-level scheduler: only a bounded active set of warps
+// is considered each cycle (round-robin within it); warps that block on
+// memory are demoted to the pending set and replaced by pending warps.
+type tlvScheduler struct {
+	activeLimit int
+	active      []int
+	rrPointer   int
+}
+
+func (t *tlvScheduler) Name() string { return string(TLV) }
+
+func (t *tlvScheduler) Reset() { t.active = nil; t.rrPointer = 0 }
+
+func (t *tlvScheduler) Pick(candidates []Candidate, _ int64) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	byID := make(map[int]Candidate, len(candidates))
+	idxByID := make(map[int]int, len(candidates))
+	for i, c := range candidates {
+		byID[c.ID] = c
+		idxByID[c.ID] = i
+	}
+
+	// Drop departed or memory-blocked warps from the active set.
+	kept := t.active[:0]
+	for _, id := range t.active {
+		c, ok := byID[id]
+		if !ok || c.WaitingOnMemory {
+			continue
+		}
+		kept = append(kept, id)
+	}
+	t.active = kept
+
+	// Refill the active set with non-blocked warps not already active,
+	// oldest first (stable: candidates arrive in ID order).
+	for _, c := range candidates {
+		if len(t.active) >= t.activeLimit {
+			break
+		}
+		if c.WaitingOnMemory {
+			continue
+		}
+		already := false
+		for _, id := range t.active {
+			if id == c.ID {
+				already = true
+				break
+			}
+		}
+		if !already {
+			t.active = append(t.active, c.ID)
+		}
+	}
+	if len(t.active) == 0 {
+		return -1
+	}
+
+	// Round-robin within the active set.
+	for off := 0; off < len(t.active); off++ {
+		slot := (t.rrPointer + off) % len(t.active)
+		id := t.active[slot]
+		if c := byID[id]; c.Ready {
+			t.rrPointer = (slot + 1) % len(t.active)
+			return idxByID[id]
+		}
+	}
+	return -1
+}

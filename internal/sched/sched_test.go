@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestNewKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		s, err := New(kind)
+		if err != nil {
+			t.Fatalf("New(%s): %v", kind, err)
+		}
+		if s.Name() != string(kind) {
+			t.Errorf("Name() = %q, want %q", s.Name(), kind)
+		}
+	}
+	if _, err := New("fifo"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := New("GTO"); err != nil {
+		t.Errorf("kind lookup should be case-insensitive: %v", err)
+	}
+	if len(Kinds()) != 3 {
+		t.Errorf("expected 3 scheduler kinds, got %d", len(Kinds()))
+	}
+}
+
+func cands(ready ...bool) []Candidate {
+	cs := make([]Candidate, len(ready))
+	for i, r := range ready {
+		cs[i] = Candidate{ID: i, Ready: r, Age: int64(i)}
+	}
+	return cs
+}
+
+func TestAllSchedulersPickOnlyReady(t *testing.T) {
+	for _, kind := range Kinds() {
+		s, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Nothing ready.
+		if got := s.Pick(cands(false, false, false), 0); got != -1 {
+			t.Errorf("%s: Pick with nothing ready = %d, want -1", kind, got)
+		}
+		// Only warp 2 ready.
+		if got := s.Pick(cands(false, false, true), 1); got != 2 {
+			t.Errorf("%s: Pick = %d, want 2", kind, got)
+		}
+		// Empty candidate list.
+		if got := s.Pick(nil, 2); got != -1 {
+			t.Errorf("%s: Pick(nil) = %d, want -1", kind, got)
+		}
+	}
+}
+
+func TestGTOGreedyThenOldest(t *testing.T) {
+	s, err := New(GTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First pick: the oldest ready warp (all same readiness, warp 0 oldest).
+	c := []Candidate{
+		{ID: 0, Ready: true, Age: 5},
+		{ID: 1, Ready: true, Age: 3},
+		{ID: 2, Ready: true, Age: 9},
+	}
+	if got := s.Pick(c, 0); got != 1 {
+		t.Fatalf("GTO first pick = %d, want oldest (index 1)", got)
+	}
+	// Greedy: warp 1 stays ready, so GTO sticks with it.
+	if got := s.Pick(c, 1); got != 1 {
+		t.Errorf("GTO should stay greedy on warp 1, picked %d", got)
+	}
+	// Warp 1 stalls; GTO falls back to the oldest remaining ready warp (0).
+	c[1].Ready = false
+	if got := s.Pick(c, 2); got != 0 {
+		t.Errorf("GTO fallback = %d, want 0", got)
+	}
+	s.Reset()
+	if got := s.Pick(c, 3); got != 0 {
+		t.Errorf("after reset GTO should pick oldest ready, got %d", got)
+	}
+}
+
+func TestLRRRotates(t *testing.T) {
+	s, err := New(LRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cands(true, true, true)
+	order := []int{}
+	for i := 0; i < 6; i++ {
+		got := s.Pick(c, int64(i))
+		order = append(order, got)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("LRR issue order %v, want %v", order, want)
+		}
+	}
+	// Skips non-ready warps.
+	c[1].Ready = false
+	if got := s.Pick(c, 7); got != 1 && got != 0 && got != 2 {
+		t.Fatalf("unexpected pick %d", got)
+	}
+}
+
+func TestLRRSkipsStalled(t *testing.T) {
+	s, err := New(LRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cands(true, false, true)
+	first := s.Pick(c, 0)
+	second := s.Pick(c, 1)
+	if first != 0 || second != 2 {
+		t.Errorf("LRR should rotate over ready warps 0 and 2, got %d then %d", first, second)
+	}
+}
+
+func TestTLVBoundsActiveSet(t *testing.T) {
+	s, err := New(TLV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 ready warps: the two-level scheduler only rotates within its active
+	// set of 8, so warps 8..15 never issue while 0..7 stay ready.
+	c := make([]Candidate, 16)
+	for i := range c {
+		c[i] = Candidate{ID: i, Ready: true, Age: int64(i)}
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		got := s.Pick(c, int64(i))
+		if got < 0 {
+			t.Fatal("TLV should always find a ready warp")
+		}
+		seen[c[got].ID] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("TLV issued from %d distinct warps, want 8 (active set)", len(seen))
+	}
+	for id := 8; id < 16; id++ {
+		if seen[id] {
+			t.Errorf("warp %d issued despite being outside the active set", id)
+		}
+	}
+}
+
+func TestTLVDemotesMemoryBlockedWarps(t *testing.T) {
+	s, err := New(TLV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := make([]Candidate, 10)
+	for i := range c {
+		c[i] = Candidate{ID: i, Ready: true, Age: int64(i)}
+	}
+	// Fill the active set with warps 0..7.
+	for i := 0; i < 8; i++ {
+		s.Pick(c, int64(i))
+	}
+	// Warps 0..3 block on memory: they leave the active set and 8, 9 join.
+	for i := 0; i < 4; i++ {
+		c[i].Ready = false
+		c[i].WaitingOnMemory = true
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		got := s.Pick(c, int64(8+i))
+		if got >= 0 {
+			seen[c[got].ID] = true
+		}
+	}
+	if !seen[8] || !seen[9] {
+		t.Errorf("pending warps should be promoted into the active set, saw %v", seen)
+	}
+	for id := 0; id < 4; id++ {
+		if seen[id] {
+			t.Errorf("memory-blocked warp %d should not issue", id)
+		}
+	}
+	s.Reset()
+}
+
+func TestTLVAllBlocked(t *testing.T) {
+	s, err := New(TLV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := []Candidate{
+		{ID: 0, Ready: false, WaitingOnMemory: true},
+		{ID: 1, Ready: false, WaitingOnMemory: true},
+	}
+	if got := s.Pick(c, 0); got != -1 {
+		t.Errorf("all-blocked pick = %d, want -1", got)
+	}
+}

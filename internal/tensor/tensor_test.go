@@ -1,0 +1,306 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tt := New(3, 4, 5)
+	if tt.Len() != 60 {
+		t.Fatalf("Len() = %d, want 60", tt.Len())
+	}
+	if tt.Rank() != 3 {
+		t.Fatalf("Rank() = %d, want 3", tt.Rank())
+	}
+	if tt.Dim(0) != 3 || tt.Dim(1) != 4 || tt.Dim(2) != 5 {
+		t.Fatalf("unexpected dims: %v", tt.Shape())
+	}
+	if tt.Bytes() != 240 {
+		t.Fatalf("Bytes() = %d, want 240", tt.Bytes())
+	}
+}
+
+func TestNewPanicsOnInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with non-positive dim should panic")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestShapeIsCopied(t *testing.T) {
+	tt := New(2, 3)
+	s := tt.Shape()
+	s[0] = 99
+	if tt.Dim(0) != 2 {
+		t.Error("mutating Shape() result must not affect tensor")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(2, 3, 4)
+	v := float32(0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 4; k++ {
+				tt.Set(v, i, j, k)
+				v++
+			}
+		}
+	}
+	// Row-major layout: data index = (i*3+j)*4+k.
+	if tt.Data()[(1*3+2)*4+3] != 23 {
+		t.Errorf("row-major layout violated: got %v", tt.Data()[(1*3+2)*4+3])
+	}
+	if tt.At(1, 2, 3) != 23 {
+		t.Errorf("At(1,2,3) = %v, want 23", tt.At(1, 2, 3))
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	tt := New(2, 2)
+	for _, fn := range []func(){
+		func() { tt.At(2, 0) },
+		func() { tt.At(0, -1) },
+		func() { tt.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	tt, err := FromSlice(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", tt.At(1, 2))
+	}
+	if _, err := FromSlice(data, 4, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("mismatched FromSlice should return ErrShape, got %v", err)
+	}
+	if _, err := FromSlice(data, -1, 6); !errors.Is(err, ErrShape) {
+		t.Errorf("negative dim should return ErrShape, got %v", err)
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	tt := New(4)
+	tt.Fill(2.5)
+	for _, v := range tt.Data() {
+		if v != 2.5 {
+			t.Fatalf("Fill failed: %v", tt.Data())
+		}
+	}
+	tt.Zero()
+	if tt.Sum() != 0 {
+		t.Fatalf("Zero failed: %v", tt.Data())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(1)
+	b := a.Clone()
+	b.Set(9, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone must not share storage")
+	}
+	if !SameShape(a, b) {
+		t.Error("Clone must preserve shape")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	a := New(2, 6)
+	a.Set(7, 1, 5)
+	b, err := a.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.At(2, 3) != 7 {
+		t.Errorf("reshape should share storage: got %v", b.At(2, 3))
+	}
+	if _, err := a.Reshape(5, 5); !errors.Is(err, ErrShape) {
+		t.Errorf("bad reshape should return ErrShape, got %v", err)
+	}
+	if _, err := a.Reshape(0, 12); !errors.Is(err, ErrShape) {
+		t.Errorf("zero dim reshape should return ErrShape, got %v", err)
+	}
+}
+
+func TestMaxIndex(t *testing.T) {
+	tt, err := FromSlice([]float32{0.1, 0.9, 0.3, 0.9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.MaxIndex(); got != 1 {
+		t.Errorf("MaxIndex() = %d, want 1 (ties break low)", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	tt, _ := FromSlice([]float32{-2, 5, 1}, 3)
+	if tt.Max() != 5 {
+		t.Errorf("Max() = %v, want 5", tt.Max())
+	}
+	if tt.Min() != -2 {
+		t.Errorf("Min() = %v, want -2", tt.Min())
+	}
+	if tt.Sum() != 4 {
+		t.Errorf("Sum() = %v, want 4", tt.Sum())
+	}
+}
+
+func TestAbsDiffAndApproxEqual(t *testing.T) {
+	a, _ := FromSlice([]float32{1, 2, 3}, 3)
+	b, _ := FromSlice([]float32{1, 2.5, 3}, 3)
+	d, err := AbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-6 {
+		t.Errorf("AbsDiff = %v, want 0.5", d)
+	}
+	if !ApproxEqual(a, b, 0.5) {
+		t.Error("ApproxEqual with tol 0.5 should hold")
+	}
+	if ApproxEqual(a, b, 0.1) {
+		t.Error("ApproxEqual with tol 0.1 should fail")
+	}
+	c := New(4)
+	if _, err := AbsDiff(a, c); !errors.Is(err, ErrShape) {
+		t.Errorf("AbsDiff shape mismatch should return ErrShape, got %v", err)
+	}
+	if ApproxEqual(a, c, 10) {
+		t.Error("ApproxEqual across shapes should be false")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG with equal seeds must produce equal streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGFloat32Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	tt := New(1000)
+	tt.FillUniform(NewRNG(1), -1, 1)
+	if tt.Min() < -1 || tt.Max() >= 1 {
+		t.Errorf("uniform fill out of range: [%v, %v]", tt.Min(), tt.Max())
+	}
+	// The sample mean of 1000 uniforms in [-1,1) should be near zero.
+	if m := tt.Sum() / 1000; math.Abs(m) > 0.1 {
+		t.Errorf("uniform mean %v too far from 0", m)
+	}
+}
+
+func TestFillNormalStats(t *testing.T) {
+	tt := New(20000)
+	tt.FillNormal(NewRNG(3), 0.5)
+	mean := tt.Sum() / float64(tt.Len())
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v too far from 0", mean)
+	}
+	varSum := 0.0
+	for _, v := range tt.Data() {
+		varSum += float64(v) * float64(v)
+	}
+	sd := math.Sqrt(varSum / float64(tt.Len()))
+	if math.Abs(sd-0.5) > 0.05 {
+		t.Errorf("normal stddev %v too far from 0.5", sd)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	tt := New(2, 3)
+	if tt.String() != "Tensor[2 3](6 elements)" {
+		t.Errorf("String() = %q", tt.String())
+	}
+}
+
+// Property: Reshape preserves element count and storage identity.
+func TestQuickReshapePreservesData(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x := int(a%8) + 1
+		y := int(b%8) + 1
+		tt := New(x, y)
+		tt.FillUniform(NewRNG(uint64(a)<<8|uint64(b)), 0, 1)
+		r, err := tt.Reshape(y, x)
+		if err != nil {
+			return false
+		}
+		for i := range tt.Data() {
+			if tt.Data()[i] != r.Data()[i] {
+				return false
+			}
+		}
+		return r.Len() == tt.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ApproxEqual is reflexive at any tolerance >= 0.
+func TestQuickApproxEqualReflexive(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%32) + 1
+		tt := New(size)
+		tt.FillNormal(NewRNG(seed), 1)
+		return ApproxEqual(tt, tt, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxIndex always returns an index whose value equals Max().
+func TestQuickMaxIndexConsistent(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%64) + 1
+		tt := New(size)
+		tt.FillNormal(NewRNG(seed), 2)
+		return tt.Data()[tt.MaxIndex()] == tt.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

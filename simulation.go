@@ -1,0 +1,201 @@
+package tango
+
+import (
+	"fmt"
+	"strings"
+
+	"tango/internal/device"
+	"tango/internal/gpusim"
+	"tango/internal/power"
+	"tango/internal/profiler"
+	"tango/internal/sched"
+)
+
+// simSettings collects the simulation options.
+type simSettings struct {
+	device    device.GPU
+	l1Bytes   int
+	l1Set     bool
+	scheduler sched.Kind
+	sampling  gpusim.Sampling
+}
+
+// SimOption configures Simulate.
+type SimOption func(*simSettings) error
+
+// WithDevice selects the simulated GPU: "GP102" (default, the paper's
+// simulator configuration), "GK210" (server) or "TX1" (mobile).
+func WithDevice(name string) SimOption {
+	return func(s *simSettings) error {
+		switch strings.ToUpper(name) {
+		case "GP102", "PASCAL", "SIMULATOR":
+			s.device = device.PascalGP102()
+		case "GK210", "K80", "SERVER":
+			s.device = device.GK210()
+		case "TX1", "TEGRA", "MOBILE":
+			s.device = device.TX1()
+		default:
+			return fmt.Errorf("tango: unknown device %q (want GP102, GK210 or TX1)", name)
+		}
+		return nil
+	}
+}
+
+// WithL1SizeKB sets the per-SM L1 data cache size in kilobytes; zero bypasses
+// the L1 entirely (the paper's "No L1" configuration).
+func WithL1SizeKB(kb int) SimOption {
+	return func(s *simSettings) error {
+		if kb < 0 {
+			return fmt.Errorf("tango: negative L1 size %d", kb)
+		}
+		s.l1Bytes = kb << 10
+		s.l1Set = true
+		return nil
+	}
+}
+
+// WithScheduler selects the warp scheduler: "gto" (default), "lrr" or "tlv".
+func WithScheduler(kind string) SimOption {
+	return func(s *simSettings) error {
+		k := sched.Kind(strings.ToLower(kind))
+		if _, err := sched.New(k); err != nil {
+			return err
+		}
+		s.scheduler = k
+		return nil
+	}
+}
+
+// WithFastSampling selects coarse simulation sampling for quick runs.
+func WithFastSampling() SimOption {
+	return func(s *simSettings) error {
+		s.sampling = gpusim.FastSampling()
+		return nil
+	}
+}
+
+// WithExhaustiveSimulation disables sampling entirely (only practical for the
+// small benchmarks).
+func WithExhaustiveSimulation() SimOption {
+	return func(s *simSettings) error {
+		s.sampling = gpusim.Exhaustive()
+		return nil
+	}
+}
+
+// LayerSimulation summarizes one kernel of a simulated run.
+type LayerSimulation struct {
+	Layer        string
+	Class        string
+	Cycles       int64
+	Seconds      float64
+	Instructions int64
+	PowerWatts   float64
+	L2MissRatio  float64
+}
+
+// SimulationResult summarizes a simulated network execution.
+type SimulationResult struct {
+	// Network and Device identify the run.
+	Network string
+	Device  string
+	// Cycles and Seconds are the estimated end-to-end execution cost.
+	Cycles  int64
+	Seconds float64
+	// Instructions is the total dynamic instruction count.
+	Instructions int64
+	// PeakWatts, AvgWatts and EnergyJoules come from the activity-based power
+	// model.
+	PeakWatts    float64
+	AvgWatts     float64
+	EnergyJoules float64
+	// CyclesByLayerClass groups cycles by reporting class (Figure 1).
+	CyclesByLayerClass map[string]int64
+	// StallShares is the nvprof-style stall breakdown (Figure 7).
+	StallShares map[string]float64
+	// OpShares is the dynamic operation mix (Figure 8).
+	OpShares map[string]float64
+	// IntegerTypeShare is the fraction of integer-typed instructions
+	// (Figure 10 / Observation 8).
+	IntegerTypeShare float64
+	// L2MissRatio is the overall L2 miss ratio.
+	L2MissRatio float64
+	// MaxRegisterKBPerSM is the peak per-SM register allocation (Figure 12).
+	MaxRegisterKBPerSM float64
+	// Layers holds per-kernel details in execution order.
+	Layers []LayerSimulation
+}
+
+// Simulate runs every kernel of the benchmark on the architecture simulator
+// and derives timing, power and memory-system statistics.
+func (b *Benchmark) Simulate(opts ...SimOption) (*SimulationResult, error) {
+	settings := simSettings{
+		device:    device.PascalGP102(),
+		scheduler: sched.GTO,
+		sampling:  gpusim.DefaultSampling(),
+	}
+	for _, opt := range opts {
+		if err := opt(&settings); err != nil {
+			return nil, err
+		}
+	}
+	cfg := gpusim.ConfigFor(settings.device).
+		WithScheduler(settings.scheduler).
+		WithSampling(settings.sampling)
+	if settings.l1Set {
+		cfg = cfg.WithL1Size(settings.l1Bytes)
+	}
+	rs, err := b.inner.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	pm := power.NewModel(settings.device)
+	np := pm.NetworkPower(rs)
+
+	res := &SimulationResult{
+		Network:            b.Name(),
+		Device:             settings.device.Name,
+		Cycles:             rs.TotalCycles(),
+		Seconds:            rs.TotalSeconds(),
+		PeakWatts:          np.PeakWatts,
+		AvgWatts:           np.AvgWatts,
+		EnergyJoules:       np.TotalEnergyJoules,
+		CyclesByLayerClass: rs.CyclesByClass(),
+		StallShares:        map[string]float64{},
+		OpShares:           map[string]float64{},
+		IntegerTypeShare:   profiler.IntegerShare(rs),
+	}
+	for _, ks := range rs.Kernels {
+		res.Instructions += ks.TotalThreadInstructions
+	}
+	for reason, share := range profiler.StallBreakdownTotal(rs) {
+		res.StallShares[reason.String()] = share
+	}
+	for _, op := range profiler.OpBreakdown(rs) {
+		res.OpShares[op.Op] = op.Share
+	}
+	var l2 int64
+	var l2Miss int64
+	for _, ks := range rs.Kernels {
+		l2 += ks.L2.Accesses
+		l2Miss += ks.L2.Misses + ks.L2.MergedMiss
+	}
+	if l2 > 0 {
+		res.L2MissRatio = float64(l2Miss) / float64(l2)
+	}
+	res.MaxRegisterKBPerSM = profiler.Registers(rs).KBAllocated()
+
+	for i, ks := range rs.Kernels {
+		res.Layers = append(res.Layers, LayerSimulation{
+			Layer:        ks.Kernel.LayerName,
+			Class:        ks.Kernel.Class,
+			Cycles:       ks.Cycles,
+			Seconds:      ks.Seconds,
+			Instructions: ks.TotalThreadInstructions,
+			PowerWatts:   np.PerKernel[i].TotalWatts,
+			L2MissRatio:  ks.L2.MissRatio(),
+		})
+	}
+	return res, nil
+}

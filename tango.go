@@ -1,0 +1,222 @@
+// Package tango is the public API of the Tango deep-neural-network benchmark
+// suite reproduction: seven DNN inference workloads (CifarNet, AlexNet,
+// SqueezeNet, ResNet-50, VGGNet-16, GRU and LSTM) expressed as fundamental
+// math kernels, a cycle-approximate GPU architecture simulator with
+// configurable caches and warp schedulers, GPU and FPGA power models, and an
+// experiment harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// Typical use:
+//
+//	suite := tango.NewSuite()
+//	b, _ := suite.Benchmark("CifarNet")
+//	class, probs, _ := b.ClassifySample(42)
+//	sim, _ := b.Simulate(tango.WithL1SizeKB(128), tango.WithScheduler("lrr"))
+//	fmt.Println(class, probs[class], sim.Cycles)
+//
+//	table, _ := tango.RunExperiment("fig2", tango.WithFastSampling())
+//	fmt.Println(table)
+package tango
+
+import (
+	"fmt"
+	"strings"
+
+	"tango/internal/core"
+	"tango/internal/kernel"
+	"tango/internal/networks"
+)
+
+// Version is the release version of the suite reproduction.
+const Version = "1.0.0"
+
+// Benchmarks returns the names of the seven workloads in suite order.
+func Benchmarks() []string { return networks.Names() }
+
+// CNNBenchmarks returns the convolutional workloads.
+func CNNBenchmarks() []string { return networks.CNNNames() }
+
+// RNNBenchmarks returns the recurrent workloads.
+func RNNBenchmarks() []string { return networks.RNNNames() }
+
+// ExtensionBenchmarks returns workloads provided beyond the paper's
+// seven-network suite (currently MobileNet, which the paper lists as the next
+// network under development).  They are loadable like any other benchmark but
+// excluded from the figure-reproduction experiments.
+func ExtensionBenchmarks() []string { return networks.ExtensionNames() }
+
+// Suite loads and caches benchmarks.
+type Suite struct {
+	inner *core.Suite
+}
+
+// NewSuite returns an empty suite; benchmarks are built lazily on first use.
+func NewSuite() *Suite { return &Suite{inner: core.NewSuite()} }
+
+// Benchmark returns the named workload, building its network, weights and
+// kernels on first use.
+func (s *Suite) Benchmark(name string) (*Benchmark, error) {
+	b, err := s.inner.Benchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{inner: b}, nil
+}
+
+// All returns every workload of the suite.
+func (s *Suite) All() ([]*Benchmark, error) {
+	var out []*Benchmark
+	for _, name := range Benchmarks() {
+		b, err := s.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Benchmark is one workload of the suite.
+type Benchmark struct {
+	inner *core.Benchmark
+}
+
+// LoadBenchmark builds a single workload without a Suite.
+func LoadBenchmark(name string) (*Benchmark, error) {
+	b, err := core.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{inner: b}, nil
+}
+
+// Name returns the benchmark name.
+func (b *Benchmark) Name() string { return b.inner.Name() }
+
+// Kind returns "CNN" or "RNN".
+func (b *Benchmark) Kind() string { return b.inner.Kind().String() }
+
+// Description summarizes a benchmark's structure and footprint.
+type Description struct {
+	// Name and Kind identify the workload.
+	Name string
+	Kind string
+	// InputShape is the per-inference input tensor shape (CHW for CNNs,
+	// feature count per time step for RNNs).
+	InputShape []int
+	// Classes is the classifier width (0 for regression outputs).
+	Classes int
+	// Layers is the number of layers / kernels.
+	Layers int
+	// Parameters is the number of trainable parameters.
+	Parameters int64
+	// WeightBytes and ActivationBytes are the device-memory demands.
+	WeightBytes     int64
+	ActivationBytes int64
+}
+
+// Describe returns the benchmark's structural summary.
+func (b *Benchmark) Describe() (Description, error) {
+	n := b.inner.Network
+	specs, err := n.WeightSpecs()
+	if err != nil {
+		return Description{}, err
+	}
+	var params int64
+	for _, s := range specs {
+		params += int64(s.Count)
+	}
+	wb, err := n.WeightBytes()
+	if err != nil {
+		return Description{}, err
+	}
+	ab, err := n.ActivationBytes()
+	if err != nil {
+		return Description{}, err
+	}
+	classes := n.NumClasses
+	return Description{
+		Name:            n.Name,
+		Kind:            n.Kind.String(),
+		InputShape:      n.InputShape,
+		Classes:         classes,
+		Layers:          len(n.Layers),
+		Parameters:      params,
+		WeightBytes:     wb,
+		ActivationBytes: ab,
+	}, nil
+}
+
+// Layers returns the layer names in execution order.
+func (b *Benchmark) Layers() []string {
+	out := make([]string, len(b.inner.Network.Layers))
+	for i := range b.inner.Network.Layers {
+		out[i] = b.inner.Network.Layers[i].Name
+	}
+	return out
+}
+
+// KernelInfo describes one lowered kernel (a Table III row).
+type KernelInfo struct {
+	Layer     string
+	Class     string
+	Grid      [3]int
+	Block     [3]int
+	Registers int
+	SharedMem int
+	ConstMem  int
+	// DynamicInstructions is the kernel's total dynamic instruction count.
+	DynamicInstructions int64
+}
+
+// Dialects returns the source languages the original suite provides for this
+// benchmark: every network ships CUDA C kernels, and CifarNet and AlexNet
+// additionally ship OpenCL kernels for the FPGA flow.
+func (b *Benchmark) Dialects() []string {
+	var out []string
+	for _, d := range kernel.Dialects(b.Name()) {
+		out = append(out, string(d))
+	}
+	return out
+}
+
+// Kernels returns the lowered kernel descriptions in execution order.
+func (b *Benchmark) Kernels() []KernelInfo {
+	out := make([]KernelInfo, len(b.inner.Kernels))
+	for i, k := range b.inner.Kernels {
+		out[i] = KernelInfo{
+			Layer:               k.LayerName,
+			Class:               k.Class,
+			Grid:                k.Launch.Grid,
+			Block:               k.Launch.Block,
+			Registers:           k.Launch.Regs,
+			SharedMem:           k.Launch.SmemBytes,
+			ConstMem:            k.Launch.CmemBytes,
+			DynamicInstructions: k.DynamicInstructions(),
+		}
+	}
+	return out
+}
+
+// Disassemble returns a PTX-like listing of the thread program generated for
+// one layer, the equivalent of inspecting the original suite's kernel source.
+func (b *Benchmark) Disassemble(layer string) (string, error) {
+	for _, k := range b.inner.Kernels {
+		if k.LayerName == layer {
+			var sb strings.Builder
+			if err := kernel.WriteDisassembly(&sb, k); err != nil {
+				return "", err
+			}
+			return sb.String(), nil
+		}
+	}
+	return "", fmt.Errorf("tango: %s has no layer %q", b.Name(), layer)
+}
+
+// ensureKind verifies the benchmark kind for inference helpers.
+func (b *Benchmark) ensureKind(kind networks.Kind, op string) error {
+	if b.inner.Kind() != kind {
+		return fmt.Errorf("tango: %s is a %s benchmark; %s is not applicable", b.Name(), b.Kind(), op)
+	}
+	return nil
+}
