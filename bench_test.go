@@ -20,6 +20,9 @@ import (
 	"testing"
 
 	"tango"
+	"tango/internal/gpusim"
+	"tango/internal/kernel"
+	"tango/internal/networks"
 )
 
 // sharedSession caches simulation results across all experiment benchmarks.
@@ -188,6 +191,87 @@ func BenchmarkAblationL1Default(b *testing.B) {
 
 func BenchmarkAblationL1Quadruple(b *testing.B) {
 	benchmarkSimulate(b, "AlexNet", tango.WithFastSampling(), tango.WithL1SizeKB(256))
+}
+
+// Cycle-loop micro-benchmarks: a single CNN kernel and a single RNN kernel
+// simulated directly through gpusim, isolating the simulator hot path from
+// kernel generation and report rendering.
+
+func loadKernel(b *testing.B, network string, pick func(*kernel.Kernel) bool) *kernel.Kernel {
+	b.Helper()
+	n, err := networks.New(network)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range ks {
+		if pick(k) {
+			return k
+		}
+	}
+	b.Fatalf("%s: no kernel matched", network)
+	return nil
+}
+
+func benchmarkKernelSim(b *testing.B, k *kernel.Kernel) {
+	b.Helper()
+	sim, err := gpusim.New(gpusim.DefaultConfig().WithSampling(gpusim.FastSampling()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		st, err := sim.RunKernel(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = st.SimCycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// BenchmarkSimulateKernelCNN drives the cycle loop with AlexNet's first
+// convolution, the archetypal compute-heavy CNN kernel.
+func BenchmarkSimulateKernelCNN(b *testing.B) {
+	benchmarkKernelSim(b, loadKernel(b, "AlexNet", func(k *kernel.Kernel) bool {
+		return k.Class == networks.ClassConv
+	}))
+}
+
+// BenchmarkSimulateKernelRNN drives the cycle loop with a GRU cell kernel,
+// the suite's memory-dependency-bound RNN workload.
+func BenchmarkSimulateKernelRNN(b *testing.B) {
+	benchmarkKernelSim(b, loadKernel(b, "GRU", func(k *kernel.Kernel) bool {
+		return k.Class == networks.ClassRNN
+	}))
+}
+
+// Full fast-sampling experiment runs: every table and figure over all seven
+// networks, serially and with the parallel execution engine.  Each iteration
+// uses a fresh session so the entire simulation matrix is recomputed.
+
+func benchmarkRunAll(b *testing.B, opts ...tango.ExperimentOption) {
+	b.Helper()
+	opts = append([]tango.ExperimentOption{tango.WithFastExperimentSampling()}, opts...)
+	var tables int
+	for i := 0; i < b.N; i++ {
+		out, err := tango.NewExperimentSession(opts...).RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables = len(out)
+	}
+	b.ReportMetric(float64(tables), "tables")
+}
+
+func BenchmarkRunAllFastSampling(b *testing.B) { benchmarkRunAll(b) }
+
+func BenchmarkRunAllFastSamplingParallel(b *testing.B) {
+	benchmarkRunAll(b, tango.WithExperimentParallelism(0))
 }
 
 // Example of the public API used as documentation.

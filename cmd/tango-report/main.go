@@ -26,6 +26,7 @@ func main() {
 		out      = flag.String("out", "", "directory to write per-experiment .txt/.csv files (default: stdout only)")
 		networks = flag.String("networks", "", "comma-separated benchmark filter")
 		fast     = flag.Bool("fast", false, "use coarse simulation sampling")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the simulation matrix (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,9 @@ func main() {
 	if *fast {
 		opts = append(opts, tango.WithFastExperimentSampling())
 	}
+	if *parallel != 1 {
+		opts = append(opts, tango.WithExperimentParallelism(*parallel))
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -51,6 +55,7 @@ func main() {
 
 	session := tango.NewExperimentSession(opts...)
 	start := time.Now()
+	session.Prewarm()
 	for _, e := range tango.Experiments() {
 		expStart := time.Now()
 		table, err := session.Run(e.ID)

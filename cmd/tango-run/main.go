@@ -27,6 +27,7 @@ func main() {
 		deviceStr = flag.String("device", "GP102", "simulated device: GP102, GK210 or TX1")
 		l1kb      = flag.Int("l1kb", -1, "simulated L1D size in KB (0 bypasses the L1, -1 keeps the device default)")
 		scheduler = flag.String("scheduler", "gto", "warp scheduler: gto, lrr or tlv")
+		parallel  = flag.Int("parallel", 1, "worker goroutines for kernel simulation (0 = one per CPU)")
 		fast      = flag.Bool("fast", false, "use coarse simulation sampling")
 		seed      = flag.Uint64("seed", 1, "seed for the synthetic sample input")
 		verbose   = flag.Bool("v", false, "print per-layer detail")
@@ -53,7 +54,7 @@ func main() {
 		desc.Name, desc.Kind, desc.Layers, desc.Parameters, desc.InputShape)
 
 	if *simulate {
-		runSimulated(b, *deviceStr, *l1kb, *scheduler, *fast, *verbose)
+		runSimulated(b, *deviceStr, *l1kb, *scheduler, *parallel, *fast, *verbose)
 		return
 	}
 	runNative(b, *seed, *verbose)
@@ -87,13 +88,16 @@ func runNative(b *tango.Benchmark, seed uint64, verbose bool) {
 	}
 }
 
-func runSimulated(b *tango.Benchmark, device string, l1kb int, scheduler string, fast, verbose bool) {
+func runSimulated(b *tango.Benchmark, device string, l1kb int, scheduler string, parallel int, fast, verbose bool) {
 	opts := []tango.SimOption{
 		tango.WithDevice(device),
 		tango.WithScheduler(scheduler),
 	}
 	if l1kb >= 0 {
 		opts = append(opts, tango.WithL1SizeKB(l1kb))
+	}
+	if parallel != 1 {
+		opts = append(opts, tango.WithParallelism(parallel))
 	}
 	if fast {
 		opts = append(opts, tango.WithFastSampling())

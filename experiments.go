@@ -1,6 +1,8 @@
 package tango
 
 import (
+	"runtime"
+
 	"tango/internal/bench"
 	"tango/internal/gpusim"
 	"tango/internal/report"
@@ -47,6 +49,19 @@ func WithFastExperimentSampling() ExperimentOption {
 	return func(s *experimentSettings) { s.opts.Sampling = gpusim.FastSampling() }
 }
 
+// WithExperimentParallelism computes the session's network x configuration
+// simulation matrix on n concurrent workers before rendering; n <= 0 selects
+// one worker per available CPU (GOMAXPROCS).  Rendered tables are identical
+// to a serial run.
+func WithExperimentParallelism(n int) ExperimentOption {
+	return func(s *experimentSettings) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.opts.Parallelism = n
+	}
+}
+
 // ExperimentSession caches simulation results across experiments so a full
 // report run simulates each configuration once.
 type ExperimentSession struct {
@@ -65,6 +80,16 @@ func NewExperimentSession(opts ...ExperimentOption) *ExperimentSession {
 // Run executes one experiment by id ("table1".."table4", "fig1".."fig16").
 func (s *ExperimentSession) Run(id string) (*Table, error) {
 	return s.inner.Run(id)
+}
+
+// Prewarm computes the session's full network x configuration simulation
+// matrix up front using the configured parallelism, so subsequent Run calls
+// render from cache.  Simulation failures are also left for Run to report in
+// deterministic order, exactly as a serial session would.
+func (s *ExperimentSession) Prewarm() {
+	if n := s.inner.Options().Parallelism; n > 1 {
+		_ = s.inner.Prewarm(n)
+	}
 }
 
 // RunAll executes every experiment in paper order.

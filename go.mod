@@ -1,0 +1,3 @@
+module tango
+
+go 1.24

@@ -72,6 +72,11 @@ type Options struct {
 	// Device is the simulated GPU; zero value selects the Pascal GP102
 	// configuration the paper uses.
 	Device device.GPU
+	// Parallelism is the number of worker goroutines RunAll uses to warm the
+	// session's network x configuration simulation matrix before rendering.
+	// Zero or one keeps execution fully serial.  Rendered tables are
+	// identical either way.
+	Parallelism int
 }
 
 // withDefaults fills unset options.
@@ -205,7 +210,16 @@ func (s *Session) Run(id string) (*report.Table, error) {
 }
 
 // RunAll executes every experiment and returns the tables in paper order.
+// With Options.Parallelism > 1 the simulation matrix is computed concurrently
+// first; rendering always happens serially from the cache, so the returned
+// tables are byte-identical to a serial run.
 func (s *Session) RunAll() ([]*report.Table, error) {
+	if s.opts.Parallelism > 1 {
+		// Errors are deliberately ignored here: any cell that failed stays
+		// uncached and the serial render below re-encounters it in the same
+		// deterministic order a serial run would.
+		_ = s.Prewarm(s.opts.Parallelism)
+	}
 	var out []*report.Table
 	for _, e := range Experiments() {
 		t, err := s.Run(e.ID)

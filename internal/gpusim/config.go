@@ -46,10 +46,10 @@ type Config struct {
 	// ModeledSMs is the number of SMs simulated in detail; statistics are
 	// scaled to the device's full SM count.  Zero selects a default.
 	ModeledSMs int
-	// MaxCTAsPerSM is the minimum number of thread blocks kept resident per
-	// modeled SM.  The simulator raises the residency for kernels with small
-	// blocks (up to the hardware limit of 32 blocks or the device's warp
-	// capacity), matching real occupancy behaviour.
+	// MaxCTAsPerSM is the number of thread blocks kept resident per modeled
+	// SM when the device does not bound warps per SM.  Devices that set
+	// MaxWarpsPerSM instead derive residency from their warp capacity (up to
+	// the hardware limit of 32 blocks), matching real occupancy behaviour.
 	MaxCTAsPerSM int
 	// IssueWidth is the number of instructions each SM may issue per cycle.
 	IssueWidth int
@@ -63,6 +63,10 @@ type Config struct {
 	DRAM dram.Config
 	// Sampling bounds detailed execution.
 	Sampling Sampling
+	// Parallelism is the number of worker goroutines RunKernels uses to
+	// simulate independent kernels concurrently.  Zero or one selects serial
+	// execution.  Results are identical to a serial run in either case.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's simulator setup: the Pascal GP102
@@ -108,6 +112,13 @@ func (c Config) WithSampling(s Sampling) Config {
 	return c
 }
 
+// WithParallelism returns a copy of the config that simulates independent
+// kernels on n worker goroutines (n <= 1 selects serial execution).
+func (c Config) WithParallelism(n int) Config {
+	c.Parallelism = n
+	return c
+}
+
 // Validate checks the configuration and fills defaults for zero fields.
 func (c *Config) Validate() error {
 	if err := c.Device.Validate(); err != nil {
@@ -145,6 +156,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Sampling.MaxCTAs < 0 || c.Sampling.MaxLoopIters < 0 {
 		return fmt.Errorf("gpusim: sampling bounds must be non-negative")
+	}
+	if c.Parallelism < 0 {
+		c.Parallelism = 0
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package gpusim
+
+import "testing"
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	in := []int64{42, 7, 19, 7, 100, 3, 55, 3, 3, 88, 1, 64}
+	for _, v := range in {
+		h.push(v)
+	}
+	if h.len() != len(in) {
+		t.Fatalf("len = %d, want %d", h.len(), len(in))
+	}
+	prev := int64(-1)
+	for h.len() > 0 {
+		if top := h.peek(); top < prev {
+			t.Fatalf("peek %d after %d: heap out of order", top, prev)
+		}
+		v := h.pop()
+		if v < prev {
+			t.Fatalf("pop %d after %d: heap out of order", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestEventHeapDrainThrough(t *testing.T) {
+	var h eventHeap
+	for _, v := range []int64{5, 1, 9, 3, 7, 3} {
+		h.push(v)
+	}
+	h.drainThrough(3)
+	if h.len() != 3 {
+		t.Fatalf("after drainThrough(3): len = %d, want 3 (5, 7, 9)", h.len())
+	}
+	if h.peek() != 5 {
+		t.Fatalf("after drainThrough(3): peek = %d, want 5", h.peek())
+	}
+	h.drainThrough(100)
+	if h.len() != 0 {
+		t.Fatalf("drainThrough past all events should empty the heap, len = %d", h.len())
+	}
+	// Draining an empty heap is a no-op.
+	h.drainThrough(100)
+	if h.len() != 0 {
+		t.Fatal("draining an empty heap should be safe")
+	}
+}

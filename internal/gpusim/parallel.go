@@ -1,0 +1,33 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"tango/internal/kernel"
+	"tango/internal/par"
+)
+
+// RunKernels simulates an explicit kernel list and returns per-kernel
+// statistics in kernel order.
+//
+// Kernels are independent simulations — each gets its own SM, L1, L2 and
+// DRAM state — so when the configuration's Parallelism is greater than one
+// they are fanned out across that many worker goroutines.  Results are
+// written into their kernel's slot and errors are reported first-in-launch-
+// order, so the output is identical to a serial run regardless of worker
+// scheduling.
+func (s *Simulator) RunKernels(network string, kernels []*kernel.Kernel) (*RunStats, error) {
+	stats := make([]*KernelStats, len(kernels))
+	err := par.ForEach(s.cfg.Parallelism, len(kernels), func(i int) error {
+		ks, err := s.RunKernel(kernels[i])
+		if err != nil {
+			return fmt.Errorf("gpusim: %s: %w", kernels[i].Name, err)
+		}
+		stats[i] = ks
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunStats{Network: network, Kernels: stats}, nil
+}

@@ -43,19 +43,6 @@ func (s *Simulator) RunNetwork(n *networks.Network) (*RunStats, error) {
 	return s.RunKernels(n.Name, kernels)
 }
 
-// RunKernels simulates an explicit kernel list.
-func (s *Simulator) RunKernels(network string, kernels []*kernel.Kernel) (*RunStats, error) {
-	rs := &RunStats{Network: network}
-	for _, k := range kernels {
-		ks, err := s.RunKernel(k)
-		if err != nil {
-			return nil, fmt.Errorf("gpusim: %s: %w", k.Name, err)
-		}
-		rs.Kernels = append(rs.Kernels, ks)
-	}
-	return rs, nil
-}
-
 // pendingFill is an L1 miss whose data has not yet returned; its MSHR stays
 // allocated until the fill completes.
 type pendingFill struct {
@@ -67,18 +54,94 @@ type pendingFill struct {
 // bypassed: the LSU and interconnect queues are finite even without MSHRs.
 const maxOutstandingBypass = 48
 
+// maxCoalescedLines bounds the distinct 128-byte lines one warp access can
+// touch: one per lane.
+const maxCoalescedLines = warpSize
+
+// ctaSlot tracks the live-warp count of one resident CTA.
+type ctaSlot struct {
+	cta   int
+	warps int
+}
+
 // smState is the per-SM simulation state.
 type smState struct {
 	id        int
 	scheduler sched.Scheduler
 	l1        *cache.Cache
 	unitFree  [isa.NumFuncUnits]int64
-	warps     []*warp
-	resident  int // resident CTAs
-	fills     []pendingFill
+
+	// warps holds the live warps in launch order, so warp IDs are strictly
+	// increasing along the slice (the schedulers rely on that ordering).
+	// Retired warps are compacted out at the start of the next cycle.
+	warps      []*warp
+	nextWarpID int
+	live       int // live warps on this SM
+	retired    int // warps retired since the last compaction
+
+	// ctaLive holds per-CTA live-warp counts, maintained incrementally as
+	// warps retire; a CTA's slot is removed when its last warp finishes,
+	// freeing residency for the dispatcher.  len(ctaLive) is the number of
+	// resident CTAs.
+	ctaLive []ctaSlot
+
+	fills []pendingFill
 	// bypassInFlight holds the completion times of outstanding global
 	// requests issued while the L1 is bypassed.
 	bypassInFlight []int64
+
+	// events is the min-heap of pending wake-up cycles consumed by the
+	// fast-forward path.
+	events eventHeap
+
+	// Reusable per-cycle scratch buffers; the cycle loop performs no
+	// steady-state allocations.
+	cands   []sched.Candidate
+	reasons []StallReason
+	units   []isa.FuncUnit
+	issued  []bool
+	lineBuf []uint64
+}
+
+// ctaWarps returns the live warp count of the given resident CTA.
+func (sm *smState) ctaWarps(ctaID int) int {
+	for i := range sm.ctaLive {
+		if sm.ctaLive[i].cta == ctaID {
+			return sm.ctaLive[i].warps
+		}
+	}
+	return 0
+}
+
+// retireWarp updates the live bookkeeping after w executed its last
+// instruction.  The warp stays in sm.warps until the next compaction.
+func (sm *smState) retireWarp(w *warp) {
+	sm.live--
+	sm.retired++
+	for i := range sm.ctaLive {
+		if sm.ctaLive[i].cta == w.ctaID {
+			sm.ctaLive[i].warps--
+			if sm.ctaLive[i].warps == 0 {
+				sm.ctaLive = append(sm.ctaLive[:i], sm.ctaLive[i+1:]...)
+			}
+			break
+		}
+	}
+}
+
+// compactWarps removes retired warps in place, preserving launch order.
+func (sm *smState) compactWarps() {
+	kept := sm.warps[:0]
+	for _, w := range sm.warps {
+		if !w.done {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(sm.warps); i++ {
+		sm.warps[i] = nil
+	}
+	sm.warps = kept
+	sm.retired = 0
 }
 
 // drainFills installs lines whose data has arrived by cycle now and retires
@@ -141,12 +204,15 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 	threadsPerBlock := k.Launch.ThreadsPerBlock()
 	warpsPerCTA := k.Launch.WarpsPerBlock()
 
-	// Occupancy-driven CTA residency: kernels with small blocks keep more
-	// blocks resident per SM, up to the hardware limit of 32 blocks or the
-	// device's warp capacity, like real hardware does.
+	// Occupancy-driven CTA residency: an SM keeps as many blocks resident as
+	// its warp capacity allows, up to the hardware limit of 32 blocks, like
+	// real hardware does — so kernels with small blocks keep many blocks
+	// resident, and a kernel whose single block exceeds capacity still runs
+	// one.  The configured MaxCTAsPerSM is the fallback residency for device
+	// models that do not bound warps per SM.
 	ctasPerSM := cfg.MaxCTAsPerSM
-	if hw := cfg.Device.MaxWarpsPerSM / warpsPerCTA; hw > ctasPerSM {
-		ctasPerSM = hw
+	if cfg.Device.MaxWarpsPerSM > 0 {
+		ctasPerSM = cfg.Device.MaxWarpsPerSM / warpsPerCTA
 	}
 	if ctasPerSM > 32 {
 		ctasPerSM = 32
@@ -198,7 +264,12 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 		if err != nil {
 			return nil, err
 		}
-		sms[i] = &smState{id: i, scheduler: sc, l1: l1}
+		sms[i] = &smState{
+			id:        i,
+			scheduler: sc,
+			l1:        l1,
+			lineBuf:   make([]uint64, 0, maxCoalescedLines),
+		}
 	}
 
 	st := &KernelStats{Kernel: k}
@@ -214,12 +285,14 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 		st.TypeCounts[i] = types[i] * threads
 	}
 
-	// CTA dispatcher.
+	// CTA dispatcher.  liveWarps counts live warps across all SMs so loop
+	// termination needs no per-cycle rescan.
 	nextCTA := 0
+	liveWarps := 0
 	launchCTA := func(sm *smState, now int64) {
 		ctaID := nextCTA
 		nextCTA++
-		sm.resident++
+		sm.ctaLive = append(sm.ctaLive, ctaSlot{cta: ctaID, warps: warpsPerCTA})
 		remaining := threadsPerBlock
 		for wi := 0; wi < warpsPerCTA; wi++ {
 			lanes := warpSize
@@ -227,13 +300,17 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 				lanes = remaining
 			}
 			remaining -= lanes
-			w := newWarp(len(sm.warps), ctaID, lanes, k.Launch.Regs, &fp, now)
+			w := newWarp(sm.nextWarpID, ctaID, lanes, k.Launch.Regs, &fp, now)
+			sm.nextWarpID++
 			sm.warps = append(sm.warps, w)
+			sm.live++
+			liveWarps++
+			sm.events.push(w.fetchReady)
 		}
 	}
 	// Initial assignment.
 	for _, sm := range sms {
-		for sm.resident < ctasPerSM && nextCTA < sampledCTAs {
+		for len(sm.ctaLive) < ctasPerSM && nextCTA < sampledCTAs {
 			launchCTA(sm, 0)
 		}
 	}
@@ -243,26 +320,11 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 	activity := Activity{}
 	maxWarpsResident := 0
 
-	allDone := func() bool {
-		if nextCTA < sampledCTAs {
-			return false
-		}
-		for _, sm := range sms {
-			for _, w := range sm.warps {
-				if !w.done {
-					return false
-				}
-			}
-		}
-		return true
-	}
-
 	// stallTemp accumulates this cycle's per-warp stall attribution so that
 	// fast-forwarded cycles can replay it cheaply.
 	var stallTemp [NumStallReasons]int64
-	candBuf := make([]sched.Candidate, 0, 64)
 
-	for !allDone() {
+	for liveWarps > 0 || nextCTA < sampledCTAs {
 		if now > maxSimCycles {
 			return nil, fmt.Errorf("gpusim: kernel %s exceeded %d simulated cycles", k.Name, maxSimCycles)
 		}
@@ -272,71 +334,108 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 		}
 
 		for _, sm := range sms {
+			sm.events.drainThrough(now)
 			sm.drainFills(now)
-			// Retire finished CTAs and launch new sampled CTAs.
-			retireAndRefill(sm, &nextCTA, sampledCTAs, ctasPerSM, launchCTA, now)
-			live := 0
-			for _, w := range sm.warps {
-				if !w.done {
-					live++
-				}
+			if sm.retired > 0 {
+				sm.compactWarps()
 			}
-			if live > maxWarpsResident {
-				maxWarpsResident = live
+			// Launch new sampled CTAs into freed residency.
+			for len(sm.ctaLive) < ctasPerSM && nextCTA < sampledCTAs {
+				launchCTA(sm, now)
 			}
-
-			issuedIDs := make(map[int]bool, cfg.IssueWidth)
-			for slot := 0; slot < cfg.IssueWidth; slot++ {
-				candBuf = candBuf[:0]
-				for _, w := range sm.warps {
-					if w.done || issuedIDs[w.id] {
-						continue
-					}
-					ready, reason := s.classify(w, sm, now)
-					candBuf = append(candBuf, sched.Candidate{
-						ID:    w.id,
-						Ready: ready,
-						Age:   w.launch,
-						WaitingOnMemory: !ready && (reason == StallMemoryDependency ||
-							reason == StallMemoryThrottle),
-					})
-				}
-				pick := sm.scheduler.Pick(candBuf, now)
-				if pick < 0 {
-					continue
-				}
-				wID := candBuf[pick].ID
-				var picked *warp
-				for _, w := range sm.warps {
-					if w.id == wID {
-						picked = w
-						break
-					}
-				}
-				if picked == nil {
-					continue
-				}
-				ok := s.issue(picked, sm, l2, mem, rl, now, &activity, st)
-				if ok {
-					issuedAny = true
-					issuedIDs[wID] = true
-					simThreadInstr += int64(picked.lanes)
-				}
+			if sm.live > maxWarpsResident {
+				maxWarpsResident = sm.live
 			}
 
-			// Per-warp stall attribution for this cycle.
+			// One classification pass per cycle feeds both the scheduler's
+			// candidate list and the stall attribution below.  Candidates are
+			// index-aligned with sm.warps, so a pick maps straight back to
+			// its warp without a lookup.
+			cands := sm.cands[:0]
+			reasons := sm.reasons[:0]
+			units := sm.units[:0]
+			issued := sm.issued[:0]
 			for _, w := range sm.warps {
-				if w.done {
-					continue
+				var ready bool
+				var reason StallReason
+				if w.blockedUntil > now {
+					// Memoized block: nothing the warp waits on can change
+					// before blockedUntil, so skip re-classification.
+					reason = w.blockedReason
+				} else {
+					ready, reason, w.blockedUntil = s.classify(w, sm, now)
+					w.blockedReason = reason
 				}
-				if issuedIDs[w.id] {
-					continue
-				}
-				ready, reason := s.classify(w, sm, now)
+				unit := isa.UnitNone
 				if ready {
+					unit = isa.UnitFor(w.current())
+				}
+				cands = append(cands, sched.Candidate{
+					ID:    w.id,
+					Ready: ready,
+					Age:   w.launch,
+					WaitingOnMemory: !ready && (reason == StallMemoryDependency ||
+						reason == StallMemoryThrottle),
+				})
+				reasons = append(reasons, reason)
+				units = append(units, unit)
+				issued = append(issued, false)
+			}
+			sm.cands, sm.reasons, sm.units, sm.issued = cands, reasons, units, issued
+
+			for slot := 0; slot < cfg.IssueWidth; slot++ {
+				pick := sm.scheduler.Pick(cands, now)
+				if pick < 0 {
+					break
+				}
+				w := sm.warps[pick]
+				unit := units[pick]
+				if s.issue(w, sm, l2, mem, rl, now, &activity, st) {
+					issuedAny = true
+					issued[pick] = true
+					simThreadInstr += int64(w.lanes)
+					// The issue changed the warp's dependencies; force a
+					// fresh classification next cycle.
+					w.blockedUntil = 0
+					if w.done {
+						sm.retireWarp(w)
+						liveWarps--
+					}
+					// The issue occupied its functional unit, so structural
+					// hazards still serialize within the cycle: demote every
+					// remaining candidate bound for the same unit, exactly
+					// what per-slot reclassification used to report as
+					// pipe-busy.
+					for i := range cands {
+						if cands[i].Ready && units[i] == unit {
+							cands[i].Ready = false
+							reasons[i] = StallPipeBusy
+						}
+					}
+				} else {
+					// Memory throttle: the warp cannot retry this cycle.
+					reasons[pick] = StallMemoryThrottle
+				}
+				// The warp leaves this cycle's issue pool.  Marking it as
+				// memory-waiting reproduces what per-slot reclassification
+				// used to show the two-level scheduler: an issued warp
+				// vanished from the candidate list (dropping out of the
+				// active set), and a throttled warp reclassified as blocked
+				// on memory.  GTO and LRR only read Ready.
+				cands[pick].Ready = false
+				cands[pick].WaitingOnMemory = true
+			}
+
+			// Per-warp stall attribution for this cycle, reusing the
+			// classification above.
+			for i := range cands {
+				if issued[i] {
+					continue
+				}
+				if cands[i].Ready {
 					stallTemp[StallNotSelected]++
 				} else {
-					stallTemp[reason]++
+					stallTemp[reasons[i]]++
 				}
 			}
 		}
@@ -349,12 +448,9 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 			continue
 		}
 
-		// Nothing issued anywhere: fast-forward to the next event and charge
-		// the skipped cycles with this cycle's stall attribution.
-		next := s.nextEvent(sms, now)
-		if next <= now {
-			next = now + 1
-		}
+		// Nothing issued anywhere: fast-forward to the next pending event and
+		// charge the skipped cycles with this cycle's stall attribution.
+		next := nextEventTime(sms, now)
 		skipped := next - now
 		for i, v := range stallTemp {
 			st.Stalls[i] += v * skipped
@@ -430,66 +526,55 @@ func (s *Simulator) RunKernel(k *kernel.Kernel) (*KernelStats, error) {
 	return st, nil
 }
 
-// retireAndRefill removes finished CTAs' bookkeeping and launches new sampled
-// CTAs while capacity is available.
-func retireAndRefill(sm *smState, nextCTA *int, sampledCTAs, maxPerSM int, launch func(*smState, int64), now int64) {
-	// Count live CTAs.
-	liveCTAs := map[int]bool{}
-	for _, w := range sm.warps {
-		if !w.done {
-			liveCTAs[w.ctaID] = true
-		}
-	}
-	sm.resident = len(liveCTAs)
-	for sm.resident < maxPerSM && *nextCTA < sampledCTAs {
-		launch(sm, now)
-	}
-}
-
 // classify reports whether the warp can issue now and, when it cannot, the
-// nvprof-style reason.
-func (s *Simulator) classify(w *warp, sm *smState, now int64) (bool, StallReason) {
+// nvprof-style reason plus the cycle the blocking condition expires (zero
+// when the condition is not time-bounded, e.g. a full MSHR file, and must be
+// re-checked every cycle).
+func (s *Simulator) classify(w *warp, sm *smState, now int64) (bool, StallReason, int64) {
 	if w.done {
-		return false, StallOther
+		return false, StallOther, 0
 	}
 	if w.syncUntil > now {
-		return false, StallSync
+		return false, StallSync, w.syncUntil
 	}
 	if w.fetchReady > now {
-		return false, StallInstFetch
+		return false, StallInstFetch, w.fetchReady
 	}
 	ins := w.current()
 	if blocked := w.srcBlock(ins, now); blocked >= 0 {
+		until := w.regReady[blocked]
 		switch {
 		case w.regFromConst[blocked]:
-			return false, StallConstMemDependency
+			return false, StallConstMemDependency, until
 		case w.regFromMem[blocked]:
-			return false, StallMemoryDependency
+			return false, StallMemoryDependency, until
 		default:
-			return false, StallExecDependency
+			return false, StallExecDependency, until
 		}
 	}
 	unit := isa.UnitFor(ins)
 	if sm.unitFree[unit] > now {
-		return false, StallPipeBusy
+		return false, StallPipeBusy, sm.unitFree[unit]
 	}
 	if ins.IsMem() && ins.Space == isa.SpaceGlobal {
 		if sm.l1.Config().Bypassed() {
 			// Without an L1, the finite LSU / interconnect queues throttle
 			// further global accesses.
 			if len(sm.bypassInFlight) >= maxOutstandingBypass {
-				return false, StallMemoryThrottle
+				return false, StallMemoryThrottle, 0
 			}
 		} else if cfg := sm.l1.Config(); cfg.MSHRs > 0 && sm.l1.PendingMisses() >= cfg.MSHRs {
 			// A full MSHR file throttles further global accesses.
-			return false, StallMemoryThrottle
+			return false, StallMemoryThrottle, 0
 		}
 	}
-	return true, StallOther
+	return true, StallOther, 0
 }
 
 // issue executes one instruction of the warp.  It returns false when the
 // instruction could not complete (memory throttle) and must be retried.
+// Every future effect (write-back, port release, barrier, fetch) is also
+// pushed onto the SM's event heap so the fast-forward path can find it.
 func (s *Simulator) issue(w *warp, sm *smState, l2 *cache.Cache, mem *dram.DRAM, rl regionLayout,
 	now int64, act *Activity, st *KernelStats) bool {
 
@@ -512,30 +597,38 @@ func (s *Simulator) issue(w *warp, sm *smState, l2 *cache.Cache, mem *dram.DRAM,
 		if portCycles < 1 {
 			portCycles = 1
 		}
-		if ins.IsLoad() {
+		if ins.IsLoad() && ins.Dst != isa.NoReg {
 			w.writeDst(ins, ready, true, false)
+			sm.events.push(ready)
 		}
 	} else if ins.IsMem() && ins.Space == isa.SpaceShared {
 		act.SharedAccesses += lanes
-		if ins.IsLoad() {
+		if ins.IsLoad() && ins.Dst != isa.NoReg {
 			w.writeDst(ins, now+24, true, false)
+			sm.events.push(now + 24)
 		}
 	} else if ins.IsMem() && ins.Space == isa.SpaceConst {
 		act.ConstAccesses++
-		if ins.IsLoad() {
+		if ins.IsLoad() && ins.Dst != isa.NoReg {
 			w.writeDst(ins, now+20, false, true)
+			sm.events.push(now + 20)
 		}
 	} else if ins.Op == isa.OpBar {
 		// Barrier: the warp waits for its CTA mates (approximated as a fixed
-		// window proportional to the CTA's warp count).
-		w.syncUntil = now + int64(8*len(sm.warps))
+		// window proportional to the CTA's live warp count).
+		w.syncUntil = now + int64(8*sm.ctaWarps(w.ctaID))
+		sm.events.push(w.syncUntil)
 	} else {
 		latency := int64(isa.Latency(ins))
-		w.writeDst(ins, now+latency, false, false)
+		if ins.Dst != isa.NoReg {
+			w.writeDst(ins, now+latency, false, false)
+			sm.events.push(now + latency)
+		}
 	}
 
 	// Pipeline occupancy and activity accounting.
 	sm.unitFree[unit] = now + portCycles
+	sm.events.push(sm.unitFree[unit])
 	act.IssuedInstructions += lanes
 	act.RegReads += int64(ins.NSrcs) * lanes
 	if ins.Dst != isa.NoReg {
@@ -554,6 +647,9 @@ func (s *Simulator) issue(w *warp, sm *smState, l2 *cache.Cache, mem *dram.DRAM,
 	}
 
 	w.advance(now)
+	if !w.done && w.fetchReady > now {
+		sm.events.push(w.fetchReady)
+	}
 	return true
 }
 
@@ -563,6 +659,13 @@ func (s *Simulator) issue(w *warp, sm *smState, l2 *cache.Cache, mem *dram.DRAM,
 // MSHR.
 func (s *Simulator) globalAccess(w *warp, sm *smState, l2 *cache.Cache, mem *dram.DRAM, rl regionLayout,
 	ins isa.Instruction, now int64, st *KernelStats) (ready int64, transactions int, ok bool) {
+
+	// With the L1 bypassed the finite LSU / interconnect queues bound the
+	// outstanding requests.  Classification checks this too, but an earlier
+	// issue in the same cycle may have filled the queue since.
+	if sm.l1.Config().Bypassed() && len(sm.bypassInFlight) >= maxOutstandingBypass {
+		return 0, 0, false
+	}
 
 	pat := ins.Pattern
 	base := rl.base[pat.Region]
@@ -575,8 +678,10 @@ func (s *Simulator) globalAccess(w *warp, sm *smState, l2 *cache.Cache, mem *dra
 	}
 	lineBytes := uint64(128)
 
-	// Coalesce the lanes' addresses into unique 128-byte transactions.
-	lines := make(map[uint64]struct{}, 4)
+	// Coalesce the lanes' addresses into unique 128-byte transactions using a
+	// fixed-capacity scratch slice (at most one line per lane), visited in
+	// lane order so the memory system sees a deterministic access sequence.
+	lines := sm.lineBuf[:0]
 	iter := int64(w.iterIndex())
 	for lane := 0; lane < w.lanes; lane++ {
 		off := int64(pat.Base) + int64(lane)*pat.ThreadStride + iter*pat.IterStride + int64(w.ctaID)*pat.BlockStride
@@ -584,17 +689,29 @@ func (s *Simulator) globalAccess(w *warp, sm *smState, l2 *cache.Cache, mem *dra
 			off = -off
 		}
 		addr := base + uint64(off)%footprint
-		lines[addr/lineBytes] = struct{}{}
+		line := addr / lineBytes
+		seen := false
+		for _, l := range lines {
+			if l == line {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			lines = append(lines, line)
+		}
 	}
+	sm.lineBuf = lines
 
 	ready = now
 	l1 := sm.l1
-	for lineAddr := range lines {
+	for _, lineAddr := range lines {
 		addr := lineAddr * lineBytes
 		var lineReady int64
 		if l1.Config().Bypassed() {
 			lineReady = s.l2Access(l2, mem, addr, ins.IsStore(), now)
 			sm.bypassInFlight = append(sm.bypassInFlight, lineReady)
+			sm.events.push(lineReady)
 		} else {
 			switch l1.Access(addr, ins.IsStore()) {
 			case cache.Hit:
@@ -607,6 +724,7 @@ func (s *Simulator) globalAccess(w *warp, sm *smState, l2 *cache.Cache, mem *dra
 				lineReady = s.l2Access(l2, mem, addr, ins.IsStore(), now)
 				// The MSHR stays allocated until the fill returns.
 				sm.fills = append(sm.fills, pendingFill{addr: addr, ready: lineReady})
+				sm.events.push(lineReady)
 			}
 		}
 		if lineReady > ready {
@@ -636,35 +754,18 @@ func (s *Simulator) l2Access(l2 *cache.Cache, mem *dram.DRAM, addr uint64, isWri
 	}
 }
 
-// nextEvent returns the earliest cycle at which any warp could become ready.
-func (s *Simulator) nextEvent(sms []*smState, now int64) int64 {
+// nextEventTime returns the earliest cycle after now at which any SM has a
+// pending event, consuming the per-SM min-heaps.  When no events are pending
+// it returns now+1 so the cycle loop always makes progress.
+func nextEventTime(sms []*smState, now int64) int64 {
 	next := int64(-1)
-	consider := func(t int64) {
-		if t > now && (next == -1 || t < next) {
-			next = t
-		}
-	}
 	for _, sm := range sms {
-		for _, f := range sm.fills {
-			consider(f.ready)
+		sm.events.drainThrough(now)
+		if sm.events.len() == 0 {
+			continue
 		}
-		for _, r := range sm.bypassInFlight {
-			consider(r)
-		}
-		for _, w := range sm.warps {
-			if w.done {
-				continue
-			}
-			consider(w.syncUntil)
-			consider(w.fetchReady)
-			ins := w.current()
-			for s := 0; s < int(ins.NSrcs); s++ {
-				r := ins.Srcs[s]
-				if r != isa.NoReg && int(r) < len(w.regReady) {
-					consider(w.regReady[r])
-				}
-			}
-			consider(sm.unitFree[isa.UnitFor(ins)])
+		if t := sm.events.peek(); next == -1 || t < next {
+			next = t
 		}
 	}
 	if next == -1 {

@@ -1,6 +1,7 @@
 package gpusim_test
 
 import (
+	"reflect"
 	"testing"
 
 	"tango/internal/cache"
@@ -386,5 +387,162 @@ func TestActivityAddAndScale(t *testing.T) {
 	a.Scale(2)
 	if a.IssuedInstructions != 22 || a.RegReads != 40 {
 		t.Errorf("Scale result %+v", a)
+	}
+}
+
+// bigBlockKernel returns a CifarNet conv kernel rewritten to launch 1024
+// threads (32 warps) per block, large enough that even a single CTA uses a
+// substantial fraction of an SM's warp capacity.
+func bigBlockKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := *ks[0]
+	k.Launch.Block = [3]int{1024, 1, 1}
+	k.Launch.Grid = [3]int{8, 1, 1}
+	return &k
+}
+
+func TestOccupancyNeverExceedsWarpCapacity(t *testing.T) {
+	// Regression: residency used to take the max of the configured CTA limit
+	// and the warp-capacity-derived limit, so a kernel with 32-warp blocks on
+	// a device with a 48-warp SM kept 2 CTAs (64 warps) resident.
+	cfg := gpusim.DefaultConfig()
+	cfg.Device.MaxWarpsPerSM = 48
+	sim := fastSim(t, cfg)
+	st, err := sim.RunKernel(bigBlockKernel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxResidentWarpsPerSM > 48 {
+		t.Errorf("resident warps per SM = %d, exceeds device capacity 48", st.MaxResidentWarpsPerSM)
+	}
+	if st.MaxResidentWarpsPerSM != 32 {
+		t.Errorf("resident warps per SM = %d, want exactly one 32-warp CTA", st.MaxResidentWarpsPerSM)
+	}
+}
+
+func TestOccupancyRaisesResidencyForSmallBlocks(t *testing.T) {
+	// The small-block behaviour must survive the clamp: a kernel whose blocks
+	// are far below warp capacity keeps more CTAs than the configured minimum
+	// resident (as long as enough blocks exist to fill the SM).
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small *kernel.Kernel
+	for _, k := range ks {
+		if k.Launch.WarpsPerBlock() <= 4 && k.Launch.Blocks() >= 16 {
+			small = k
+			break
+		}
+	}
+	if small == nil {
+		t.Skip("no small-block kernel with enough blocks in CifarNet")
+	}
+	cfg := gpusim.DefaultConfig()
+	sim := fastSim(t, cfg)
+	st, err := sim.RunKernel(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warpsPerCTA := small.Launch.WarpsPerBlock()
+	if st.MaxResidentWarpsPerSM <= cfg.MaxCTAsPerSM*warpsPerCTA {
+		t.Errorf("%s: resident warps %d should exceed the configured minimum %d CTAs x %d warps",
+			small.Name, st.MaxResidentWarpsPerSM, cfg.MaxCTAsPerSM, warpsPerCTA)
+	}
+	if st.MaxResidentWarpsPerSM > cfg.Device.MaxWarpsPerSM {
+		t.Errorf("%s: resident warps %d exceed device capacity %d",
+			small.Name, st.MaxResidentWarpsPerSM, cfg.Device.MaxWarpsPerSM)
+	}
+}
+
+func TestRunKernelsParallelMatchesSerial(t *testing.T) {
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := gpusim.DefaultConfig().WithSampling(gpusim.FastSampling())
+	serialSim, err := gpusim.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelSim, err := gpusim.New(base.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSim.RunKernels("CifarNet", ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := parallelSim.RunKernels("CifarNet", ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Kernels) != len(parallel.Kernels) {
+		t.Fatalf("kernel counts differ: %d vs %d", len(serial.Kernels), len(parallel.Kernels))
+	}
+	for i := range serial.Kernels {
+		if !reflect.DeepEqual(serial.Kernels[i], parallel.Kernels[i]) {
+			t.Errorf("kernel %s: parallel statistics differ from serial", ks[i].Name)
+		}
+	}
+}
+
+func TestRunKernelSteadyStateAllocations(t *testing.T) {
+	// The cycle loop must not allocate per cycle or per memory access:
+	// a conv kernel simulating tens of thousands of cycles should stay within
+	// a setup-sized allocation budget (warps, caches, schedulers), orders of
+	// magnitude below its cycle count.
+	n, err := networks.NewCifarNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ks[0]
+	for _, tc := range []struct {
+		name string
+		cfg  gpusim.Config
+	}{
+		{"default-l1", gpusim.DefaultConfig()},
+		{"bypassed-l1", gpusim.DefaultConfig().WithL1Size(0)},
+	} {
+		sim, err := gpusim.New(tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.RunKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, err := sim.RunKernel(k); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%s: %d sim cycles, %.0f allocs per run", tc.name, st.SimCycles, allocs)
+		if st.SimCycles < 10_000 {
+			t.Fatalf("%s: kernel too small (%d cycles) to exercise the steady state", tc.name, st.SimCycles)
+		}
+		if allocs > 4000 {
+			t.Errorf("%s: %.0f allocations per run; the cycle loop is allocating in steady state", tc.name, allocs)
+		}
 	}
 }

@@ -89,6 +89,14 @@ type warp struct {
 	syncUntil int64
 	// fetchReady models the instruction-fetch delay at segment boundaries.
 	fetchReady int64
+
+	// blockedUntil and blockedReason memoize the last classification: while
+	// a warp is blocked on a time-bounded condition (sync, fetch, register
+	// dependency, busy pipe) none of its inputs can change before that cycle,
+	// so re-classification is skipped until it expires.  Zero means the warp
+	// must be (re-)classified.
+	blockedUntil  int64
+	blockedReason StallReason
 }
 
 // newWarp creates a warp positioned at the start of the program.

@@ -1,0 +1,51 @@
+// Package par provides the deterministic worker-pool primitive shared by the
+// simulator's kernel-level parallelism and the experiment drivers' matrix
+// fan-out.
+package par
+
+import "sync"
+
+// ForEach runs fn(i) for every i in [0, n) and returns the first error in
+// index order, regardless of completion order — so callers see the same
+// error a serial loop would report.  With workers <= 1 the calls run
+// serially (short-circuiting on the first error); otherwise they are fanned
+// out across min(workers, n) goroutines.  fn must be safe for concurrent
+// invocation when workers > 1.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package par_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"tango/internal/par"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 100} {
+		var ran [17]int32
+		if err := par.ForEach(workers, len(ran), func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReportsFirstErrorInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := par.ForEach(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v, want job 3's error", workers, err)
+		}
+	}
+}
+
+func TestForEachSerialShortCircuits(t *testing.T) {
+	var calls int
+	boom := errors.New("boom")
+	err := par.ForEach(1, 10, func(i int) error {
+		calls++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("serial run made %d calls after error at index 2, want 3", calls)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := par.ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0 should be a no-op, got %v", err)
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"strings"
 )
 
-// Candidate describes one schedulable warp at the current cycle.
+// Candidate describes one schedulable warp at the current cycle.  The
+// simulator presents candidates sorted by ascending ID; schedulers may rely
+// on that ordering.
 type Candidate struct {
 	// ID is the warp's stable identifier within its SM.
 	ID int
@@ -72,10 +74,8 @@ func (g *gtoScheduler) Reset() { g.lastWarp = -1 }
 func (g *gtoScheduler) Pick(candidates []Candidate, _ int64) int {
 	// Greedy: continue with the last issued warp if it is still ready.
 	if g.lastWarp >= 0 {
-		for i, c := range candidates {
-			if c.ID == g.lastWarp && c.Ready {
-				return i
-			}
+		if i := find(candidates, g.lastWarp); i >= 0 && candidates[i].Ready {
+			return i
 		}
 	}
 	// Oldest ready warp.
@@ -144,22 +144,34 @@ func (t *tlvScheduler) Name() string { return string(TLV) }
 
 func (t *tlvScheduler) Reset() { t.active = nil; t.rrPointer = 0 }
 
+// find returns the index of the candidate with the given ID via binary
+// search over the ID-sorted candidate list, or -1 when absent.
+func find(candidates []Candidate, id int) int {
+	lo, hi := 0, len(candidates)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if candidates[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(candidates) && candidates[lo].ID == id {
+		return lo
+	}
+	return -1
+}
+
 func (t *tlvScheduler) Pick(candidates []Candidate, _ int64) int {
 	if len(candidates) == 0 {
 		return -1
-	}
-	byID := make(map[int]Candidate, len(candidates))
-	idxByID := make(map[int]int, len(candidates))
-	for i, c := range candidates {
-		byID[c.ID] = c
-		idxByID[c.ID] = i
 	}
 
 	// Drop departed or memory-blocked warps from the active set.
 	kept := t.active[:0]
 	for _, id := range t.active {
-		c, ok := byID[id]
-		if !ok || c.WaitingOnMemory {
+		i := find(candidates, id)
+		if i < 0 || candidates[i].WaitingOnMemory {
 			continue
 		}
 		kept = append(kept, id)
@@ -193,10 +205,10 @@ func (t *tlvScheduler) Pick(candidates []Candidate, _ int64) int {
 	// Round-robin within the active set.
 	for off := 0; off < len(t.active); off++ {
 		slot := (t.rrPointer + off) % len(t.active)
-		id := t.active[slot]
-		if c := byID[id]; c.Ready {
+		i := find(candidates, t.active[slot])
+		if i >= 0 && candidates[i].Ready {
 			t.rrPointer = (slot + 1) % len(t.active)
-			return idxByID[id]
+			return i
 		}
 	}
 	return -1

@@ -1,0 +1,61 @@
+package tango_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tango"
+)
+
+// TestSimulateParallelDeterminism asserts that kernel-parallel simulation of
+// every network in the suite produces results identical to serial execution.
+func TestSimulateParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism check skipped in -short mode")
+	}
+	for _, name := range tango.Benchmarks() {
+		bm, err := tango.LoadBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := bm.Simulate(tango.WithFastSampling())
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		parallel, err := bm.Simulate(tango.WithFastSampling(), tango.WithParallelism(8))
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s: parallel simulation result differs from serial", name)
+		}
+	}
+}
+
+// TestRunAllParallelDeterminism asserts that a parallel experiment session
+// renders every table of the full report byte-identically to a serial one,
+// across all seven networks under fast sampling.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix skipped in -short mode")
+	}
+	serialTables, err := tango.NewExperimentSession(tango.WithFastExperimentSampling()).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelTables, err := tango.NewExperimentSession(
+		tango.WithFastExperimentSampling(), tango.WithExperimentParallelism(8)).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialTables) != len(parallelTables) {
+		t.Fatalf("table counts differ: %d vs %d", len(serialTables), len(parallelTables))
+	}
+	for i := range serialTables {
+		a, b := serialTables[i].String(), parallelTables[i].String()
+		if a != b {
+			t.Errorf("%s: parallel rendering differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				serialTables[i].ID, a, b)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package tango
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"tango/internal/device"
@@ -13,11 +14,12 @@ import (
 
 // simSettings collects the simulation options.
 type simSettings struct {
-	device    device.GPU
-	l1Bytes   int
-	l1Set     bool
-	scheduler sched.Kind
-	sampling  gpusim.Sampling
+	device      device.GPU
+	l1Bytes     int
+	l1Set       bool
+	scheduler   sched.Kind
+	sampling    gpusim.Sampling
+	parallelism int
 }
 
 // SimOption configures Simulate.
@@ -70,6 +72,19 @@ func WithScheduler(kind string) SimOption {
 func WithFastSampling() SimOption {
 	return func(s *simSettings) error {
 		s.sampling = gpusim.FastSampling()
+		return nil
+	}
+}
+
+// WithParallelism simulates the benchmark's independent kernels on n worker
+// goroutines; n <= 0 selects one worker per available CPU (GOMAXPROCS).
+// Results are identical to a serial run.
+func WithParallelism(n int) SimOption {
+	return func(s *simSettings) error {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.parallelism = n
 		return nil
 	}
 }
@@ -141,7 +156,8 @@ func (b *Benchmark) Simulate(opts ...SimOption) (*SimulationResult, error) {
 	}
 	cfg := gpusim.ConfigFor(settings.device).
 		WithScheduler(settings.scheduler).
-		WithSampling(settings.sampling)
+		WithSampling(settings.sampling).
+		WithParallelism(settings.parallelism)
 	if settings.l1Set {
 		cfg = cfg.WithL1Size(settings.l1Bytes)
 	}
