@@ -24,6 +24,7 @@ func main() {
 		exp      = flag.String("exp", "", "experiment id (table1..table4, fig1..fig16)")
 		networks = flag.String("networks", "", "comma-separated benchmark filter (default: the experiment's full set)")
 		fast     = flag.Bool("fast", false, "use coarse simulation sampling")
+		parallel = flag.Int("parallel", 1, "worker goroutines for the simulation matrix (0 = one per CPU)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	flag.Parse()
@@ -53,8 +54,13 @@ func main() {
 	if *fast {
 		opts = append(opts, tango.WithFastExperimentSampling())
 	}
+	if *parallel != 1 {
+		opts = append(opts, tango.WithExperimentParallelism(*parallel))
+	}
 
-	table, err := tango.RunExperiment(*exp, opts...)
+	session := tango.NewExperimentSession(opts...)
+	session.PrewarmExperiment(*exp)
+	table, err := session.Run(*exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tango-char:", err)
 		os.Exit(1)

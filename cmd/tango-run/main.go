@@ -27,7 +27,7 @@ func main() {
 		deviceStr = flag.String("device", "GP102", "simulated device: GP102, GK210 or TX1")
 		l1kb      = flag.Int("l1kb", -1, "simulated L1D size in KB (0 bypasses the L1, -1 keeps the device default)")
 		scheduler = flag.String("scheduler", "gto", "warp scheduler: gto, lrr or tlv")
-		parallel  = flag.Int("parallel", 1, "worker goroutines for kernel simulation (0 = one per CPU)")
+		parallel  = flag.Int("parallel", 1, "worker goroutines for native inference or kernel simulation (0 = one per CPU)")
 		fast      = flag.Bool("fast", false, "use coarse simulation sampling")
 		seed      = flag.Uint64("seed", 1, "seed for the synthetic sample input")
 		verbose   = flag.Bool("v", false, "print per-layer detail")
@@ -57,13 +57,17 @@ func main() {
 		runSimulated(b, *deviceStr, *l1kb, *scheduler, *parallel, *fast, *verbose)
 		return
 	}
-	runNative(b, *seed, *verbose)
+	runNative(b, *seed, *parallel, *verbose)
 }
 
-func runNative(b *tango.Benchmark, seed uint64, verbose bool) {
+func runNative(b *tango.Benchmark, seed uint64, parallel int, verbose bool) {
+	var opts []tango.SimOption
+	if parallel != 1 {
+		opts = append(opts, tango.WithParallelism(parallel))
+	}
 	switch b.Kind() {
 	case "CNN":
-		res, err := b.ClassifySample(seed)
+		res, err := b.ClassifySample(seed, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,7 +84,7 @@ func runNative(b *tango.Benchmark, seed uint64, verbose bool) {
 		if err != nil {
 			fatal(err)
 		}
-		pred, err := b.Forecast(hist)
+		pred, err := b.Forecast(hist, opts...)
 		if err != nil {
 			fatal(err)
 		}

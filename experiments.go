@@ -92,6 +92,15 @@ func (s *ExperimentSession) Prewarm() {
 	}
 }
 
+// PrewarmExperiment warms only the simulation cells the given experiment
+// consumes — the right call before a single Run, where Prewarm would
+// simulate the whole report matrix.
+func (s *ExperimentSession) PrewarmExperiment(id string) {
+	if n := s.inner.Options().Parallelism; n > 1 {
+		_ = s.inner.PrewarmFor(id, n)
+	}
+}
+
 // RunAll executes every experiment in paper order.
 func (s *ExperimentSession) RunAll() ([]*Table, error) {
 	return s.inner.RunAll()

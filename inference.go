@@ -18,9 +18,31 @@ type Classification struct {
 	LayerActivations map[string]int
 }
 
+// nativeWorkers extracts the worker count for the native compute engine from
+// inference options.  Native inference reuses the WithParallelism knob; the
+// remaining options configure the simulator and have no effect on native
+// runs.
+func nativeWorkers(opts []SimOption) (int, error) {
+	var settings simSettings
+	for _, opt := range opts {
+		if err := opt(&settings); err != nil {
+			return 0, err
+		}
+	}
+	if settings.parallelism < 1 {
+		return 1, nil
+	}
+	return settings.parallelism, nil
+}
+
 // Classify runs a CNN benchmark natively on a CHW image supplied as a flat
 // float32 slice (length = product of the input shape).
-func (b *Benchmark) Classify(image []float32) (*Classification, error) {
+//
+// The run executes on the native compute engine (im2col + blocked GEMM with
+// pooled scratch arenas).  WithParallelism selects the engine's worker
+// count; results are bit-identical for any worker count.  Other simulation
+// options are accepted but have no effect on native runs.
+func (b *Benchmark) Classify(image []float32, opts ...SimOption) (*Classification, error) {
 	if err := b.ensureKind(networks.KindCNN, "Classify"); err != nil {
 		return nil, err
 	}
@@ -29,16 +51,12 @@ func (b *Benchmark) Classify(image []float32) (*Classification, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tango: %s expects a %v input: %w", b.Name(), shape, err)
 	}
-	res, err := b.inner.RunInference(in)
-	if err != nil {
-		return nil, err
-	}
-	return b.classification(res)
+	return b.classifyTensor(in, opts)
 }
 
 // ClassifySample runs a CNN benchmark on the deterministic synthetic sample
 // input standing in for the paper's reference image (Table I).
-func (b *Benchmark) ClassifySample(seed uint64) (*Classification, error) {
+func (b *Benchmark) ClassifySample(seed uint64, opts ...SimOption) (*Classification, error) {
 	if err := b.ensureKind(networks.KindCNN, "ClassifySample"); err != nil {
 		return nil, err
 	}
@@ -46,7 +64,19 @@ func (b *Benchmark) ClassifySample(seed uint64) (*Classification, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := b.inner.RunInference(in)
+	return b.classifyTensor(in, opts)
+}
+
+// classifyTensor runs the engine on a pooled scratch and copies the result
+// out before the scratch (whose arena the result aliases) is released.
+func (b *Benchmark) classifyTensor(in *tensor.Tensor, opts []SimOption) (*Classification, error) {
+	workers, err := nativeWorkers(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := b.inner.AcquireScratch(workers)
+	defer b.inner.ReleaseScratch(s)
+	res, err := b.inner.RunInferenceScratch(in, s)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +101,8 @@ func (b *Benchmark) classification(res *networks.Result) (*Classification, error
 
 // Forecast runs an RNN benchmark natively on a history of scalar observations
 // (e.g. normalized daily prices) and returns the predicted next value.
-func (b *Benchmark) Forecast(history []float64) (float64, error) {
+// WithParallelism selects the compute engine's worker count, as in Classify.
+func (b *Benchmark) Forecast(history []float64, opts ...SimOption) (float64, error) {
 	if err := b.ensureKind(networks.KindRNN, "Forecast"); err != nil {
 		return 0, err
 	}
@@ -85,16 +116,12 @@ func (b *Benchmark) Forecast(history []float64) (float64, error) {
 		x.Fill(float32(v))
 		seq[i] = x
 	}
-	res, err := b.inner.RunSequence(seq)
-	if err != nil {
-		return 0, err
-	}
-	return float64(res.Output.Data()[0]), nil
+	return b.forecastSequence(seq, opts)
 }
 
 // ForecastSample runs an RNN benchmark on the deterministic synthetic price
 // sequence standing in for the paper's bitcoin price history (Table I).
-func (b *Benchmark) ForecastSample(seed uint64) (float64, error) {
+func (b *Benchmark) ForecastSample(seed uint64, opts ...SimOption) (float64, error) {
 	if err := b.ensureKind(networks.KindRNN, "ForecastSample"); err != nil {
 		return 0, err
 	}
@@ -102,7 +129,19 @@ func (b *Benchmark) ForecastSample(seed uint64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := b.inner.RunSequence(seq)
+	return b.forecastSequence(seq, opts)
+}
+
+// forecastSequence runs the engine on a pooled scratch and extracts the
+// prediction before the scratch is released.
+func (b *Benchmark) forecastSequence(seq []*tensor.Tensor, opts []SimOption) (float64, error) {
+	workers, err := nativeWorkers(opts)
+	if err != nil {
+		return 0, err
+	}
+	s := b.inner.AcquireScratch(workers)
+	defer b.inner.ReleaseScratch(s)
+	res, err := b.inner.RunSequenceScratch(seq, s)
 	if err != nil {
 		return 0, err
 	}

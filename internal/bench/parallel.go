@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"strings"
+
 	"tango/internal/device"
 	"tango/internal/gpusim"
 	"tango/internal/par"
@@ -51,8 +53,54 @@ func (s *Session) matrix() []simJob {
 // uncached and will be re-attempted (and re-reported deterministically) by
 // the serial render path.
 func (s *Session) Prewarm(n int) error {
-	jobs := s.matrix()
+	return s.prewarmJobs(s.matrix(), n)
+}
 
+// experimentKeys returns the simulation-cache keys the given experiment's
+// renderer consumes; nil means it renders without simulating (the tables).
+// TestPrewarmForCoversExperiments guards this mapping against drift.
+func experimentKeys(id string) []string {
+	switch strings.ToLower(id) {
+	case "fig2":
+		return []string{"nol1", "l1", "l1x2", "l1x4"}
+	case "fig6":
+		return []string{"tx1"}
+	case "fig13", "fig14":
+		return []string{"nol1"}
+	case "fig15", "fig16":
+		return []string{"default", "sched-" + string(sched.LRR), "sched-" + string(sched.TLV)}
+	case "fig1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12":
+		return []string{"default"}
+	default:
+		return nil
+	}
+}
+
+// PrewarmFor warms only the matrix cells the given experiment consumes, on n
+// concurrent workers — the single-experiment counterpart of Prewarm, used by
+// tango-char so one figure does not simulate the whole report matrix.
+// Unknown ids and the simulation-free tables warm nothing; error semantics
+// match Prewarm.
+func (s *Session) PrewarmFor(id string, n int) error {
+	keys := experimentKeys(id)
+	if len(keys) == 0 {
+		return nil
+	}
+	want := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		want[k] = true
+	}
+	var jobs []simJob
+	for _, j := range s.matrix() {
+		if want[j.key] {
+			jobs = append(jobs, j)
+		}
+	}
+	return s.prewarmJobs(jobs, n)
+}
+
+// prewarmJobs simulates the given matrix cells on n concurrent workers.
+func (s *Session) prewarmJobs(jobs []simJob, n int) error {
 	// Load the benchmarks up front: the suite cache is shared state, and
 	// loading each network once on one goroutine keeps the workers purely
 	// compute-bound.

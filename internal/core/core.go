@@ -13,6 +13,7 @@ import (
 	"tango/internal/gpusim"
 	"tango/internal/kernel"
 	"tango/internal/networks"
+	"tango/internal/nn"
 	"tango/internal/tensor"
 	"tango/internal/weights"
 )
@@ -26,6 +27,15 @@ type Benchmark struct {
 	Weights *weights.Set
 	// Kernels is the lowered kernel list (Table III geometry).
 	Kernels []*kernel.Kernel
+
+	// planOnce resolves the weight plan for the native compute engine on
+	// first use; the plan is immutable and shared by all runs.
+	planOnce sync.Once
+	plan     *networks.Plan
+	planErr  error
+	// scratch pools per-goroutine compute engine state so steady-state
+	// inference reuses its buffers.
+	scratch sync.Pool
 }
 
 // Name returns the benchmark name.
@@ -86,14 +96,77 @@ func (b *Benchmark) SampleSequence(seed uint64) ([]*tensor.Tensor, error) {
 	return seq, nil
 }
 
-// RunInference executes the CNN natively and returns the classification.
-func (b *Benchmark) RunInference(input *tensor.Tensor) (*networks.Result, error) {
-	return b.Network.Run(input, b.Weights)
+// Plan returns the benchmark's resolved execution plan for the native
+// compute engine, building it on first use.
+func (b *Benchmark) Plan() (*networks.Plan, error) {
+	b.planOnce.Do(func() {
+		b.plan = nil
+		b.plan, b.planErr = b.Network.NewPlan(b.Weights)
+	})
+	return b.plan, b.planErr
 }
 
-// RunSequence executes the RNN natively over a price sequence.
+// AcquireScratch returns a pooled compute-engine scratch configured for the
+// given worker count.  Release it with ReleaseScratch once every tensor of
+// the run's Result has been consumed: results produced with a scratch alias
+// its arena and are overwritten by the next run that reuses it.
+func (b *Benchmark) AcquireScratch(workers int) *nn.Scratch {
+	s, ok := b.scratch.Get().(*nn.Scratch)
+	if !ok {
+		s = nn.NewScratch()
+	}
+	s.SetWorkers(workers)
+	s.SetDirect(false)
+	return s
+}
+
+// ReleaseScratch returns a scratch to the benchmark's pool.
+func (b *Benchmark) ReleaseScratch(s *nn.Scratch) {
+	if s != nil {
+		b.scratch.Put(s)
+	}
+}
+
+// RunInference executes the CNN natively and returns the classification.
+// Results are freshly allocated; for steady-state inference use Plan with an
+// AcquireScratch scratch.
+func (b *Benchmark) RunInference(input *tensor.Tensor) (*networks.Result, error) {
+	p, err := b.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(input, nil)
+}
+
+// RunInferenceScratch executes the CNN natively on the compute engine with
+// the given scratch.  The Result's tensors alias the scratch arena.
+func (b *Benchmark) RunInferenceScratch(input *tensor.Tensor, s *nn.Scratch) (*networks.Result, error) {
+	p, err := b.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(input, s)
+}
+
+// RunSequence executes the RNN natively over a price sequence.  Results are
+// freshly allocated; for steady-state inference use Plan with an
+// AcquireScratch scratch.
 func (b *Benchmark) RunSequence(seq []*tensor.Tensor) (*networks.Result, error) {
-	return b.Network.RunSequence(seq, b.Weights)
+	p, err := b.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.RunSequence(seq, nil)
+}
+
+// RunSequenceScratch executes the RNN natively on the compute engine with
+// the given scratch.  The Result's tensors alias the scratch arena.
+func (b *Benchmark) RunSequenceScratch(seq []*tensor.Tensor, s *nn.Scratch) (*networks.Result, error) {
+	p, err := b.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.RunSequence(seq, s)
 }
 
 // Simulate runs every kernel of the benchmark on the architecture simulator.

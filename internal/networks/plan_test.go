@@ -1,0 +1,209 @@
+package networks_test
+
+import (
+	"testing"
+
+	"tango/internal/networks"
+	"tango/internal/nn"
+	"tango/internal/tensor"
+	"tango/internal/weights"
+)
+
+// buildPlan loads a network with its synthesized weights and returns the
+// resolved plan.
+func buildPlan(t testing.TB, name string) *networks.Plan {
+	t.Helper()
+	n, err := networks.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := weights.Synthesize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := n.NewPlan(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// cnnInput builds a deterministic input for a CNN plan.
+func cnnInput(p *networks.Plan, seed uint64) *tensor.Tensor {
+	in := tensor.New(p.Network().InputShape...)
+	in.FillUniform(tensor.NewRNG(seed), 0, 1)
+	return in
+}
+
+// rnnSequence builds a deterministic input sequence for an RNN plan.
+func rnnSequence(p *networks.Plan, seed uint64) []*tensor.Tensor {
+	n := p.Network()
+	steps := n.SeqLen
+	if steps <= 0 {
+		steps = 2
+	}
+	r := tensor.NewRNG(seed)
+	seq := make([]*tensor.Tensor, steps)
+	for i := range seq {
+		x := tensor.New(n.InputShape...)
+		x.Fill(0.3 + 0.4*r.Float32())
+		seq[i] = x
+	}
+	return seq
+}
+
+// requireBitEqual fails unless a and b are bit-identical tensors.
+func requireBitEqual(t *testing.T, label string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !tensor.SameShape(got, want) {
+		t.Fatalf("%s: shape %v, want %v", label, got.Shape(), want.Shape())
+	}
+	for i, v := range want.Data() {
+		if got.Data()[i] != v {
+			t.Fatalf("%s: element %d = %g, want %g (bit-exact)", label, i, got.Data()[i], v)
+		}
+	}
+}
+
+// TestPlanGoldenEquivalence validates the compute engine end to end on every
+// network of the suite (and the MobileNet extension): the GEMM path — serial
+// and parallel, with and without a scratch — must reproduce the direct
+// reference kernels bit for bit on every layer output.
+func TestPlanGoldenEquivalence(t *testing.T) {
+	names := append(append([]string{}, networks.Names()...), networks.ExtensionNames()...)
+	for _, name := range names {
+		if testing.Short() && (name == "ResNet" || name == "VGGNet") {
+			t.Logf("skipping %s in -short mode (direct reference is slow)", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			p := buildPlan(t, name)
+
+			direct := nn.NewScratch()
+			direct.SetDirect(true)
+			serial := nn.NewScratch()
+			parallel := nn.NewScratch()
+			parallel.SetWorkers(4)
+
+			run := func(s *nn.Scratch) (*networks.Result, error) {
+				if p.Network().Kind == networks.KindCNN {
+					return p.Run(cnnInput(p, 42), s)
+				}
+				return p.RunSequence(rnnSequence(p, 42), s)
+			}
+
+			ref, err := run(direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Direct-mode outputs alias the direct scratch's arena, which no
+			// other run below touches, so they stay valid for comparison.
+			for _, c := range []struct {
+				label string
+				s     *nn.Scratch
+			}{{"engine", serial}, {"parallel", parallel}, {"no-scratch", nil}} {
+				got, err := run(c.s)
+				if err != nil {
+					t.Fatalf("%s: %v", c.label, err)
+				}
+				if got.PredictedClass != ref.PredictedClass {
+					t.Fatalf("%s: predicted class %d, want %d", c.label, got.PredictedClass, ref.PredictedClass)
+				}
+				for li := range ref.LayerOutputs {
+					requireBitEqual(t, c.label+"/"+p.Network().Layers[li].Name,
+						got.LayerOutputs[li], ref.LayerOutputs[li])
+				}
+			}
+		})
+	}
+}
+
+// TestPlanScratchReuseIsDeterministic verifies that repeated runs on one
+// scratch (arena reuse) keep producing identical outputs.
+func TestPlanScratchReuseIsDeterministic(t *testing.T) {
+	p := buildPlan(t, "CifarNet")
+	s := nn.NewScratch()
+	in := cnnInput(p, 7)
+	first, err := p.Run(in, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.Output.Clone()
+	for i := 0; i < 3; i++ {
+		res, err := p.Run(in, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitEqual(t, "rerun", res.Output, want)
+	}
+}
+
+// TestPlanRunAllocations guards the steady-state allocation budget of the
+// compute engine: after warm-up, a CNN inference run with a reused scratch
+// must stay within a handful of small allocations (the Result header).
+func TestPlanRunAllocations(t *testing.T) {
+	p := buildPlan(t, "CifarNet")
+	s := nn.NewScratch()
+	in := cnnInput(p, 3)
+	if _, err := p.Run(in, s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := p.Run(in, s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state CNN run allocated %v times, want <= 2", allocs)
+	}
+}
+
+// TestPlanRunSequenceAllocations guards the RNN steady-state allocation
+// budget.
+func TestPlanRunSequenceAllocations(t *testing.T) {
+	for _, name := range networks.RNNNames() {
+		p := buildPlan(t, name)
+		s := nn.NewScratch()
+		seq := rnnSequence(p, 3)
+		if _, err := p.RunSequence(seq, s); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := p.RunSequence(seq, s); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 2 {
+			t.Fatalf("%s: steady-state RNN run allocated %v times, want <= 2", name, allocs)
+		}
+	}
+}
+
+// TestNewPlanErrors covers plan construction failure modes.
+func TestNewPlanErrors(t *testing.T) {
+	n, err := networks.New("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := weights.NewSet("CifarNet")
+	if _, err := n.NewPlan(empty); err == nil {
+		t.Fatal("NewPlan with empty weights must fail")
+	}
+	unbuilt := &networks.Network{Name: "x", InputShape: []int{1}}
+	if _, err := unbuilt.NewPlan(empty); err == nil {
+		t.Fatal("NewPlan before Build must fail")
+	}
+}
+
+// TestPlanKindMismatch verifies Run/RunSequence reject the wrong workload
+// kind.
+func TestPlanKindMismatch(t *testing.T) {
+	cnn := buildPlan(t, "CifarNet")
+	if _, err := cnn.RunSequence(rnnSequence(cnn, 1), nil); err == nil {
+		t.Fatal("RunSequence on a CNN plan must fail")
+	}
+	rnn := buildPlan(t, "GRU")
+	if _, err := rnn.Run(tensor.New(1), nil); err == nil {
+		t.Fatal("Run on an RNN plan must fail")
+	}
+}

@@ -8,6 +8,10 @@ import (
 )
 
 // Result carries the outputs of one native inference run.
+//
+// When the run used a non-nil nn.Scratch, Output and LayerOutputs alias the
+// scratch arena: they are valid until the next run on the same Scratch.
+// Runs without a Scratch return freshly allocated tensors.
 type Result struct {
 	// Output is the final layer's output tensor.
 	Output *tensor.Tensor
@@ -19,12 +23,86 @@ type Result struct {
 	LayerOutputs []*tensor.Tensor
 }
 
-// Run executes a CNN natively on the given CHW input using the supplied
-// weights and returns the per-layer outputs.  For RNNs use RunSequence.
-func (n *Network) Run(input *tensor.Tensor, w Weights) (*Result, error) {
+// planLayer holds one layer of a Plan with its parameter tensors resolved.
+type planLayer struct {
+	l              *Layer
+	w, b           *tensor.Tensor // conv / fc
+	mean, variance *tensor.Tensor // batchnorm
+	gamma, beta    *tensor.Tensor // scale
+	lstm           *nn.LSTMWeights
+	gru            *nn.GRUWeights
+}
+
+// Plan is a network bound to a resolved weight set: every parameter tensor
+// is looked up and validated once, so repeated runs skip the per-layer
+// weight resolution entirely.  A Plan is immutable after creation and safe
+// for concurrent use; per-run mutable state lives in the nn.Scratch passed
+// to Run/RunSequence.
+type Plan struct {
+	net    *Network
+	layers []planLayer
+}
+
+// NewPlan resolves every layer's parameters from w and returns a reusable
+// execution plan.  Build must have been called on the network.
+func (n *Network) NewPlan(w Weights) (*Plan, error) {
 	if !n.built {
-		return nil, fmt.Errorf("networks: %s: Run before Build", n.Name)
+		return nil, fmt.Errorf("networks: %s: NewPlan before Build", n.Name)
 	}
+	p := &Plan{net: n, layers: make([]planLayer, len(n.Layers))}
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		pl := planLayer{l: l}
+		var err error
+		switch l.Type {
+		case LayerConv:
+			if pl.w, err = w.Get(l.Name, "weights", l.Conv.WeightCount()); err == nil {
+				pl.b, err = w.Get(l.Name, "bias", l.Conv.OutChannels)
+			}
+		case LayerFC:
+			in, ierr := n.inputShapeOf(li, 0)
+			if ierr != nil {
+				return nil, ierr
+			}
+			if pl.w, err = w.Get(l.Name, "weights", l.FCOut*elems(in)); err == nil {
+				pl.b, err = w.Get(l.Name, "bias", l.FCOut)
+			}
+		case LayerBatchNorm:
+			c := l.OutShape[0]
+			if pl.mean, err = w.Get(l.Name, "mean", c); err == nil {
+				pl.variance, err = w.Get(l.Name, "variance", c)
+			}
+		case LayerScale:
+			c := l.OutShape[0]
+			if pl.gamma, err = w.Get(l.Name, "gamma", c); err == nil {
+				pl.beta, err = w.Get(l.Name, "beta", c)
+			}
+		case LayerLSTM:
+			if pl.lstm, err = loadLSTMWeights(l, w); err == nil {
+				err = pl.lstm.Validate()
+			}
+		case LayerGRU:
+			if pl.gru, err = loadGRUWeights(l, w); err == nil {
+				err = pl.gru.Validate()
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+		}
+		p.layers[li] = pl
+	}
+	return p, nil
+}
+
+// Network returns the plan's network.
+func (p *Plan) Network() *Network { return p.net }
+
+// Run executes a CNN natively on the given CHW input and returns the
+// per-layer outputs.  A non-nil Scratch supplies the compute engine's
+// reusable buffers and worker count; nil runs serially with fresh
+// allocations.  Results are bit-identical for any Scratch configuration.
+func (p *Plan) Run(input *tensor.Tensor, s *nn.Scratch) (*Result, error) {
+	n := p.net
 	if n.Kind != KindCNN {
 		return nil, fmt.Errorf("networks: %s is an RNN; use RunSequence", n.Name)
 	}
@@ -35,22 +113,15 @@ func (n *Network) Run(input *tensor.Tensor, w Weights) (*Result, error) {
 		}
 		return nil, fmt.Errorf("networks: %s expects input shape %v, got %v", n.Name, n.InputShape, got)
 	}
-	outs := make([]*tensor.Tensor, len(n.Layers))
-	resolve := func(li, idx int) *tensor.Tensor {
-		ref := n.Layers[li].Inputs[idx]
-		if ref == InputRef {
-			return input
-		}
-		return outs[ref]
-	}
-	for li := range n.Layers {
-		l := &n.Layers[li]
-		in0 := resolve(li, 0)
-		out, err := n.runLayer(li, l, in0, func(idx int) *tensor.Tensor { return resolve(li, idx) }, w)
+	s.BeginRun()
+	outs := s.LayerOutputs(len(n.Layers))
+	for li := range p.layers {
+		pl := &p.layers[li]
+		out, err := p.runLayer(s, li, pl, input, outs)
 		if err != nil {
-			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, pl.l.Name, err)
 		}
-		if l.FusedReLU {
+		if pl.l.FusedReLU {
 			nn.ReLUInPlace(out)
 		}
 		outs[li] = out
@@ -59,70 +130,49 @@ func (n *Network) Run(input *tensor.Tensor, w Weights) (*Result, error) {
 	return &Result{Output: final, PredictedClass: final.MaxIndex(), LayerOutputs: outs}, nil
 }
 
-// runLayer executes a single non-recurrent layer.
-func (n *Network) runLayer(li int, l *Layer, in0 *tensor.Tensor, input func(int) *tensor.Tensor, w Weights) (*tensor.Tensor, error) {
+// resolveInput returns the tensor feeding input slot idx of layer li.
+func (p *Plan) resolveInput(li, idx int, input *tensor.Tensor, outs []*tensor.Tensor) *tensor.Tensor {
+	ref := p.net.Layers[li].Inputs[idx]
+	if ref == InputRef {
+		return input
+	}
+	return outs[ref]
+}
+
+// runLayer executes a single non-recurrent layer on the engine.
+func (p *Plan) runLayer(s *nn.Scratch, li int, pl *planLayer, input *tensor.Tensor, outs []*tensor.Tensor) (*tensor.Tensor, error) {
+	l := pl.l
+	in0 := p.resolveInput(li, 0, input, outs)
 	switch l.Type {
 	case LayerConv:
-		wt, err := w.Get(l.Name, "weights", l.Conv.WeightCount())
-		if err != nil {
-			return nil, err
-		}
-		b, err := w.Get(l.Name, "bias", l.Conv.OutChannels)
-		if err != nil {
-			return nil, err
-		}
-		return nn.Conv2D(in0, wt, b, l.Conv)
+		return s.Conv2D(in0, pl.w, pl.b, l.Conv)
 	case LayerPool:
-		return nn.Pool2D(in0, l.Pool)
+		return s.Pool2D(in0, l.Pool)
 	case LayerFC:
-		inCount := in0.Len()
-		wt, err := w.Get(l.Name, "weights", l.FCOut*inCount)
-		if err != nil {
-			return nil, err
-		}
-		b, err := w.Get(l.Name, "bias", l.FCOut)
-		if err != nil {
-			return nil, err
-		}
-		return nn.FullyConnected(in0, wt, b, l.FCOut)
+		return s.FullyConnected(in0, pl.w, pl.b, l.FCOut)
 	case LayerLRN:
-		return nn.LRN(in0, l.LRN)
+		return s.LRN(in0, l.LRN)
 	case LayerBatchNorm:
-		c := l.OutShape[0]
-		mean, err := w.Get(l.Name, "mean", c)
-		if err != nil {
-			return nil, err
-		}
-		variance, err := w.Get(l.Name, "variance", c)
-		if err != nil {
-			return nil, err
-		}
-		return nn.BatchNorm(in0, nn.BatchNormParams{Mean: mean, Variance: variance})
+		return s.BatchNorm(in0, nn.BatchNormParams{Mean: pl.mean, Variance: pl.variance})
 	case LayerScale:
-		c := l.OutShape[0]
-		gamma, err := w.Get(l.Name, "gamma", c)
-		if err != nil {
-			return nil, err
-		}
-		beta, err := w.Get(l.Name, "beta", c)
-		if err != nil {
-			return nil, err
-		}
-		return nn.Scale(in0, gamma, beta)
+		return s.Scale(in0, pl.gamma, pl.beta)
 	case LayerReLU:
-		return nn.ReLU(in0), nil
+		return s.ReLU(in0)
 	case LayerEltwise:
-		return nn.EltwiseAdd(in0, input(1))
+		return s.EltwiseAdd(in0, p.resolveInput(li, 1, input, outs))
 	case LayerConcat:
+		if len(l.Inputs) == 2 {
+			return s.ConcatChannels(p.resolveInput(li, 0, input, outs), p.resolveInput(li, 1, input, outs))
+		}
 		parts := make([]*tensor.Tensor, len(l.Inputs))
 		for i := range l.Inputs {
-			parts[i] = input(i)
+			parts[i] = p.resolveInput(li, i, input, outs)
 		}
-		return nn.ConcatChannels(parts...)
+		return s.ConcatChannels(parts...)
 	case LayerSoftmax:
-		return nn.Softmax(in0), nil
+		return s.Softmax(in0)
 	case LayerGlobalPool:
-		return nn.GlobalAvgPool(in0)
+		return s.GlobalAvgPool(in0)
 	default:
 		return nil, fmt.Errorf("unsupported layer type %v in CNN graph", l.Type)
 	}
@@ -131,11 +181,9 @@ func (n *Network) runLayer(li int, l *Layer, in0 *tensor.Tensor, input func(int)
 // RunSequence executes an RNN natively over a sequence of input vectors
 // (each of length InputShape[0]) and returns the final output.  The networks
 // in the suite end with a fully-connected regression head that projects the
-// final hidden state to the predicted value.
-func (n *Network) RunSequence(seq []*tensor.Tensor, w Weights) (*Result, error) {
-	if !n.built {
-		return nil, fmt.Errorf("networks: %s: RunSequence before Build", n.Name)
-	}
+// final hidden state to the predicted value.  Scratch semantics match Run.
+func (p *Plan) RunSequence(seq []*tensor.Tensor, s *nn.Scratch) (*Result, error) {
+	n := p.net
 	if n.Kind != KindRNN {
 		return nil, fmt.Errorf("networks: %s is a CNN; use Run", n.Name)
 	}
@@ -149,33 +197,25 @@ func (n *Network) RunSequence(seq []*tensor.Tensor, w Weights) (*Result, error) 
 		}
 	}
 
-	outs := make([]*tensor.Tensor, len(n.Layers))
+	s.BeginRun()
+	outs := s.LayerOutputs(len(n.Layers))
 	var current *tensor.Tensor
-	for li := range n.Layers {
-		l := &n.Layers[li]
+	for li := range p.layers {
+		pl := &p.layers[li]
+		l := pl.l
 		switch l.Type {
 		case LayerLSTM:
-			lw, err := loadLSTMWeights(l, w)
-			if err != nil {
-				return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
-			}
-			st := nn.NewLSTMState(l.Hidden)
+			st := nn.LSTMState{H: zeroed1(s, l.Hidden), C: zeroed1(s, l.Hidden)}
 			for _, x := range seq {
-				st, err = nn.LSTMCell(lw, st, x)
-				if err != nil {
+				if err := s.LSTMStep(pl.lstm, st, x); err != nil {
 					return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
 				}
 			}
 			current = st.H
 		case LayerGRU:
-			gw, err := loadGRUWeights(l, w)
-			if err != nil {
-				return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
-			}
-			h := tensor.New(l.Hidden)
+			h := zeroed1(s, l.Hidden)
 			for _, x := range seq {
-				h, err = nn.GRUCell(gw, h, x)
-				if err != nil {
+				if err := s.GRUStep(pl.gru, h, x); err != nil {
 					return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
 				}
 			}
@@ -184,15 +224,8 @@ func (n *Network) RunSequence(seq []*tensor.Tensor, w Weights) (*Result, error) 
 			if current == nil {
 				return nil, fmt.Errorf("networks: %s layer %q: FC before recurrent layer", n.Name, l.Name)
 			}
-			wt, err := w.Get(l.Name, "weights", l.FCOut*current.Len())
-			if err != nil {
-				return nil, err
-			}
-			b, err := w.Get(l.Name, "bias", l.FCOut)
-			if err != nil {
-				return nil, err
-			}
-			current, err = nn.FullyConnected(current, wt, b, l.FCOut)
+			var err error
+			current, err = s.FullyConnected(current, pl.w, pl.b, l.FCOut)
 			if err != nil {
 				return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
 			}
@@ -205,6 +238,43 @@ func (n *Network) RunSequence(seq []*tensor.Tensor, w Weights) (*Result, error) 
 		outs[li] = current
 	}
 	return &Result{Output: current, PredictedClass: -1, LayerOutputs: outs}, nil
+}
+
+// zeroed1 returns a zero-filled rank-1 tensor of length n from the scratch
+// arena (arena tensors carry the previous run's state).
+func zeroed1(s *nn.Scratch, n int) *tensor.Tensor {
+	t := s.Arena1(n)
+	t.Zero()
+	return t
+}
+
+// Run executes a CNN natively on the given CHW input using the supplied
+// weights and returns the per-layer outputs.  For RNNs use RunSequence.
+// It builds a throwaway Plan; callers running repeatedly should hold a Plan
+// (and an nn.Scratch) instead.
+func (n *Network) Run(input *tensor.Tensor, w Weights) (*Result, error) {
+	if !n.built {
+		return nil, fmt.Errorf("networks: %s: Run before Build", n.Name)
+	}
+	p, err := n.NewPlan(w)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(input, nil)
+}
+
+// RunSequence executes an RNN natively over a sequence of input vectors
+// using the supplied weights.  It builds a throwaway Plan; callers running
+// repeatedly should hold a Plan (and an nn.Scratch) instead.
+func (n *Network) RunSequence(seq []*tensor.Tensor, w Weights) (*Result, error) {
+	if !n.built {
+		return nil, fmt.Errorf("networks: %s: RunSequence before Build", n.Name)
+	}
+	p, err := n.NewPlan(w)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunSequence(seq, nil)
 }
 
 func loadLSTMWeights(l *Layer, w Weights) (*nn.LSTMWeights, error) {

@@ -12,14 +12,19 @@ import (
 // heavy use even in floating-point networks.
 func ReLU(input *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(input.Shape()...)
-	in := input.Data()
-	o := out.Data()
+	reluInto(out.Data(), input.Data())
+	return out
+}
+
+// reluInto writes max(0, in[i]) into o; both have equal length.
+func reluInto(o, in []float32) {
 	for i, v := range in {
 		if v > 0 {
 			o[i] = v
+		} else {
+			o[i] = 0
 		}
 	}
-	return out
 }
 
 // ReLUInPlace applies max(0, x) in place, matching the fused behaviour of the
@@ -51,25 +56,35 @@ func Tanh(input *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// checkEltwiseArgs validates an element-wise binary op.
+func checkEltwiseArgs(op string, a, b *tensor.Tensor) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("nn: eltwise %s: %w: nil input", op, tensor.ErrShape)
+	}
+	if !tensor.SameShape(a, b) {
+		return fmt.Errorf("%w: eltwise %s %v vs %v", tensor.ErrShape, op, a.Shape(), b.Shape())
+	}
+	return nil
+}
+
 // EltwiseAdd returns a + b element-wise; the tensors must share a shape.
 // ResNet shortcut connections use it.
 func EltwiseAdd(a, b *tensor.Tensor) (*tensor.Tensor, error) {
-	if !tensor.SameShape(a, b) {
-		return nil, fmt.Errorf("%w: eltwise add %v vs %v", tensor.ErrShape, a.Shape(), b.Shape())
+	return (*Scratch)(nil).EltwiseAdd(a, b)
+}
+
+// eltwiseAddInto writes a[i] + b[i] into o; all have equal length.
+func eltwiseAddInto(o, a, b []float32) {
+	for i := range a {
+		o[i] = a[i] + b[i]
 	}
-	out := tensor.New(a.Shape()...)
-	ad, bd, od := a.Data(), b.Data(), out.Data()
-	for i := range ad {
-		od[i] = ad[i] + bd[i]
-	}
-	return out, nil
 }
 
 // EltwiseMul returns a * b element-wise; the tensors must share a shape.
 // The LSTM and GRU gate equations use it.
 func EltwiseMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
-	if !tensor.SameShape(a, b) {
-		return nil, fmt.Errorf("%w: eltwise mul %v vs %v", tensor.ErrShape, a.Shape(), b.Shape())
+	if err := checkEltwiseArgs("mul", a, b); err != nil {
+		return nil, err
 	}
 	out := tensor.New(a.Shape()...)
 	ad, bd, od := a.Data(), b.Data(), out.Data()

@@ -221,7 +221,10 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, target int) (float64, *tensor.Te
 	if target < 0 || target >= n {
 		return 0, nil, fmt.Errorf("nn: target class %d out of range [0,%d)", target, n)
 	}
-	probs := Softmax(logits)
+	probs, err := Softmax(logits)
+	if err != nil {
+		return 0, nil, err
+	}
 	p := float64(probs.Data()[target])
 	if p < 1e-12 {
 		p = 1e-12

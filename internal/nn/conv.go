@@ -88,39 +88,74 @@ func (p ConvParams) MACs(inH, inW int) int64 {
 	return int64(p.OutChannels) * int64(outH) * int64(outW) * perOutput
 }
 
+// checkConvArgs validates a convolution call and returns the input and
+// output geometry.
+func checkConvArgs(input *tensor.Tensor, weights, bias *tensor.Tensor, p ConvParams) (inH, inW, outH, outW int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if input == nil || weights == nil {
+		return 0, 0, 0, 0, fmt.Errorf("nn: conv: %w: nil input or weights", tensor.ErrShape)
+	}
+	if input.Rank() != 3 {
+		return 0, 0, 0, 0, fmt.Errorf("nn: conv input must be CHW, got shape %v", input.Shape())
+	}
+	inC := input.Dim(0)
+	inH, inW = input.Dim(1), input.Dim(2)
+	if inC != p.InChannels {
+		return 0, 0, 0, 0, fmt.Errorf("nn: conv expects %d input channels, got %d", p.InChannels, inC)
+	}
+	if weights.Len() != p.WeightCount() {
+		return 0, 0, 0, 0, fmt.Errorf("nn: conv expects %d weights, got %d", p.WeightCount(), weights.Len())
+	}
+	if bias != nil && bias.Len() != p.OutChannels {
+		return 0, 0, 0, 0, fmt.Errorf("nn: conv expects %d biases, got %d", p.OutChannels, bias.Len())
+	}
+	outH, outW = p.OutputDims(inH, inW)
+	if outH <= 0 || outW <= 0 {
+		return 0, 0, 0, 0, fmt.Errorf("nn: conv output dims %dx%d are not positive for input %dx%d", outH, outW, inH, inW)
+	}
+	return inH, inW, outH, outW, nil
+}
+
 // Conv2D performs a 2-D convolution of input (CHW) with weights
 // (outC x inC/groups x kh x kw) and a per-output-channel bias.  It returns a
 // new CHW tensor.  One output element corresponds to one simulated GPU
 // thread, mirroring the paper's one-thread-per-neuron mapping.
+//
+// The computation is lowered to im2col plus the blocked GEMM kernel in
+// package tensor; results are bit-identical to the direct reference loop in
+// Conv2DDirect (see the summation-order contract on tensor.Gemm).  Use a
+// Scratch to amortize the im2col and output buffers across runs.
 func Conv2D(input *tensor.Tensor, weights, bias *tensor.Tensor, p ConvParams) (*tensor.Tensor, error) {
-	if err := p.Validate(); err != nil {
+	return (*Scratch)(nil).Conv2D(input, weights, bias, p)
+}
+
+// Conv2DDirect is the reference implementation of Conv2D: a direct 7-deep
+// loop nest that accumulates each output element with a scalar sum over
+// (channel, ky, kx) in ascending order.  The GEMM path is validated
+// bit-exactly against it.
+func Conv2DDirect(input *tensor.Tensor, weights, bias *tensor.Tensor, p ConvParams) (*tensor.Tensor, error) {
+	_, _, outH, outW, err := checkConvArgs(input, weights, bias, p)
+	if err != nil {
 		return nil, err
 	}
-	if input.Rank() != 3 {
-		return nil, fmt.Errorf("nn: conv input must be CHW, got shape %v", input.Shape())
-	}
-	inC, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
-	if inC != p.InChannels {
-		return nil, fmt.Errorf("nn: conv expects %d input channels, got %d", p.InChannels, inC)
-	}
-	if weights.Len() != p.WeightCount() {
-		return nil, fmt.Errorf("nn: conv expects %d weights, got %d", p.WeightCount(), weights.Len())
-	}
-	if bias != nil && bias.Len() != p.OutChannels {
-		return nil, fmt.Errorf("nn: conv expects %d biases, got %d", p.OutChannels, bias.Len())
-	}
-	outH, outW := p.OutputDims(inH, inW)
-	if outH <= 0 || outW <= 0 {
-		return nil, fmt.Errorf("nn: conv output dims %dx%d are not positive for input %dx%d", outH, outW, inH, inW)
-	}
-
 	out := tensor.New(p.OutChannels, outH, outW)
+	conv2DDirectInto(out, input, weights, bias, p)
+	return out, nil
+}
+
+// conv2DDirectInto runs the direct loop nest, fully overwriting dst.
+// Arguments must be pre-validated.
+func conv2DDirectInto(dst, input, weights, bias *tensor.Tensor, p ConvParams) {
+	inH, inW := input.Dim(1), input.Dim(2)
+	outH, outW := dst.Dim(1), dst.Dim(2)
 	groups := p.groups()
 	inCPerGroup := p.InChannels / groups
 	outCPerGroup := p.OutChannels / groups
 	in := input.Data()
 	w := weights.Data()
-	o := out.Data()
+	o := dst.Data()
 
 	for oc := 0; oc < p.OutChannels; oc++ {
 		group := oc / outCPerGroup
@@ -153,5 +188,56 @@ func Conv2D(input *tensor.Tensor, weights, bias *tensor.Tensor, p ConvParams) (*
 			}
 		}
 	}
-	return out, nil
+}
+
+// im2col gathers one receptive-field patch per output pixel into col, laid
+// out patch-major: col[(oy*outW+ox)*k + l] where l runs over (channel, ky,
+// kx) of the group's input channels [icBase, icBase+icCount).  Out-of-image
+// (padding) positions are written as zero.  The patch-major layout makes
+// both operands of the GEMM inner dot product contiguous.
+func im2col(col, in []float32, inH, inW, icBase, icCount int, p ConvParams, outH, outW int) {
+	k := icCount * p.KernelH * p.KernelW
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*p.StrideH - p.PadH
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*p.StrideW - p.PadW
+			patch := col[(oy*outW+ox)*k : (oy*outW+ox)*k+k]
+			idx := 0
+			for ic := 0; ic < icCount; ic++ {
+				plane := in[(icBase+ic)*inH*inW : (icBase+ic+1)*inH*inW]
+				for ky := 0; ky < p.KernelH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= inH {
+						for kx := 0; kx < p.KernelW; kx++ {
+							patch[idx] = 0
+							idx++
+						}
+						continue
+					}
+					row := plane[iy*inW : (iy+1)*inW]
+					ix := ix0
+					for kx := 0; kx < p.KernelW; kx++ {
+						if ix < 0 || ix >= inW {
+							patch[idx] = 0
+						} else {
+							patch[idx] = row[ix]
+						}
+						idx++
+						ix++
+					}
+				}
+			}
+		}
+	}
+}
+
+// im2col1x1 handles the 1x1 stride-1 unpadded case: the patch matrix is the
+// transpose of the group's input channel block.
+func im2col1x1(col, in []float32, hw, icBase, icCount int) {
+	for j := 0; j < hw; j++ {
+		patch := col[j*icCount : (j+1)*icCount]
+		for ic := range patch {
+			patch[ic] = in[(icBase+ic)*hw+j]
+		}
+	}
 }

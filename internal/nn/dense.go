@@ -7,83 +7,120 @@ import (
 	"tango/internal/tensor"
 )
 
-// FullyConnected computes out = W*x + b where x is the flattened input,
-// W has shape (outFeatures x inFeatures) and b has length outFeatures.
-// It returns a rank-1 tensor of length outFeatures.
-func FullyConnected(input, weights, bias *tensor.Tensor, outFeatures int) (*tensor.Tensor, error) {
+// checkFullyConnectedArgs validates a fully-connected call and returns the
+// input feature count.
+func checkFullyConnectedArgs(input, weights, bias *tensor.Tensor, outFeatures int) (int, error) {
 	if outFeatures <= 0 {
-		return nil, fmt.Errorf("nn: fc output features must be positive, got %d", outFeatures)
+		return 0, fmt.Errorf("nn: fc output features must be positive, got %d", outFeatures)
+	}
+	if input == nil || input.Len() == 0 {
+		return 0, fmt.Errorf("nn: fc: %w: nil or empty input", tensor.ErrShape)
+	}
+	if weights == nil {
+		return 0, fmt.Errorf("nn: fc: %w: nil weights", tensor.ErrShape)
 	}
 	inFeatures := input.Len()
 	if weights.Len() != outFeatures*inFeatures {
-		return nil, fmt.Errorf("nn: fc expects %d weights (%dx%d), got %d",
+		return 0, fmt.Errorf("nn: fc expects %d weights (%dx%d), got %d",
 			outFeatures*inFeatures, outFeatures, inFeatures, weights.Len())
 	}
 	if bias != nil && bias.Len() != outFeatures {
-		return nil, fmt.Errorf("nn: fc expects %d biases, got %d", outFeatures, bias.Len())
+		return 0, fmt.Errorf("nn: fc expects %d biases, got %d", outFeatures, bias.Len())
 	}
-	out := tensor.New(outFeatures)
-	x := input.Data()
-	w := weights.Data()
-	o := out.Data()
-	for of := 0; of < outFeatures; of++ {
-		sum := float32(0)
-		if bias != nil {
-			sum = bias.Data()[of]
-		}
-		row := w[of*inFeatures : (of+1)*inFeatures]
-		for i, xv := range x {
-			sum += row[i] * xv
-		}
-		o[of] = sum
+	return inFeatures, nil
+}
+
+// FullyConnected computes out = W*x + b where x is the flattened input,
+// W has shape (outFeatures x inFeatures) and b has length outFeatures.
+// It returns a rank-1 tensor of length outFeatures.
+//
+// The product runs on the register-tiled kernel in package tensor; each
+// output element accumulates its dot product left to right starting from its
+// bias, so results are bit-identical to the scalar reference loop.
+func FullyConnected(input, weights, bias *tensor.Tensor, outFeatures int) (*tensor.Tensor, error) {
+	return (*Scratch)(nil).FullyConnected(input, weights, bias, outFeatures)
+}
+
+// checkMatVecArgs validates a MatVec call.
+func checkMatVecArgs(w, x *tensor.Tensor, rows, cols int) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("nn: matvec dims must be positive, got %dx%d", rows, cols)
 	}
-	return out, nil
+	if w == nil || x == nil {
+		return fmt.Errorf("nn: matvec: %w: nil matrix or vector", tensor.ErrShape)
+	}
+	if w.Len() != rows*cols {
+		return fmt.Errorf("nn: matvec matrix needs %d elements, got %d", rows*cols, w.Len())
+	}
+	if x.Len() != cols {
+		return fmt.Errorf("nn: matvec vector needs %d elements, got %d", cols, x.Len())
+	}
+	return nil
 }
 
 // MatVec computes y = W*x for a (rows x cols) matrix W, returning a rank-1
-// tensor of length rows.  It is the core primitive of the RNN gate equations.
+// tensor of length rows.  It is the core primitive of the RNN gate equations
+// and deliberately remains a scalar loop: together with Conv2DDirect it forms
+// the independent reference the blocked engine kernels are validated against.
 func MatVec(w *tensor.Tensor, x *tensor.Tensor, rows, cols int) (*tensor.Tensor, error) {
-	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("nn: matvec dims must be positive, got %dx%d", rows, cols)
-	}
-	if w.Len() != rows*cols {
-		return nil, fmt.Errorf("nn: matvec matrix needs %d elements, got %d", rows*cols, w.Len())
-	}
-	if x.Len() != cols {
-		return nil, fmt.Errorf("nn: matvec vector needs %d elements, got %d", cols, x.Len())
+	if err := checkMatVecArgs(w, x, rows, cols); err != nil {
+		return nil, err
 	}
 	out := tensor.New(rows)
-	wd := w.Data()
-	xd := x.Data()
-	for r := 0; r < rows; r++ {
-		sum := float32(0)
-		row := wd[r*cols : (r+1)*cols]
-		for c, xv := range xd {
-			sum += row[c] * xv
-		}
-		out.Data()[r] = sum
-	}
+	scalarMatVec(out.Data(), w.Data(), x.Data(), nil, rows, cols)
 	return out, nil
 }
 
+// scalarMatVec is the reference mat-vec: one scalar accumulator per row,
+// columns ascending.  bias may be nil.
+func scalarMatVec(dst, w, x, bias []float32, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		var sum float32
+		if bias != nil {
+			sum = bias[r]
+		}
+		row := w[r*cols : (r+1)*cols]
+		for c, xv := range x {
+			sum += row[c] * xv
+		}
+		dst[r] = sum
+	}
+}
+
+// checkSoftmaxArgs validates a Softmax input.
+func checkSoftmaxArgs(input *tensor.Tensor) error {
+	if input == nil || input.Len() == 0 {
+		return fmt.Errorf("nn: softmax: %w: nil or empty input", tensor.ErrShape)
+	}
+	return nil
+}
+
 // Softmax returns the normalized exponential of the input, computed with the
-// usual max-subtraction for numerical stability.
-func Softmax(input *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(input.Shape()...)
-	in := input.Data()
-	max := input.Max()
+// usual max-subtraction for numerical stability.  It returns an error for a
+// nil or empty input.
+func Softmax(input *tensor.Tensor) (*tensor.Tensor, error) {
+	return (*Scratch)(nil).Softmax(input)
+}
+
+// softmaxInto computes the softmax of in into o; both have equal length.
+func softmaxInto(o, in []float32) {
+	max := float32(math.Inf(-1))
+	for _, v := range in {
+		if v > max {
+			max = v
+		}
+	}
 	sum := float64(0)
 	for i, v := range in {
 		e := math.Exp(float64(v - max))
-		out.Data()[i] = float32(e)
+		o[i] = float32(e)
 		sum += e
 	}
 	if sum == 0 {
-		return out
+		return
 	}
 	inv := float32(1.0 / sum)
-	for i := range out.Data() {
-		out.Data()[i] *= inv
+	for i := range o {
+		o[i] *= inv
 	}
-	return out
 }

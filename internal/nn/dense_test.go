@@ -88,7 +88,10 @@ func TestMatVecErrors(t *testing.T) {
 
 func TestSoftmaxProperties(t *testing.T) {
 	in := mustTensor(t, []float32{1, 2, 3, 4}, 4)
-	out := Softmax(in)
+	out, err := Softmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(out.Sum()-1) > 1e-5 {
 		t.Errorf("softmax must sum to 1, got %v", out.Sum())
 	}
@@ -105,7 +108,10 @@ func TestSoftmaxProperties(t *testing.T) {
 
 func TestSoftmaxNumericalStability(t *testing.T) {
 	in := mustTensor(t, []float32{1000, 1001, 1002}, 3)
-	out := Softmax(in)
+	out, err := Softmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.IsNaN(out.Sum()) || math.IsInf(out.Sum(), 0) {
 		t.Fatalf("softmax of large inputs produced %v", out.Data())
 	}
@@ -120,7 +126,10 @@ func TestQuickSoftmaxDistribution(t *testing.T) {
 		size := int(n%32) + 1
 		in := tensor.New(size)
 		in.FillNormal(tensor.NewRNG(seed), 5)
-		out := Softmax(in)
+		out, err := Softmax(in)
+		if err != nil {
+			return false
+		}
 		if out.Min() < 0 {
 			return false
 		}

@@ -6,35 +6,42 @@ import (
 	"tango/internal/tensor"
 )
 
-// ConcatChannels concatenates CHW tensors along the channel dimension.  All
-// inputs must share spatial dimensions.  SqueezeNet's fire modules use it to
-// join the 1x1 and 3x3 expand outputs.
-func ConcatChannels(parts ...*tensor.Tensor) (*tensor.Tensor, error) {
+// checkConcatArgs validates channel concatenation inputs and returns the
+// output geometry.
+func checkConcatArgs(parts []*tensor.Tensor) (totalC, h, w int, err error) {
 	if len(parts) == 0 {
-		return nil, fmt.Errorf("nn: concat requires at least one tensor")
+		return 0, 0, 0, fmt.Errorf("nn: concat requires at least one tensor")
 	}
-	h, w := 0, 0
-	totalC := 0
 	for i, p := range parts {
-		if p.Rank() != 3 {
-			return nil, fmt.Errorf("nn: concat input %d must be CHW, got shape %v", i, p.Shape())
+		if p == nil || p.Rank() != 3 {
+			return 0, 0, 0, fmt.Errorf("nn: concat input %d must be CHW, got shape %v", i, shapeOf(p))
 		}
 		if i == 0 {
 			h, w = p.Dim(1), p.Dim(2)
 		} else if p.Dim(1) != h || p.Dim(2) != w {
-			return nil, fmt.Errorf("%w: concat spatial dims %dx%d vs %dx%d",
+			return 0, 0, 0, fmt.Errorf("%w: concat spatial dims %dx%d vs %dx%d",
 				tensor.ErrShape, p.Dim(1), p.Dim(2), h, w)
 		}
 		totalC += p.Dim(0)
 	}
-	out := tensor.New(totalC, h, w)
+	return totalC, h, w, nil
+}
+
+// ConcatChannels concatenates CHW tensors along the channel dimension.  All
+// inputs must share spatial dimensions.  SqueezeNet's fire modules use it to
+// join the 1x1 and 3x3 expand outputs.
+func ConcatChannels(parts ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return (*Scratch)(nil).ConcatChannels(parts...)
+}
+
+// concatChannelsInto copies the parts into dst, fully overwriting it.
+func concatChannelsInto(dst *tensor.Tensor, parts []*tensor.Tensor) {
 	off := 0
 	for _, p := range parts {
 		n := p.Len()
-		copy(out.Data()[off:off+n], p.Data())
+		copy(dst.Data()[off:off+n], p.Data())
 		off += n
 	}
-	return out, nil
 }
 
 // FireWeights holds the three convolutions of a SqueezeNet fire module.
@@ -60,33 +67,7 @@ func (p FireParams) OutChannels() int { return p.Expand1x1Out + p.Expand3x3Out }
 
 // Fire runs a SqueezeNet fire module: squeeze 1x1 conv + ReLU, then parallel
 // expand 1x1 and expand 3x3 convolutions + ReLU, concatenated along channels.
+// It is the allocation-per-call form of Scratch.Fire.
 func Fire(input *tensor.Tensor, p FireParams, w FireWeights) (*tensor.Tensor, error) {
-	sq, err := Conv2D(input, w.SqueezeW, w.SqueezeB, ConvParams{
-		InChannels: p.InChannels, OutChannels: p.SqueezeOut,
-		KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fire squeeze: %w", err)
-	}
-	ReLUInPlace(sq)
-
-	e1, err := Conv2D(sq, w.Expand1W, w.Expand1B, ConvParams{
-		InChannels: p.SqueezeOut, OutChannels: p.Expand1x1Out,
-		KernelH: 1, KernelW: 1, StrideH: 1, StrideW: 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fire expand1x1: %w", err)
-	}
-	ReLUInPlace(e1)
-
-	e3, err := Conv2D(sq, w.Expand3W, w.Expand3B, ConvParams{
-		InChannels: p.SqueezeOut, OutChannels: p.Expand3x3Out,
-		KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fire expand3x3: %w", err)
-	}
-	ReLUInPlace(e3)
-
-	return ConcatChannels(e1, e3)
+	return (*Scratch)(nil).Fire(input, p, w)
 }

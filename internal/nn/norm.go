@@ -34,42 +34,54 @@ func (p LRNParams) Validate() error {
 	return nil
 }
 
+// checkLRNArgs validates an LRN call.
+func checkLRNArgs(input *tensor.Tensor, p LRNParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if input == nil || input.Rank() != 3 {
+		return fmt.Errorf("nn: lrn input must be CHW, got shape %v", shapeOf(input))
+	}
+	return nil
+}
+
 // LRN applies local response normalization across channels of a CHW input:
 // out[c] = in[c] / (k + alpha/n * sum_{c'} in[c']^2)^beta.
 func LRN(input *tensor.Tensor, p LRNParams) (*tensor.Tensor, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if input.Rank() != 3 {
-		return nil, fmt.Errorf("nn: lrn input must be CHW, got shape %v", input.Shape())
-	}
+	return (*Scratch)(nil).LRN(input, p)
+}
+
+// lrnInto runs the LRN kernel, fully overwriting dst.  The channel loop is
+// outermost so output writes stream contiguously; the per-element arithmetic
+// (fresh float64 window sum, math.Pow denominator) is unchanged from the
+// reference loop order, so results are bit-identical.
+func lrnInto(dst, input *tensor.Tensor, p LRNParams) {
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	out := tensor.New(c, h, w)
 	in := input.Data()
-	o := out.Data()
+	o := dst.Data()
 	half := p.LocalSize / 2
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			for ch := 0; ch < c; ch++ {
+	scale := p.Alpha / float64(p.LocalSize)
+	for ch := 0; ch < c; ch++ {
+		lo := ch - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := ch + half
+		if hi >= c {
+			hi = c - 1
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
 				sum := 0.0
-				lo := ch - half
-				if lo < 0 {
-					lo = 0
-				}
-				hi := ch + half
-				if hi >= c {
-					hi = c - 1
-				}
 				for cc := lo; cc <= hi; cc++ {
 					v := float64(in[(cc*h+y)*w+x])
 					sum += v * v
 				}
-				denom := math.Pow(p.K+p.Alpha/float64(p.LocalSize)*sum, p.Beta)
+				denom := math.Pow(p.K+scale*sum, p.Beta)
 				o[(ch*h+y)*w+x] = float32(float64(in[(ch*h+y)*w+x]) / denom)
 			}
 		}
 	}
-	return out, nil
 }
 
 // BatchNormParams carries the per-channel statistics of an inference-time
@@ -80,26 +92,36 @@ type BatchNormParams struct {
 	Epsilon  float64
 }
 
+// checkBatchNormArgs validates a BatchNorm call.
+func checkBatchNormArgs(input *tensor.Tensor, p BatchNormParams) error {
+	if input == nil || input.Rank() != 3 {
+		return fmt.Errorf("nn: batchnorm input must be CHW, got shape %v", shapeOf(input))
+	}
+	c := input.Dim(0)
+	if p.Mean == nil || p.Variance == nil {
+		return fmt.Errorf("nn: batchnorm requires mean and variance")
+	}
+	if p.Mean.Len() != c || p.Variance.Len() != c {
+		return fmt.Errorf("nn: batchnorm stats length %d/%d, want %d", p.Mean.Len(), p.Variance.Len(), c)
+	}
+	return nil
+}
+
 // BatchNorm normalizes each channel of a CHW input with the stored mean and
 // variance: out = (in - mean) / sqrt(var + eps).
 func BatchNorm(input *tensor.Tensor, p BatchNormParams) (*tensor.Tensor, error) {
-	if input.Rank() != 3 {
-		return nil, fmt.Errorf("nn: batchnorm input must be CHW, got shape %v", input.Shape())
-	}
+	return (*Scratch)(nil).BatchNorm(input, p)
+}
+
+// batchNormInto runs the batch normalization kernel, fully overwriting dst.
+func batchNormInto(dst, input *tensor.Tensor, p BatchNormParams) {
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	if p.Mean == nil || p.Variance == nil {
-		return nil, fmt.Errorf("nn: batchnorm requires mean and variance")
-	}
-	if p.Mean.Len() != c || p.Variance.Len() != c {
-		return nil, fmt.Errorf("nn: batchnorm stats length %d/%d, want %d", p.Mean.Len(), p.Variance.Len(), c)
-	}
 	eps := p.Epsilon
 	if eps == 0 {
 		eps = 1e-5
 	}
-	out := tensor.New(c, h, w)
 	in := input.Data()
-	o := out.Data()
+	o := dst.Data()
 	for ch := 0; ch < c; ch++ {
 		mean := p.Mean.Data()[ch]
 		inv := float32(1.0 / math.Sqrt(float64(p.Variance.Data()[ch])+eps))
@@ -107,25 +129,34 @@ func BatchNorm(input *tensor.Tensor, p BatchNormParams) (*tensor.Tensor, error) 
 			o[ch*h*w+i] = (in[ch*h*w+i] - mean) * inv
 		}
 	}
-	return out, nil
+}
+
+// checkScaleArgs validates a Scale call.
+func checkScaleArgs(input, gamma, beta *tensor.Tensor) error {
+	if input == nil || input.Rank() != 3 {
+		return fmt.Errorf("nn: scale input must be CHW, got shape %v", shapeOf(input))
+	}
+	c := input.Dim(0)
+	if gamma == nil || gamma.Len() != c {
+		return fmt.Errorf("nn: scale expects %d gammas", c)
+	}
+	if beta != nil && beta.Len() != c {
+		return fmt.Errorf("nn: scale expects %d betas, got %d", c, beta.Len())
+	}
+	return nil
 }
 
 // Scale applies the per-channel affine transform out = in*gamma + beta that
 // Caffe models pair with BatchNorm.
 func Scale(input *tensor.Tensor, gamma, beta *tensor.Tensor) (*tensor.Tensor, error) {
-	if input.Rank() != 3 {
-		return nil, fmt.Errorf("nn: scale input must be CHW, got shape %v", input.Shape())
-	}
+	return (*Scratch)(nil).Scale(input, gamma, beta)
+}
+
+// scaleInto runs the per-channel affine kernel, fully overwriting dst.
+func scaleInto(dst, input, gamma, beta *tensor.Tensor) {
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	if gamma == nil || gamma.Len() != c {
-		return nil, fmt.Errorf("nn: scale expects %d gammas", c)
-	}
-	if beta != nil && beta.Len() != c {
-		return nil, fmt.Errorf("nn: scale expects %d betas, got %d", c, beta.Len())
-	}
-	out := tensor.New(c, h, w)
 	in := input.Data()
-	o := out.Data()
+	o := dst.Data()
 	for ch := 0; ch < c; ch++ {
 		g := gamma.Data()[ch]
 		b := float32(0)
@@ -136,5 +167,4 @@ func Scale(input *tensor.Tensor, gamma, beta *tensor.Tensor) (*tensor.Tensor, er
 			o[ch*h*w+i] = in[ch*h*w+i]*g + b
 		}
 	}
-	return out, nil
 }

@@ -63,22 +63,37 @@ func (p PoolParams) OutputDims(inH, inW int) (outH, outW int) {
 	return num(inH, p.PadH, p.KernelH, p.StrideH), num(inW, p.PadW, p.KernelW, p.StrideW)
 }
 
-// Pool2D applies max or average pooling to a CHW input.
-func Pool2D(input *tensor.Tensor, p PoolParams) (*tensor.Tensor, error) {
+// checkPoolArgs validates a pooling call and returns the geometry.
+func checkPoolArgs(input *tensor.Tensor, p PoolParams) (c, inH, inW, outH, outW int, err error) {
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return 0, 0, 0, 0, 0, err
+	}
+	if input == nil {
+		return 0, 0, 0, 0, 0, fmt.Errorf("nn: pool: %w: nil input", tensor.ErrShape)
 	}
 	if input.Rank() != 3 {
-		return nil, fmt.Errorf("nn: pool input must be CHW, got shape %v", input.Shape())
+		return 0, 0, 0, 0, 0, fmt.Errorf("nn: pool input must be CHW, got shape %v", input.Shape())
 	}
-	c, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
-	outH, outW := p.OutputDims(inH, inW)
+	c, inH, inW = input.Dim(0), input.Dim(1), input.Dim(2)
+	outH, outW = p.OutputDims(inH, inW)
 	if outH <= 0 || outW <= 0 {
-		return nil, fmt.Errorf("nn: pool output dims %dx%d are not positive for input %dx%d", outH, outW, inH, inW)
+		return 0, 0, 0, 0, 0, fmt.Errorf("nn: pool output dims %dx%d are not positive for input %dx%d", outH, outW, inH, inW)
 	}
-	out := tensor.New(c, outH, outW)
+	return c, inH, inW, outH, outW, nil
+}
+
+// Pool2D applies max or average pooling to a CHW input.
+func Pool2D(input *tensor.Tensor, p PoolParams) (*tensor.Tensor, error) {
+	return (*Scratch)(nil).Pool2D(input, p)
+}
+
+// pool2DInto runs the pooling kernel, fully overwriting dst.  Arguments must
+// be pre-validated.
+func pool2DInto(dst, input *tensor.Tensor, p PoolParams) {
+	c, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
+	outH, outW := dst.Dim(1), dst.Dim(2)
 	in := input.Data()
-	o := out.Data()
+	o := dst.Data()
 
 	for ch := 0; ch < c; ch++ {
 		for oy := 0; oy < outH; oy++ {
@@ -120,25 +135,42 @@ func Pool2D(input *tensor.Tensor, p PoolParams) (*tensor.Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+}
+
+// checkGlobalPoolArgs validates a global pooling input.
+func checkGlobalPoolArgs(input *tensor.Tensor) error {
+	if input == nil || input.Rank() != 3 {
+		return fmt.Errorf("nn: global pool input must be CHW, got %v", shapeOf(input))
+	}
+	return nil
 }
 
 // GlobalAvgPool reduces each channel of a CHW input to its spatial mean,
 // returning a rank-1 tensor of length C.  SqueezeNet's final layer uses it.
 func GlobalAvgPool(input *tensor.Tensor) (*tensor.Tensor, error) {
-	if input.Rank() != 3 {
-		return nil, fmt.Errorf("nn: global pool input must be CHW, got shape %v", input.Shape())
-	}
+	return (*Scratch)(nil).GlobalAvgPool(input)
+}
+
+// globalAvgPoolInto runs the global average pooling kernel, fully
+// overwriting dst.
+func globalAvgPoolInto(dst, input *tensor.Tensor) {
 	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	out := tensor.New(c)
 	in := input.Data()
+	o := dst.Data()
 	area := float32(h * w)
 	for ch := 0; ch < c; ch++ {
 		sum := float32(0)
 		for i := 0; i < h*w; i++ {
 			sum += in[ch*h*w+i]
 		}
-		out.Data()[ch] = sum / area
+		o[ch] = sum / area
 	}
-	return out, nil
+}
+
+// shapeOf formats a possibly-nil tensor's shape for error messages.
+func shapeOf(t *tensor.Tensor) []int {
+	if t == nil {
+		return nil
+	}
+	return t.Shape()
 }

@@ -1,0 +1,96 @@
+package tensor
+
+// Arena is a shape-memoizing tensor allocator for steady-state inference.
+// A network run performs the same sequence of output allocations every time,
+// so the arena records the tensors it hands out in call order; after Reset,
+// each Get that repeats the previous sequence returns the recorded tensor
+// with zero heap allocations.  A shape mismatch at any position simply
+// replaces the recorded tensor from that point on.
+//
+// Tensors returned by Get contain the data of the previous run (they are NOT
+// zeroed); callers must fully overwrite every element.  All tensors handed
+// out remain aliased to the arena: their contents are valid only until the
+// next Reset/Get cycle reuses them.
+//
+// The zero value is ready to use.  An Arena is not safe for concurrent use;
+// give each goroutine its own.
+type Arena struct {
+	tensors []*Tensor
+	next    int
+}
+
+// Reset rewinds the arena so the next Get sequence reuses the recorded
+// tensors from the start.
+func (a *Arena) Reset() { a.next = 0 }
+
+// Get1 returns a rank-1 tensor of length n, reusing the recorded tensor at
+// the current sequence position when its shape matches.
+func (a *Arena) Get1(n int) *Tensor {
+	if a.next < len(a.tensors) {
+		t := a.tensors[a.next]
+		if len(t.shape) == 1 && t.shape[0] == n {
+			a.next++
+			return t
+		}
+	}
+	return a.record(New(n))
+}
+
+// Get3 returns a rank-3 (CHW) tensor, reusing the recorded tensor at the
+// current sequence position when its shape matches.
+func (a *Arena) Get3(c, h, w int) *Tensor {
+	if a.next < len(a.tensors) {
+		t := a.tensors[a.next]
+		if len(t.shape) == 3 && t.shape[0] == c && t.shape[1] == h && t.shape[2] == w {
+			a.next++
+			return t
+		}
+	}
+	return a.record(New(c, h, w))
+}
+
+// Get returns a tensor of the given shape, reusing the recorded tensor at
+// the current sequence position when its shape matches.  Prefer Get1/Get3 on
+// hot paths: their fixed arity keeps the shape arguments off the heap.
+func (a *Arena) Get(shape ...int) *Tensor {
+	if a.next < len(a.tensors) {
+		t := a.tensors[a.next]
+		if len(t.shape) == len(shape) {
+			match := true
+			for i, d := range shape {
+				if t.shape[i] != d {
+					match = false
+					break
+				}
+			}
+			if match {
+				a.next++
+				return t
+			}
+		}
+	}
+	return a.record(New(shape...))
+}
+
+// record stores t at the current sequence position and advances.
+func (a *Arena) record(t *Tensor) *Tensor {
+	if a.next < len(a.tensors) {
+		a.tensors[a.next] = t
+	} else {
+		a.tensors = append(a.tensors, t)
+	}
+	a.next++
+	return t
+}
+
+// Size returns the number of tensors the arena currently holds.
+func (a *Arena) Size() int { return len(a.tensors) }
+
+// Bytes returns the total backing storage of all recorded tensors.
+func (a *Arena) Bytes() int64 {
+	var total int64
+	for _, t := range a.tensors {
+		total += t.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+package tensor
+
+import "testing"
+
+func TestArenaReusesTensorsAcrossRuns(t *testing.T) {
+	var a Arena
+	t1 := a.Get3(2, 3, 4)
+	t2 := a.Get1(7)
+	if t1.Len() != 24 || t2.Len() != 7 {
+		t.Fatalf("unexpected sizes %d/%d", t1.Len(), t2.Len())
+	}
+	t1.Fill(42)
+	a.Reset()
+	r1 := a.Get3(2, 3, 4)
+	r2 := a.Get1(7)
+	if r1 != t1 || r2 != t2 {
+		t.Fatal("matching Get sequence after Reset must return the recorded tensors")
+	}
+	if r1.Data()[0] != 42 {
+		t.Fatal("arena tensors must carry previous contents (callers overwrite)")
+	}
+	if a.Size() != 2 {
+		t.Fatalf("arena holds %d tensors, want 2", a.Size())
+	}
+}
+
+func TestArenaShapeMismatchReplaces(t *testing.T) {
+	var a Arena
+	t1 := a.Get3(2, 3, 4)
+	a.Reset()
+	r1 := a.Get3(2, 3, 5)
+	if r1 == t1 {
+		t.Fatal("shape mismatch must allocate a new tensor")
+	}
+	if r1.Dim(2) != 5 {
+		t.Fatalf("got shape %v", r1.Shape())
+	}
+	a.Reset()
+	if a.Get3(2, 3, 5) != r1 {
+		t.Fatal("replacement tensor must be recorded for reuse")
+	}
+	// Rank mismatch at the same position.
+	a.Reset()
+	if got := a.Get1(30); got == r1 || got.Rank() != 1 {
+		t.Fatalf("rank mismatch must allocate, got %v", got.Shape())
+	}
+}
+
+func TestArenaGenericGet(t *testing.T) {
+	var a Arena
+	t1 := a.Get(2, 2, 2, 2)
+	if t1.Rank() != 4 || t1.Len() != 16 {
+		t.Fatalf("got %v", t1.Shape())
+	}
+	a.Reset()
+	if a.Get(2, 2, 2, 2) != t1 {
+		t.Fatal("generic Get must reuse on shape match")
+	}
+	if a.Bytes() != 64 {
+		t.Fatalf("arena bytes = %d, want 64", a.Bytes())
+	}
+}
+
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	var a Arena
+	a.Get3(4, 8, 8)
+	a.Get1(16)
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		a.Get3(4, 8, 8)
+		a.Get1(16)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state arena Get allocated %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,254 @@
+package tensor
+
+import (
+	"fmt"
+
+	"tango/internal/par"
+)
+
+// This file implements the float32 matrix kernels behind the native compute
+// engine: a cache-blocked, register-tiled GEMM shared by the im2col
+// convolution path, the fully-connected layers and the recurrent gate
+// mat-vecs.
+//
+// Determinism contract: every output element dst[i*n+j] is computed as
+//
+//	bias[i] + a[i][0]*bt[j][0] + a[i][1]*bt[j][1] + ... + a[i][k-1]*bt[j][k-1]
+//
+// accumulated left to right in float32, exactly like a scalar dot product.
+// Depth blocking processes l in ascending panels with a single persistent
+// accumulator per element, and row tiling gives each element its own
+// accumulator, so the summation order — and therefore the bit pattern of the
+// result — is independent of the blocking parameters and of the worker
+// count.  This is what lets the GEMM path be validated bit-exactly against
+// the direct convolution reference, serially and in parallel.
+const (
+	// gemmMR is the register tile height: rows of A processed together so
+	// one streamed element of B feeds four independent accumulators.
+	gemmMR = 4
+	// gemmKC is the depth blocking factor: the B panel touched by one pass,
+	// n x gemmKC floats, stays L2-resident while every row tile streams it.
+	gemmKC = 256
+)
+
+// Gemm computes dst = A * Bᵀ + bias on row-major float32 buffers:
+// A is m x k, bt holds B transposed as n x k (so row j of bt is column j of
+// B, contiguous in memory), and dst is m x n.  bias has one element per
+// output row and may be nil for zero.  dst is fully overwritten.
+//
+// The im2col convolution lowering stores one receptive-field patch per bt
+// row, which makes both operands of the inner dot product contiguous.
+func Gemm(dst, a, bt, bias []float32, m, n, k int) {
+	checkGemmArgs(dst, a, bt, bias, m, n, k)
+	gemmRows(dst, a, bt, bias, n, k, 0, m)
+}
+
+// GemmParallel is Gemm with the row dimension split into contiguous panels
+// executed on up to workers goroutines.  Each output element is produced by
+// exactly one worker with the same summation order as the serial kernel, so
+// the result is bit-identical to Gemm for any worker count.
+func GemmParallel(dst, a, bt, bias []float32, m, n, k, workers int) {
+	checkGemmArgs(dst, a, bt, bias, m, n, k)
+	// The serial case must not touch the closure below: constructing it
+	// heap-allocates (it escapes into par.ForEach), which would break the
+	// engine's zero-alloc steady state.
+	if serialRows(m, int64(m)*int64(n)*int64(k), workers) {
+		gemmRows(dst, a, bt, bias, n, k, 0, m)
+		return
+	}
+	forEachRowPanel(m, workers, func(r0, r1 int) {
+		gemmRows(dst, a, bt, bias, n, k, r0, r1)
+	})
+}
+
+// serialRows reports whether a row-panel problem should run serially:
+// explicit single worker, too few rows to tile, or too little total work to
+// amortize goroutine fan-out.
+func serialRows(rows int, volume int64, workers int) bool {
+	return workers <= 1 || rows < 2*gemmMR || volume < 1<<15
+}
+
+// forEachRowPanel splits rows into contiguous register-tile-aligned panels
+// and runs fn(r0, r1) for each on up to workers goroutines.  Callers gate
+// with serialRows first.  Panel boundaries never affect results: each output
+// row belongs to exactly one panel.
+func forEachRowPanel(rows, workers int, fn func(r0, r1 int)) {
+	if workers > rows/gemmMR {
+		workers = rows / gemmMR
+	}
+	chunk := (rows + workers - 1) / workers
+	// Align panel boundaries to the register tile so only the last panel
+	// runs the remainder rows.
+	chunk = (chunk + gemmMR - 1) / gemmMR * gemmMR
+	panels := (rows + chunk - 1) / chunk
+	_ = par.ForEach(workers, panels, func(p int) error {
+		r0 := p * chunk
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		fn(r0, r1)
+		return nil
+	})
+}
+
+func checkGemmArgs(dst, a, bt, bias []float32, m, n, k int) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		panic(fmt.Sprintf("tensor: gemm dims must be positive, got m=%d n=%d k=%d", m, n, k))
+	}
+	if len(dst) < m*n || len(a) < m*k || len(bt) < n*k {
+		panic(fmt.Sprintf("tensor: gemm buffers too small: dst=%d a=%d bt=%d for m=%d n=%d k=%d",
+			len(dst), len(a), len(bt), m, n, k))
+	}
+	if bias != nil && len(bias) < m {
+		panic(fmt.Sprintf("tensor: gemm bias has %d elements, want %d", len(bias), m))
+	}
+}
+
+// gemmRows runs the blocked kernel over output rows [r0, r1).  The depth
+// loop is outermost so the bt panel (n x kc floats) is reused by every row
+// tile while it is cache-hot; partial sums persist in dst between panels.
+func gemmRows(dst, a, bt, bias []float32, n, k, r0, r1 int) {
+	for kb := 0; kb < k; kb += gemmKC {
+		kc := k - kb
+		if kc > gemmKC {
+			kc = gemmKC
+		}
+		first := kb == 0
+		i := r0
+		for ; i+gemmMR <= r1; i += gemmMR {
+			a0 := a[i*k+kb : i*k+kb+kc]
+			a1 := a[(i+1)*k+kb : (i+1)*k+kb+kc]
+			a2 := a[(i+2)*k+kb : (i+2)*k+kb+kc]
+			a3 := a[(i+3)*k+kb : (i+3)*k+kb+kc]
+			d0 := dst[i*n : i*n+n]
+			d1 := dst[(i+1)*n : (i+1)*n+n]
+			d2 := dst[(i+2)*n : (i+2)*n+n]
+			d3 := dst[(i+3)*n : (i+3)*n+n]
+			var b0, b1, b2, b3 float32
+			if bias != nil {
+				b0, b1, b2, b3 = bias[i], bias[i+1], bias[i+2], bias[i+3]
+			}
+			for j := 0; j < n; j++ {
+				c := bt[j*k+kb : j*k+kb+kc]
+				a0 := a0[:len(c)]
+				a1 := a1[:len(c)]
+				a2 := a2[:len(c)]
+				a3 := a3[:len(c)]
+				var s0, s1, s2, s3 float32
+				if first {
+					s0, s1, s2, s3 = b0, b1, b2, b3
+				} else {
+					s0, s1, s2, s3 = d0[j], d1[j], d2[j], d3[j]
+				}
+				for l, cv := range c {
+					s0 += a0[l] * cv
+					s1 += a1[l] * cv
+					s2 += a2[l] * cv
+					s3 += a3[l] * cv
+				}
+				d0[j] = s0
+				d1[j] = s1
+				d2[j] = s2
+				d3[j] = s3
+			}
+		}
+		for ; i < r1; i++ {
+			ar := a[i*k+kb : i*k+kb+kc]
+			d := dst[i*n : i*n+n]
+			var bi float32
+			if bias != nil {
+				bi = bias[i]
+			}
+			for j := 0; j < n; j++ {
+				c := bt[j*k+kb : j*k+kb+kc]
+				ar := ar[:len(c)]
+				s := bi
+				if !first {
+					s = d[j]
+				}
+				for l, cv := range c {
+					s += ar[l] * cv
+				}
+				d[j] = s
+			}
+		}
+	}
+}
+
+// MatVecBias computes dst = W*x + bias for a rows x cols row-major matrix,
+// with the register-tiled kernel: four matrix rows share each streamed
+// element of x.  Each dst element accumulates its dot product left to right
+// in float32 starting from its bias (zero when bias is nil), matching the
+// scalar reference loop bit for bit.  dst is fully overwritten.
+func MatVecBias(dst, w, x, bias []float32, rows, cols int) {
+	checkMatVecArgs(dst, w, x, bias, rows, cols)
+	matVecRows(dst, w, x, bias, cols, 0, rows)
+}
+
+// MatVecBiasParallel is MatVecBias with rows split across up to workers
+// goroutines; the result is bit-identical to the serial kernel.
+func MatVecBiasParallel(dst, w, x, bias []float32, rows, cols, workers int) {
+	checkMatVecArgs(dst, w, x, bias, rows, cols)
+	if serialRows(rows, int64(rows)*int64(cols), workers) {
+		matVecRows(dst, w, x, bias, cols, 0, rows)
+		return
+	}
+	forEachRowPanel(rows, workers, func(r0, r1 int) {
+		matVecRows(dst, w, x, bias, cols, r0, r1)
+	})
+}
+
+func checkMatVecArgs(dst, w, x, bias []float32, rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: matvec dims must be positive, got %dx%d", rows, cols))
+	}
+	if len(dst) < rows || len(w) < rows*cols || len(x) < cols {
+		panic(fmt.Sprintf("tensor: matvec buffers too small: dst=%d w=%d x=%d for %dx%d",
+			len(dst), len(w), len(x), rows, cols))
+	}
+	if bias != nil && len(bias) < rows {
+		panic(fmt.Sprintf("tensor: matvec bias has %d elements, want %d", len(bias), rows))
+	}
+}
+
+func matVecRows(dst, w, x, bias []float32, cols, r0, r1 int) {
+	x = x[:cols]
+	i := r0
+	for ; i+gemmMR <= r1; i += gemmMR {
+		w0 := w[i*cols : i*cols+cols]
+		w1 := w[(i+1)*cols : (i+1)*cols+cols]
+		w2 := w[(i+2)*cols : (i+2)*cols+cols]
+		w3 := w[(i+3)*cols : (i+3)*cols+cols]
+		w0 = w0[:len(x)]
+		w1 = w1[:len(x)]
+		w2 = w2[:len(x)]
+		w3 = w3[:len(x)]
+		var s0, s1, s2, s3 float32
+		if bias != nil {
+			s0, s1, s2, s3 = bias[i], bias[i+1], bias[i+2], bias[i+3]
+		}
+		for l, xv := range x {
+			s0 += w0[l] * xv
+			s1 += w1[l] * xv
+			s2 += w2[l] * xv
+			s3 += w3[l] * xv
+		}
+		dst[i] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < r1; i++ {
+		row := w[i*cols : i*cols+cols]
+		row = row[:len(x)]
+		var s float32
+		if bias != nil {
+			s = bias[i]
+		}
+		for l, xv := range x {
+			s += row[l] * xv
+		}
+		dst[i] = s
+	}
+}

@@ -1,0 +1,96 @@
+package tango_test
+
+import (
+	"testing"
+
+	"tango"
+)
+
+// TestClassifyParallelDeterminism verifies that native inference through the
+// public API is bit-identical for any compute-engine worker count, and that
+// repeated pooled-scratch runs stay deterministic.
+func TestClassifyParallelDeterminism(t *testing.T) {
+	for _, name := range []string{"CifarNet", "AlexNet"} {
+		b, err := tango.LoadBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, _, err := b.SampleImage(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := b.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 0} {
+			par, err := b.Classify(img, tango.WithParallelism(workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if par.Class != serial.Class {
+				t.Fatalf("%s workers=%d: class %d, want %d", name, workers, par.Class, serial.Class)
+			}
+			for i := range serial.Probabilities {
+				if par.Probabilities[i] != serial.Probabilities[i] {
+					t.Fatalf("%s workers=%d: probability %d = %g, want %g (bit-identical)",
+						name, workers, i, par.Probabilities[i], serial.Probabilities[i])
+				}
+			}
+		}
+		// Pooled scratch reuse: rerunning must reproduce the same output.
+		again, err := b.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Probabilities {
+			if again.Probabilities[i] != serial.Probabilities[i] {
+				t.Fatalf("%s rerun: probability %d changed", name, i)
+			}
+		}
+	}
+}
+
+// TestForecastParallelDeterminism is the RNN counterpart of the parallel
+// determinism check.
+func TestForecastParallelDeterminism(t *testing.T) {
+	for _, name := range tango.RNNBenchmarks() {
+		b, err := tango.LoadBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := b.SampleHistory(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := b.Forecast(hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 0} {
+			par, err := b.Forecast(hist, tango.WithParallelism(workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if par != serial {
+				t.Fatalf("%s workers=%d: forecast %v, want %v (bit-identical)", name, workers, par, serial)
+			}
+		}
+	}
+}
+
+// TestClassifyRejectsBadOption verifies that invalid inference options are
+// reported rather than ignored.
+func TestClassifyRejectsBadOption(t *testing.T) {
+	b, err := tango.LoadBenchmark("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := b.SampleImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Classify(img, tango.WithScheduler("bogus")); err == nil {
+		t.Fatal("invalid option must surface an error")
+	}
+}
