@@ -1,0 +1,217 @@
+package tango_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tango"
+)
+
+// TestClassifyBatchMatchesSingle verifies the public batched API against the
+// single-sample path: every probability must be bit-identical and every
+// predicted class equal, serial and parallel.
+func TestClassifyBatchMatchesSingle(t *testing.T) {
+	b, err := tango.LoadBenchmark("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	images := make([][]float32, n)
+	singles := make([]*tango.Classification, n)
+	for i := range images {
+		img, _, err := b.SampleImage(uint64(100 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = img
+		singles[i], err = b.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := b.ClassifyBatch(images, tango.WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), n)
+		}
+		for i, g := range got {
+			if g.Class != singles[i].Class {
+				t.Fatalf("workers=%d sample %d: class %d, want %d", workers, i, g.Class, singles[i].Class)
+			}
+			for j, p := range g.Probabilities {
+				if math.Float32bits(p) != math.Float32bits(singles[i].Probabilities[j]) {
+					t.Fatalf("workers=%d sample %d prob %d: %x, want %x",
+						workers, i, j, math.Float32bits(p), math.Float32bits(singles[i].Probabilities[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestForecastBatchMatchesSingle verifies batched RNN forecasting against
+// per-history Forecast calls on both recurrent benchmarks.
+func TestForecastBatchMatchesSingle(t *testing.T) {
+	for _, name := range []string{"LSTM", "GRU"} {
+		b, err := tango.LoadBenchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4
+		histories := make([][]float64, n)
+		want := make([]float64, n)
+		for i := range histories {
+			h, err := b.SampleHistory(uint64(7 + i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			histories[i] = h
+			want[i], err = b.Forecast(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := b.ForecastBatch(histories)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s history %d: batched %v, single %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchAPIEdgeCases is the table-driven edge-case sweep for the batched
+// public API: batch of one matches the single path exactly, empty batches
+// and ragged or misshapen inputs are rejected with descriptive errors.
+func TestBatchAPIEdgeCases(t *testing.T) {
+	cnn, err := tango.LoadBenchmark("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnn, err := tango.LoadBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := cnn.SampleImage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := rnn.SampleHistory(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("batch-of-one-matches-single", func(t *testing.T) {
+		single, err := cnn.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := cnn.ClassifyBatch([][]float32{img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[0].Class != single.Class {
+			t.Fatalf("class %d, want %d", batch[0].Class, single.Class)
+		}
+		for j := range batch[0].Probabilities {
+			if math.Float32bits(batch[0].Probabilities[j]) != math.Float32bits(single.Probabilities[j]) {
+				t.Fatalf("probability %d differs from single-sample path", j)
+			}
+		}
+		fSingle, err := rnn.Forecast(hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fBatch, err := rnn.ForecastBatch([][]float64{hist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fBatch[0] != fSingle {
+			t.Fatalf("forecast %v, want %v", fBatch[0], fSingle)
+		}
+	})
+
+	errCases := []struct {
+		name    string
+		call    func() error
+		errPart string
+	}{
+		{"empty classify batch", func() error {
+			_, err := cnn.ClassifyBatch(nil)
+			return err
+		}, "empty batch"},
+		{"empty forecast batch", func() error {
+			_, err := rnn.ForecastBatch([][]float64{})
+			return err
+		}, "empty batch"},
+		{"short image", func() error {
+			_, err := cnn.ClassifyBatch([][]float32{img, img[:10]})
+			return err
+		}, "image 1"},
+		{"long image", func() error {
+			_, err := cnn.ClassifyBatch([][]float32{append(append([]float32{}, img...), 1)})
+			return err
+		}, "image 0"},
+		{"ragged histories", func() error {
+			_, err := rnn.ForecastBatch([][]float64{hist, hist[:1]})
+			return err
+		}, "ragged"},
+		{"empty first history", func() error {
+			_, err := rnn.ForecastBatch([][]float64{{}, hist})
+			return err
+		}, "empty"},
+		{"classify batch on RNN", func() error {
+			_, err := rnn.ClassifyBatch([][]float32{img})
+			return err
+		}, "ClassifyBatch"},
+		{"forecast batch on CNN", func() error {
+			_, err := cnn.ForecastBatch([][]float64{hist})
+			return err
+		}, "ForecastBatch"},
+	}
+	for _, c := range errCases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.call()
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("error %q does not mention %q", err, c.errPart)
+			}
+		})
+	}
+}
+
+// TestClassifySampleBatch checks the deterministic sample batch helper
+// against per-seed ClassifySample calls.
+func TestClassifySampleBatch(t *testing.T) {
+	b, err := tango.LoadBenchmark("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	got, err := b.ClassifySampleBatch(50, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		single, err := b.ClassifySample(50 + uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Class != single.Class {
+			t.Fatalf("sample %d: class %d, want %d", i, got[i].Class, single.Class)
+		}
+		for j := range got[i].Probabilities {
+			if math.Float32bits(got[i].Probabilities[j]) != math.Float32bits(single.Probabilities[j]) {
+				t.Fatalf("sample %d probability %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Batched-throughput benchmarks: images/sec of ClassifyBatch at several
+// batch sizes versus sequential single-sample Classify.  These are the key
+// benchmarks the CI bench-regression job tracks (see cmd/tango-benchdiff).
+package tango_test
+
+import (
+	"testing"
+
+	"tango"
+)
+
+// benchmarkClassifyBatch measures one batched classification pass of size n
+// and reports throughput in images/sec.
+func benchmarkClassifyBatch(b *testing.B, name string, n int) {
+	bm, err := tango.LoadBenchmark(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := make([][]float32, n)
+	for i := range images {
+		img, _, err := bm.SampleImage(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		images[i] = img
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.ClassifyBatch(images); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+// benchmarkClassifySequential is the batched benchmarks' baseline: the same
+// n images pushed one at a time through the single-sample path.
+func benchmarkClassifySequential(b *testing.B, name string, n int) {
+	bm, err := tango.LoadBenchmark(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := make([][]float32, n)
+	for i := range images {
+		img, _, err := bm.SampleImage(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		images[i] = img
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, img := range images {
+			if _, err := bm.Classify(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+func BenchmarkClassifyAlexNetBatch1(b *testing.B) { benchmarkClassifyBatch(b, "AlexNet", 1) }
+func BenchmarkClassifyAlexNetBatch4(b *testing.B) { benchmarkClassifyBatch(b, "AlexNet", 4) }
+func BenchmarkClassifyAlexNetBatch8(b *testing.B) { benchmarkClassifyBatch(b, "AlexNet", 8) }
+
+// BenchmarkClassifyAlexNetSequential8 is the explicit baseline for
+// BenchmarkClassifyAlexNetBatch8: eight sequential single-sample Classify
+// calls on one thread.
+func BenchmarkClassifyAlexNetSequential8(b *testing.B) { benchmarkClassifySequential(b, "AlexNet", 8) }
+
+func BenchmarkClassifyCifarNetBatch8(b *testing.B)  { benchmarkClassifyBatch(b, "CifarNet", 8) }
+func BenchmarkClassifyCifarNetBatch32(b *testing.B) { benchmarkClassifyBatch(b, "CifarNet", 32) }
+
+// BenchmarkForecastLSTMBatch32 tracks batched RNN throughput.
+func BenchmarkForecastLSTMBatch32(b *testing.B) {
+	bm, err := tango.LoadBenchmark("LSTM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 32
+	histories := make([][]float64, n)
+	for i := range histories {
+		h, err := bm.SampleHistory(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		histories[i] = h
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.ForecastBatch(histories); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "forecasts/sec")
+}
+
+// TestClassifyBatch8Speedup enforces the batched-throughput acceptance bar:
+// one ClassifyBatch of 8 AlexNet images must deliver at least 2x the
+// images/sec of 8 sequential single-thread Classify calls.  Skipped in
+// -short mode (it times full AlexNet inference).
+func TestClassifyBatch8Speedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	bm, err := tango.LoadBenchmark("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	images := make([][]float32, n)
+	for i := range images {
+		img, _, err := bm.SampleImage(uint64(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = img
+	}
+	// Warm both paths (plan resolution, scratch growth).
+	if _, err := bm.ClassifyBatch(images[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bm.Classify(images[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	batchRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bm.ClassifyBatch(images); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	seqRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, img := range images {
+				if _, err := bm.Classify(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	batchNs := float64(batchRes.NsPerOp())
+	seqNs := float64(seqRes.NsPerOp())
+	speedup := seqNs / batchNs
+	t.Logf("batch8 %.0f ms vs sequential %.0f ms: %.2fx images/sec", batchNs/1e6, seqNs/1e6, speedup)
+	if speedup < 2 {
+		t.Fatalf("batched throughput %.2fx sequential, want >= 2x", speedup)
+	}
+}

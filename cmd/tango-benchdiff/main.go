@@ -1,0 +1,159 @@
+// Command tango-benchdiff turns `go test -bench` output into a JSON
+// snapshot and compares it against a committed baseline, warning (fail-soft)
+// when a benchmark regresses beyond a threshold.  The CI bench-regression
+// job pipes the benchmark run through it:
+//
+//	go test -run xxx -bench '...' -benchtime 3x ./... | \
+//	    tango-benchdiff -baseline BENCH_pr3.json -out bench_current.json
+//
+// Exit code is 0 even when regressions are found (CI runners are noisy
+// shared machines; the warnings annotate the run instead of breaking it)
+// unless -strict is set.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is the on-disk benchmark baseline format.
+type Snapshot struct {
+	// Schema versions the file layout.
+	Schema int `json:"schema"`
+	// Note documents how the baseline was produced.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// measured cost.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchLine matches `BenchmarkName[-procs]   iters   12345 ns/op   ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline snapshot JSON to compare against")
+	outPath := flag.String("out", "", "write the current run's snapshot JSON here")
+	threshold := flag.Float64("threshold", 0.25, "relative slowdown that triggers a warning (0.25 = 25%)")
+	strict := flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
+	note := flag.String("note", "", "note stored in the emitted snapshot")
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tango-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "tango-benchdiff: no benchmark lines found on stdin")
+		os.Exit(2)
+	}
+	cur.Note = *note
+
+	if *outPath != "" {
+		if err := writeSnapshot(*outPath, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "tango-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(cur.Benchmarks), *outPath)
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	base, err := readSnapshot(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tango-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	regressions := compare(os.Stdout, base, cur, *threshold)
+	if regressions > 0 && *strict {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark measurements from `go test -bench` output.
+func parseBench(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Schema: 1, Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		snap.Benchmarks[m[1]] = Entry{NsPerOp: ns}
+	}
+	return snap, sc.Err()
+}
+
+// compare prints a per-benchmark delta table and GitHub warning annotations
+// for slowdowns beyond threshold; it returns the regression count.
+func compare(w io.Writer, base, cur *Snapshot, threshold float64) int {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "baseline", "current", "delta")
+	for _, name := range names {
+		c := cur.Benchmarks[name]
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-44s %14s %14.0f %8s\n", name, "-", c.NsPerOp, "new")
+			continue
+		}
+		delta := c.NsPerOp/b.NsPerOp - 1
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%%\n", name, b.NsPerOp, c.NsPerOp, delta*100)
+		if delta > threshold {
+			regressions++
+			fmt.Fprintf(w, "::warning title=benchmark regression::%s is %.1f%% slower than the committed baseline (%.0f -> %.0f ns/op)\n",
+				name, delta*100, b.NsPerOp, c.NsPerOp)
+		}
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "::warning title=benchmark missing::%s is in the baseline but was not measured\n", name)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintln(w, "no regressions beyond threshold")
+	}
+	return regressions
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+func writeSnapshot(path string, snap *Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: tango
+BenchmarkClassifyAlexNetBatch8      	       2	 700540016 ns/op	        11.42 images/sec	47372664 B/op	      47 allocs/op
+BenchmarkClassifyCifarNetBatch8-4   	     100	  14200000 ns/op
+BenchmarkGemmNN 	       3	  46702190 ns/op	        19.18 GMAC/s	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkClassifyAlexNetBatch8":  700540016,
+		"BenchmarkClassifyCifarNetBatch8": 14200000, // -4 proc suffix stripped
+		"BenchmarkGemmNN":                 46702190,
+	}
+	if len(snap.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(snap.Benchmarks), len(want), snap.Benchmarks)
+	}
+	for name, ns := range want {
+		got, ok := snap.Benchmarks[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if got.NsPerOp != ns {
+			t.Fatalf("%s: %v ns/op, want %v", name, got.NsPerOp, ns)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Entry{
+		"BenchmarkA":    {NsPerOp: 100},
+		"BenchmarkB":    {NsPerOp: 100},
+		"BenchmarkGone": {NsPerOp: 50},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Entry{
+		"BenchmarkA":   {NsPerOp: 130}, // +30% -> regression at 25% threshold
+		"BenchmarkB":   {NsPerOp: 110}, // +10% -> fine
+		"BenchmarkNew": {NsPerOp: 10},
+	}}
+	var buf bytes.Buffer
+	n := compare(&buf, base, cur, 0.25)
+	if n != 1 {
+		t.Fatalf("found %d regressions, want 1\n%s", n, buf.String())
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"::warning title=benchmark regression::BenchmarkA",
+		"::warning title=benchmark missing::BenchmarkGone",
+		"new",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Entry{"BenchmarkA": {NsPerOp: 100}}}
+	cur := &Snapshot{Benchmarks: map[string]Entry{"BenchmarkA": {NsPerOp: 90}}}
+	var buf bytes.Buffer
+	if n := compare(&buf, base, cur, 0.25); n != 0 {
+		t.Fatalf("found %d regressions, want 0", n)
+	}
+	if !strings.Contains(buf.String(), "no regressions beyond threshold") {
+		t.Fatalf("missing clean message:\n%s", buf.String())
+	}
+}

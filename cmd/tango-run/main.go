@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"tango"
 )
@@ -28,6 +29,7 @@ func main() {
 		l1kb      = flag.Int("l1kb", -1, "simulated L1D size in KB (0 bypasses the L1, -1 keeps the device default)")
 		scheduler = flag.String("scheduler", "gto", "warp scheduler: gto, lrr or tlv")
 		parallel  = flag.Int("parallel", 1, "worker goroutines for native inference or kernel simulation (0 = one per CPU)")
+		batch     = flag.Int("batch", 1, "native inference batch size: run N samples through the engine in one batched pass")
 		fast      = flag.Bool("fast", false, "use coarse simulation sampling")
 		seed      = flag.Uint64("seed", 1, "seed for the synthetic sample input")
 		verbose   = flag.Bool("v", false, "print per-layer detail")
@@ -54,10 +56,70 @@ func main() {
 		desc.Name, desc.Kind, desc.Layers, desc.Parameters, desc.InputShape)
 
 	if *simulate {
+		if *batch > 1 {
+			fatal(fmt.Errorf("-batch applies to native inference only; drop -simulate to run a batched pass"))
+		}
 		runSimulated(b, *deviceStr, *l1kb, *scheduler, *parallel, *fast, *verbose)
 		return
 	}
+	if *batch > 1 {
+		runNativeBatch(b, *seed, *batch, *parallel)
+		return
+	}
 	runNative(b, *seed, *parallel, *verbose)
+}
+
+// runNativeBatch pushes a batch of sample inputs through the engine in one
+// batched pass and reports per-sample results plus sustained throughput.
+func runNativeBatch(b *tango.Benchmark, seed uint64, batch, parallel int) {
+	var opts []tango.SimOption
+	if parallel != 1 {
+		opts = append(opts, tango.WithParallelism(parallel))
+	}
+	switch b.Kind() {
+	case "CNN":
+		// Synthesize the inputs outside the timed region so images/sec
+		// reports engine throughput, matching the RNN branch.
+		images := make([][]float32, batch)
+		for i := range images {
+			img, _, err := b.SampleImage(seed + uint64(i))
+			if err != nil {
+				fatal(err)
+			}
+			images[i] = img
+		}
+		start := time.Now()
+		res, err := b.ClassifyBatch(images, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		for i, r := range res {
+			fmt.Printf("sample %2d: predicted class %d (p=%.4f)\n", i, r.Class, r.Probabilities[r.Class])
+		}
+		fmt.Printf("batched inference: %d images in %v (%.2f images/sec)\n",
+			batch, elapsed.Round(time.Millisecond), float64(batch)/elapsed.Seconds())
+	default:
+		histories := make([][]float64, batch)
+		for i := range histories {
+			h, err := b.SampleHistory(seed + uint64(i))
+			if err != nil {
+				fatal(err)
+			}
+			histories[i] = h
+		}
+		start := time.Now()
+		preds, err := b.ForecastBatch(histories, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		for i, p := range preds {
+			fmt.Printf("sequence %2d: predicted next value %.4f\n", i, p)
+		}
+		fmt.Printf("batched inference: %d sequences in %v (%.0f forecasts/sec)\n",
+			batch, elapsed.Round(time.Microsecond), float64(batch)/elapsed.Seconds())
+	}
 }
 
 func runNative(b *tango.Benchmark, seed uint64, parallel int, verbose bool) {

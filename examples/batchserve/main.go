@@ -1,0 +1,120 @@
+// Batchserve: drive a sustained stream of classification requests through
+// the batched inference engine, the way a serving frontend would — requests
+// arrive continuously, the server drains the queue in batches, and
+// throughput is what matters.  The example sweeps batch sizes on one
+// benchmark and prints an images/sec table against the sequential
+// single-sample baseline, then serves a short request stream end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"tango"
+)
+
+func main() {
+	name := flag.String("benchmark", "CifarNet", "CNN benchmark to serve")
+	requests := flag.Int("requests", 256, "requests in the simulated stream")
+	batches := flag.String("batches", "1,4,16,64", "comma-separated batch sizes to sweep")
+	parallel := flag.Int("parallel", 1, "engine worker goroutines (0 = one per CPU)")
+	flag.Parse()
+
+	b, err := tango.LoadBenchmark(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if b.Kind() != "CNN" {
+		log.Fatalf("batchserve drives CNN benchmarks; %s is a %s", *name, b.Kind())
+	}
+	var opts []tango.SimOption
+	if *parallel != 1 {
+		opts = append(opts, tango.WithParallelism(*parallel))
+	}
+
+	// Pre-generate the request stream: deterministic synthetic images
+	// standing in for decoded client payloads.
+	images := make([][]float32, *requests)
+	for i := range images {
+		img, _, err := b.SampleImage(uint64(i + 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		images[i] = img
+	}
+	// Warm the engine (plan resolution, scratch growth) outside the timings.
+	if _, err := b.ClassifyBatch(images[:1], opts...); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sequential single-sample baseline: one Classify call per request, the
+	// way a naive frontend would serve the stream.
+	seqStart := time.Now()
+	for _, img := range images {
+		if _, err := b.Classify(img, opts...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	baseline := float64(len(images)) / time.Since(seqStart).Seconds()
+
+	fmt.Printf("serving %d requests to %s, sweeping batch size:\n\n", *requests, *name)
+	fmt.Printf("  %10s  %12s  %10s\n", "batch", "images/sec", "speedup")
+	fmt.Printf("  %10s  %12.2f  %9.2fx\n", "sequential", baseline, 1.0)
+	for _, bs := range parseBatches(*batches) {
+		elapsed, classified := serveStream(b, images, bs, opts)
+		ips := float64(classified) / elapsed.Seconds()
+		fmt.Printf("  %10d  %12.2f  %9.2fx\n", bs, ips, ips/baseline)
+	}
+
+	// Serve one final batch and show a few responses, as a frontend would
+	// return them.
+	res, err := b.ClassifyBatch(images[:min(4, len(images))], opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsample responses:")
+	for i, r := range res {
+		fmt.Printf("  request %d -> class %d (p=%.4f)\n", i, r.Class, r.Probabilities[r.Class])
+	}
+}
+
+// serveStream drains the request queue in batches of size bs and returns the
+// wall-clock time and number of images classified.
+func serveStream(b *tango.Benchmark, images [][]float32, bs int, opts []tango.SimOption) (time.Duration, int) {
+	start := time.Now()
+	classified := 0
+	for off := 0; off < len(images); off += bs {
+		end := off + bs
+		if end > len(images) {
+			end = len(images)
+		}
+		if _, err := b.ClassifyBatch(images[off:end], opts...); err != nil {
+			log.Fatal(err)
+		}
+		classified += end - off
+	}
+	return time.Since(start), classified
+}
+
+// parseBatches parses the comma-separated batch-size list.
+func parseBatches(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			log.Fatalf("bad batch size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		log.Fatal("no batch sizes given")
+	}
+	return out
+}

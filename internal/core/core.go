@@ -96,6 +96,59 @@ func (b *Benchmark) SampleSequence(seed uint64) ([]*tensor.Tensor, error) {
 	return seq, nil
 }
 
+// SampleInputBatch returns a deterministic batch of n synthetic input images
+// stacked along a leading dimension; sample i is bit-identical to
+// SampleInput(seed + i), so batched runs can be validated against the
+// single-sample path.
+func (b *Benchmark) SampleInputBatch(seed uint64, n int) (*tensor.Tensor, error) {
+	if b.Network.Kind != networks.KindCNN {
+		return nil, fmt.Errorf("core: %s is an RNN; use SampleSequenceBatch", b.Name())
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: %s: %w: batch size must be positive, got %d",
+			b.Name(), tensor.ErrShape, n)
+	}
+	batch := tensor.New(append([]int{n}, b.Network.InputShape...)...)
+	sample := batch.Len() / n
+	for i := 0; i < n; i++ {
+		in, err := b.SampleInput(seed + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		copy(batch.Data()[i*sample:(i+1)*sample], in.Data())
+	}
+	return batch, nil
+}
+
+// SampleSequenceBatch returns a deterministic batch of n synthetic price
+// sequences in the time-major (steps, n, features) layout RunSequenceBatch
+// expects; sequence i is bit-identical to SampleSequence(seed + i).
+func (b *Benchmark) SampleSequenceBatch(seed uint64, n int) (*tensor.Tensor, error) {
+	if b.Network.Kind != networks.KindRNN {
+		return nil, fmt.Errorf("core: %s is a CNN; use SampleInputBatch", b.Name())
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: %s: %w: batch size must be positive, got %d",
+			b.Name(), tensor.ErrShape, n)
+	}
+	steps := b.Network.SeqLen
+	if steps <= 0 {
+		steps = 2
+	}
+	inSize := b.Network.InputShape[0]
+	batch := tensor.New(steps, n, inSize)
+	for i := 0; i < n; i++ {
+		seq, err := b.SampleSequence(seed + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		for t, x := range seq {
+			copy(batch.Data()[(t*n+i)*inSize:(t*n+i+1)*inSize], x.Data())
+		}
+	}
+	return batch, nil
+}
+
 // Plan returns the benchmark's resolved execution plan for the native
 // compute engine, building it on first use.
 func (b *Benchmark) Plan() (*networks.Plan, error) {
@@ -167,6 +220,29 @@ func (b *Benchmark) RunSequenceScratch(seq []*tensor.Tensor, s *nn.Scratch) (*ne
 		return nil, err
 	}
 	return p.RunSequence(seq, s)
+}
+
+// RunBatchScratch executes the CNN natively over a rank-4 (N, C, H, W)
+// batch on the compute engine with the given scratch, folding the batch into
+// the GEMM dimensions for throughput.  The BatchResult's storage aliases the
+// scratch.  Results are bit-identical to N single-sample runs.
+func (b *Benchmark) RunBatchScratch(input *tensor.Tensor, s *nn.Scratch) (*networks.BatchResult, error) {
+	p, err := b.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.RunBatch(input, s)
+}
+
+// RunSequenceBatchScratch executes the RNN natively over a rank-3
+// (steps, N, features) batch of equal-length sequences with the given
+// scratch.  The BatchResult's storage aliases the scratch.
+func (b *Benchmark) RunSequenceBatchScratch(seq *tensor.Tensor, s *nn.Scratch) (*networks.BatchResult, error) {
+	p, err := b.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return p.RunSequenceBatch(seq, s)
 }
 
 // Simulate runs every kernel of the benchmark on the architecture simulator.

@@ -1,0 +1,189 @@
+package networks
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/nn"
+	"tango/internal/tensor"
+)
+
+// BatchResult carries the outputs of one batched native inference run.
+//
+// When the run used a non-nil nn.Scratch, Output and PredictedClasses alias
+// the scratch's reusable storage: they are valid until the next run on the
+// same Scratch.  Runs without a Scratch return freshly allocated storage.
+type BatchResult struct {
+	// N is the batch size.
+	N int
+	// Output is the final layer's batched output, one sample per leading
+	// row: rank-2 (N, classes) for the suite's CNN classifiers and
+	// (N, 1) for the RNN regression heads.
+	Output *tensor.Tensor
+	// PredictedClasses holds the arg-max class per sample for CNN
+	// classifiers; nil for regression outputs.
+	PredictedClasses []int
+}
+
+// RunBatch executes a CNN natively over a batch of inputs stacked along a
+// leading dimension: input is rank-4 (N, C, H, W) with each sample a
+// contiguous CHW block.  The heavy layers fold the batch into their GEMM
+// column dimension (see the nn batched engine), so results are bit-identical
+// to calling Run on each sample separately, for any Scratch configuration
+// and worker count.
+func (p *Plan) RunBatch(input *tensor.Tensor, s *nn.Scratch) (*BatchResult, error) {
+	n := p.net
+	if n.Kind != KindCNN {
+		return nil, fmt.Errorf("networks: %s is an RNN; use RunSequenceBatch", n.Name)
+	}
+	if input == nil || input.Rank() != 4 || !equalShape(input.Shape()[1:], n.InputShape) {
+		got := []int(nil)
+		if input != nil {
+			got = input.Shape()
+		}
+		return nil, fmt.Errorf("networks: %s batch: %w: expects shape (N, %v), got %v",
+			n.Name, tensor.ErrShape, n.InputShape, got)
+	}
+	nImg := input.Dim(0)
+
+	s.BeginRun()
+	outs := s.LayerOutputs(len(n.Layers))
+	for li := range p.layers {
+		pl := &p.layers[li]
+		out, err := p.runLayerBatch(s, li, pl, input, outs)
+		if err != nil {
+			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, pl.l.Name, err)
+		}
+		if pl.l.FusedReLU {
+			nn.ReLUInPlace(out)
+		}
+		outs[li] = out
+	}
+	final := outs[len(outs)-1]
+	return batchResult(s, final, nImg, true), nil
+}
+
+// runLayerBatch executes a single non-recurrent layer on the batched engine.
+func (p *Plan) runLayerBatch(s *nn.Scratch, li int, pl *planLayer, input *tensor.Tensor, outs []*tensor.Tensor) (*tensor.Tensor, error) {
+	l := pl.l
+	in0 := p.resolveInput(li, 0, input, outs)
+	switch l.Type {
+	case LayerConv:
+		return s.Conv2DBatch(in0, pl.w, pl.b, l.Conv)
+	case LayerPool:
+		return s.Pool2DBatch(in0, l.Pool)
+	case LayerFC:
+		return s.FullyConnectedBatch(in0, pl.w, pl.b, l.FCOut)
+	case LayerLRN:
+		return s.LRNBatch(in0, l.LRN)
+	case LayerBatchNorm:
+		return s.BatchNormBatch(in0, nn.BatchNormParams{Mean: pl.mean, Variance: pl.variance})
+	case LayerScale:
+		return s.ScaleBatch(in0, pl.gamma, pl.beta)
+	case LayerReLU:
+		return s.ReLUBatch(in0)
+	case LayerEltwise:
+		return s.EltwiseAddBatch(in0, p.resolveInput(li, 1, input, outs))
+	case LayerConcat:
+		if len(l.Inputs) == 2 {
+			return s.ConcatChannelsBatch(p.resolveInput(li, 0, input, outs), p.resolveInput(li, 1, input, outs))
+		}
+		parts := make([]*tensor.Tensor, len(l.Inputs))
+		for i := range l.Inputs {
+			parts[i] = p.resolveInput(li, i, input, outs)
+		}
+		return s.ConcatChannelsBatch(parts...)
+	case LayerSoftmax:
+		return s.SoftmaxBatch(in0)
+	case LayerGlobalPool:
+		return s.GlobalAvgPoolBatch(in0)
+	default:
+		return nil, fmt.Errorf("unsupported layer type %v in CNN graph", l.Type)
+	}
+}
+
+// RunSequenceBatch executes an RNN natively over a batch of equal-length
+// sequences.  seq is rank-3 (steps, N, features): time-major with each step
+// a contiguous sample-major block.  The recurrent gates run as batched GEMMs
+// with per-sample hidden (and cell) state, so results are bit-identical to
+// calling RunSequence on each sequence separately.
+func (p *Plan) RunSequenceBatch(seq *tensor.Tensor, s *nn.Scratch) (*BatchResult, error) {
+	n := p.net
+	if n.Kind != KindRNN {
+		return nil, fmt.Errorf("networks: %s is a CNN; use RunBatch", n.Name)
+	}
+	inSize := n.InputShape[0]
+	if seq == nil || seq.Rank() != 3 || seq.Dim(2) != inSize {
+		got := []int(nil)
+		if seq != nil {
+			got = seq.Shape()
+		}
+		return nil, fmt.Errorf("networks: %s batch: %w: expects shape (steps, N, %d), got %v",
+			n.Name, tensor.ErrShape, inSize, got)
+	}
+	steps, nSeq := seq.Dim(0), seq.Dim(1)
+
+	s.BeginRun()
+	outs := s.LayerOutputs(len(n.Layers))
+	var current *tensor.Tensor
+	for li := range p.layers {
+		pl := &p.layers[li]
+		l := pl.l
+		var err error
+		switch l.Type {
+		case LayerLSTM:
+			current, err = s.LSTMSeqBatch(pl.lstm, seq.Data(), nSeq, steps)
+		case LayerGRU:
+			current, err = s.GRUSeqBatch(pl.gru, seq.Data(), nSeq, steps)
+		case LayerFC:
+			if current == nil {
+				err = fmt.Errorf("FC before recurrent layer")
+				break
+			}
+			current, err = s.FullyConnectedBatch(current, pl.w, pl.b, l.FCOut)
+		default:
+			err = fmt.Errorf("unsupported layer type %v in RNN graph", l.Type)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
+		}
+		if l.FusedReLU && current != nil {
+			nn.ReLUInPlace(current)
+		}
+		outs[li] = current
+	}
+	return batchResult(s, current, nSeq, false), nil
+}
+
+// batchResult assembles a BatchResult, computing per-sample arg-max classes
+// for classifiers into the scratch's reusable prediction slice.
+func batchResult(s *nn.Scratch, final *tensor.Tensor, nSamples int, classify bool) *BatchResult {
+	res := &BatchResult{N: nSamples, Output: final}
+	if !classify {
+		return res
+	}
+	preds := s.Ints(nSamples)
+	f := final.Len() / nSamples
+	data := final.Data()
+	for i := 0; i < nSamples; i++ {
+		preds[i] = argmaxRow(data[i*f : (i+1)*f])
+	}
+	res.PredictedClasses = preds
+	return res
+}
+
+// argmaxRow returns the index of the largest element with exactly the
+// comparison sequence of tensor.MaxIndex (start at -Inf, ties and NaNs
+// resolve identically), so batched predictions match the single-sample path
+// on every input.
+func argmaxRow(row []float32) int {
+	best := 0
+	bestV := float32(math.Inf(-1))
+	for i, v := range row {
+		if v > bestV {
+			bestV = v
+			best = i
+		}
+	}
+	return best
+}

@@ -34,7 +34,9 @@ type Scratch struct {
 	arena   tensor.Arena
 	col     []float32
 	vecs    [][]float32
+	bbufs   [][]float32
 	outs    []*tensor.Tensor
+	preds   []int
 }
 
 // NewScratch returns an empty single-worker Scratch.
@@ -103,8 +105,12 @@ func (s *Scratch) outLike(t *tensor.Tensor) *tensor.Tensor {
 	switch t.Rank() {
 	case 1:
 		return s.out1(t.Dim(0))
+	case 2:
+		return s.out2(t.Dim(0), t.Dim(1))
 	case 3:
 		return s.out3(t.Dim(0), t.Dim(1), t.Dim(2))
+	case 4:
+		return s.out4(t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3))
 	default:
 		if s == nil {
 			return tensor.New(t.Shape()...)
@@ -154,6 +160,20 @@ func (s *Scratch) LayerOutputs(n int) []*tensor.Tensor {
 	}
 	s.outs = s.outs[:n]
 	return s.outs
+}
+
+// Ints returns a reusable int slice of length n (per-sample predictions of a
+// batched run).  The caller must overwrite every element; contents are valid
+// until the next call on the same Scratch.
+func (s *Scratch) Ints(n int) []int {
+	if s == nil {
+		return make([]int, n)
+	}
+	if cap(s.preds) < n {
+		s.preds = make([]int, n)
+	}
+	s.preds = s.preds[:n]
+	return s.preds
 }
 
 // Conv2D is the engine convolution: im2col into the scratch staging buffer,

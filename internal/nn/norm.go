@@ -56,9 +56,11 @@ func LRN(input *tensor.Tensor, p LRNParams) (*tensor.Tensor, error) {
 // (fresh float64 window sum, math.Pow denominator) is unchanged from the
 // reference loop order, so results are bit-identical.
 func lrnInto(dst, input *tensor.Tensor, p LRNParams) {
-	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	in := input.Data()
-	o := dst.Data()
+	lrnCore(dst.Data(), input.Data(), input.Dim(0), input.Dim(1), input.Dim(2), p)
+}
+
+// lrnCore normalizes one CHW sample given as flat slices.
+func lrnCore(o, in []float32, c, h, w int, p LRNParams) {
 	half := p.LocalSize / 2
 	scale := p.Alpha / float64(p.LocalSize)
 	for ch := 0; ch < c; ch++ {
@@ -115,13 +117,15 @@ func BatchNorm(input *tensor.Tensor, p BatchNormParams) (*tensor.Tensor, error) 
 
 // batchNormInto runs the batch normalization kernel, fully overwriting dst.
 func batchNormInto(dst, input *tensor.Tensor, p BatchNormParams) {
-	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
+	batchNormCore(dst.Data(), input.Data(), input.Dim(0), input.Dim(1), input.Dim(2), p)
+}
+
+// batchNormCore normalizes one CHW sample given as flat slices.
+func batchNormCore(o, in []float32, c, h, w int, p BatchNormParams) {
 	eps := p.Epsilon
 	if eps == 0 {
 		eps = 1e-5
 	}
-	in := input.Data()
-	o := dst.Data()
 	for ch := 0; ch < c; ch++ {
 		mean := p.Mean.Data()[ch]
 		inv := float32(1.0 / math.Sqrt(float64(p.Variance.Data()[ch])+eps))
@@ -154,9 +158,12 @@ func Scale(input *tensor.Tensor, gamma, beta *tensor.Tensor) (*tensor.Tensor, er
 
 // scaleInto runs the per-channel affine kernel, fully overwriting dst.
 func scaleInto(dst, input, gamma, beta *tensor.Tensor) {
-	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	in := input.Data()
-	o := dst.Data()
+	scaleCore(dst.Data(), input.Data(), input.Dim(0), input.Dim(1), input.Dim(2), gamma, beta)
+}
+
+// scaleCore applies the per-channel affine transform to one CHW sample given
+// as flat slices.
+func scaleCore(o, in []float32, c, h, w int, gamma, beta *tensor.Tensor) {
 	for ch := 0; ch < c; ch++ {
 		g := gamma.Data()[ch]
 		b := float32(0)

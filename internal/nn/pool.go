@@ -90,11 +90,13 @@ func Pool2D(input *tensor.Tensor, p PoolParams) (*tensor.Tensor, error) {
 // pool2DInto runs the pooling kernel, fully overwriting dst.  Arguments must
 // be pre-validated.
 func pool2DInto(dst, input *tensor.Tensor, p PoolParams) {
-	c, inH, inW := input.Dim(0), input.Dim(1), input.Dim(2)
-	outH, outW := dst.Dim(1), dst.Dim(2)
-	in := input.Data()
-	o := dst.Data()
+	pool2DCore(dst.Data(), input.Data(), input.Dim(0), input.Dim(1), input.Dim(2),
+		dst.Dim(1), dst.Dim(2), p)
+}
 
+// pool2DCore pools one CHW sample given as flat slices; the batched engine
+// calls it once per image of an NCHW batch.
+func pool2DCore(o, in []float32, c, inH, inW, outH, outW int, p PoolParams) {
 	for ch := 0; ch < c; ch++ {
 		for oy := 0; oy < outH; oy++ {
 			for ox := 0; ox < outW; ox++ {
@@ -154,9 +156,11 @@ func GlobalAvgPool(input *tensor.Tensor) (*tensor.Tensor, error) {
 // globalAvgPoolInto runs the global average pooling kernel, fully
 // overwriting dst.
 func globalAvgPoolInto(dst, input *tensor.Tensor) {
-	c, h, w := input.Dim(0), input.Dim(1), input.Dim(2)
-	in := input.Data()
-	o := dst.Data()
+	globalAvgPoolCore(dst.Data(), input.Data(), input.Dim(0), input.Dim(1), input.Dim(2))
+}
+
+// globalAvgPoolCore reduces one CHW sample given as flat slices.
+func globalAvgPoolCore(o, in []float32, c, h, w int) {
 	area := float32(h * w)
 	for ch := 0; ch < c; ch++ {
 		sum := float32(0)

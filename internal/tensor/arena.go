@@ -49,9 +49,36 @@ func (a *Arena) Get3(c, h, w int) *Tensor {
 	return a.record(New(c, h, w))
 }
 
+// Get2 returns a rank-2 tensor (e.g. a batch of vectors), reusing the
+// recorded tensor at the current sequence position when its shape matches.
+func (a *Arena) Get2(n, f int) *Tensor {
+	if a.next < len(a.tensors) {
+		t := a.tensors[a.next]
+		if len(t.shape) == 2 && t.shape[0] == n && t.shape[1] == f {
+			a.next++
+			return t
+		}
+	}
+	return a.record(New(n, f))
+}
+
+// Get4 returns a rank-4 (NCHW) tensor, reusing the recorded tensor at the
+// current sequence position when its shape matches.
+func (a *Arena) Get4(n, c, h, w int) *Tensor {
+	if a.next < len(a.tensors) {
+		t := a.tensors[a.next]
+		if len(t.shape) == 4 && t.shape[0] == n && t.shape[1] == c && t.shape[2] == h && t.shape[3] == w {
+			a.next++
+			return t
+		}
+	}
+	return a.record(New(n, c, h, w))
+}
+
 // Get returns a tensor of the given shape, reusing the recorded tensor at
-// the current sequence position when its shape matches.  Prefer Get1/Get3 on
-// hot paths: their fixed arity keeps the shape arguments off the heap.
+// the current sequence position when its shape matches.  Prefer the
+// fixed-arity variants (Get1/Get2/Get3/Get4) on hot paths: they keep the
+// shape arguments off the heap.
 func (a *Arena) Get(shape ...int) *Tensor {
 	if a.next < len(a.tensors) {
 		t := a.tensors[a.next]

@@ -1,0 +1,181 @@
+package tensor
+
+// This file implements the batched-inference GEMM: dst = A*B + bias where B
+// is stored row-major (k x n), unlike Gemm whose second operand is the
+// transposed bt (n x k).  The row-major ("NN") layout puts every output
+// column of one depth step contiguously in memory, which is what lets the
+// amd64 microkernel vectorize ACROSS output elements: eight neighbouring
+// columns advance their accumulators in one vector multiply + one vector add
+// per depth step.
+//
+// Determinism contract (identical to Gemm): every element dst[i*n+j] is
+//
+//	bias[i] + a[i][0]*b[0][j] + a[i][1]*b[1][j] + ... + a[i][k-1]*b[k-1][j]
+//
+// accumulated left to right in float32 with a single accumulator.  The
+// vector kernel keeps one accumulator lane per element and uses separate
+// IEEE-754 single-precision multiply and add instructions (never a fused
+// multiply-add), so each lane performs exactly the scalar operation sequence
+// and the result is bit-identical to the scalar reference for any blocking,
+// any SIMD width and any worker count.  dst rows start at the bias value
+// (zero for nil bias) and partial sums persist in dst between depth panels;
+// float32 stores/loads are exact, so the round trip does not perturb the
+// accumulation.
+
+const (
+	// nnKC is the depth panel: b rows touched per pass.
+	nnKC = 256
+	// nnNC is the column panel: with nnKC it bounds the L2-resident b block
+	// (nnKC x nnNC floats = 512 KiB) that every row tile streams.
+	nnNC = 512
+	// nnMR is the row tile of the amd64 microkernel; row-panel splits align
+	// to it so only the final panel runs remainder rows.
+	nnMR = 4
+	// nnNR is the column tile of the amd64 microkernel (one 8-float vector).
+	nnNR = 8
+)
+
+// GemmNN computes dst = A*B + bias on row-major float32 buffers: A is m x k,
+// b is k x n (row-major, NOT transposed) and dst is m x n.  bias has one
+// element per output row and may be nil for zero.  dst is fully overwritten.
+//
+// ldb is the row stride of b and dst in floats; it must be >= n.  Staging
+// buffers padded to a multiple of 8 columns keep the whole problem on the
+// vector kernel.  Results are bit-identical to Gemm and to the scalar
+// reference loops for any stride, blocking or worker count.
+func GemmNN(dst, a, b, bias []float32, m, n, k, ldb int) {
+	checkGemmNNArgs(dst, a, b, bias, m, n, k, ldb)
+	gemmNNRows(dst, a, b, bias, n, k, ldb, 0, m)
+}
+
+// GemmNNParallel is GemmNN with the row dimension split into contiguous
+// panels executed on up to workers goroutines.  Each output element is
+// produced by exactly one worker with the serial summation order, so the
+// result is bit-identical to GemmNN for any worker count.
+func GemmNNParallel(dst, a, b, bias []float32, m, n, k, ldb, workers int) {
+	checkGemmNNArgs(dst, a, b, bias, m, n, k, ldb)
+	// Keep the closure out of the serial path: constructing it escapes into
+	// par.ForEach and would break the engine's zero-alloc steady state.
+	if serialRows(m, int64(m)*int64(n)*int64(k), workers) {
+		gemmNNRows(dst, a, b, bias, n, k, ldb, 0, m)
+		return
+	}
+	forEachRowPanel(m, workers, func(r0, r1 int) {
+		gemmNNRows(dst, a, b, bias, n, k, ldb, r0, r1)
+	})
+}
+
+func checkGemmNNArgs(dst, a, b, bias []float32, m, n, k, ldb int) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		panic("tensor: gemmNN dims must be positive")
+	}
+	if ldb < n {
+		panic("tensor: gemmNN stride smaller than column count")
+	}
+	if len(dst) < (m-1)*ldb+n || len(a) < m*k || len(b) < (k-1)*ldb+n {
+		panic("tensor: gemmNN buffers too small")
+	}
+	if bias != nil && len(bias) < m {
+		panic("tensor: gemmNN bias too short")
+	}
+}
+
+// gemmNNRows runs the blocked kernel over output rows [r0, r1).  Rows are
+// first seeded with their bias, then depth panels accumulate in ascending
+// order; inside a panel, column panels bound the L2-resident b block.
+func gemmNNRows(dst, a, b, bias []float32, n, k, ldb, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		row := dst[i*ldb : i*ldb+n]
+		if bias != nil {
+			bi := bias[i]
+			for j := range row {
+				row[j] = bi
+			}
+		} else {
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	for kb := 0; kb < k; kb += nnKC {
+		kc := k - kb
+		if kc > nnKC {
+			kc = nnKC
+		}
+		for jb := 0; jb < n; jb += nnNC {
+			nc := n - jb
+			if nc > nnNC {
+				nc = nnNC
+			}
+			gemmNNPanel(dst, a, b, n, k, ldb, kb, kc, jb, nc, r0, r1)
+		}
+	}
+}
+
+// gemmNNPanel accumulates the (kb..kb+kc) depth slab over columns
+// [jb, jb+nc) for rows [r0, r1), dispatching full register tiles to the
+// vector microkernel and remainders to the scalar axpy loop.
+func gemmNNPanel(dst, a, b []float32, n, k, ldb, kb, kc, jb, nc, r0, r1 int) {
+	ncVec := nc &^ (nnNR - 1)
+	i := r0
+	if gemmNNVector {
+		for ; i+nnMR <= r1; i += nnMR {
+			if ncVec > 0 {
+				gemmNNKernel(dst[i*ldb+jb:], a[i*k+kb:], b[kb*ldb+jb:], kc, ncVec, ldb, k)
+			}
+			if ncVec < nc {
+				gemmNNScalar(dst, a, b, k, ldb, kb, kc, jb+ncVec, nc-ncVec, i, i+nnMR)
+			}
+		}
+	}
+	if i < r1 {
+		gemmNNScalar(dst, a, b, k, ldb, kb, kc, jb, nc, i, r1)
+	}
+}
+
+// gemmNNScalar is the portable kernel for remainder rows and narrow column
+// tails: one dot product per output element over the strided b column, with
+// four rows sharing each streamed b value (the matVecRows tiling, so a
+// batch-of-1 fully-connected layer costs the same as the mat-vec path).
+// Element (i, j) accumulates a[i][l]*b[l][j] for l ascending onto the
+// bias-seeded partial sum resident in dst — the reference summation order.
+func gemmNNScalar(dst, a, b []float32, k, ldb, kb, kc, jb, nc, r0, r1 int) {
+	i := r0
+	for ; i+gemmMR <= r1; i += gemmMR {
+		a0 := a[i*k+kb : i*k+kb+kc]
+		a1 := a[(i+1)*k+kb : (i+1)*k+kb+kc]
+		a2 := a[(i+2)*k+kb : (i+2)*k+kb+kc]
+		a3 := a[(i+3)*k+kb : (i+3)*k+kb+kc]
+		for j := jb; j < jb+nc; j++ {
+			s0 := dst[i*ldb+j]
+			s1 := dst[(i+1)*ldb+j]
+			s2 := dst[(i+2)*ldb+j]
+			s3 := dst[(i+3)*ldb+j]
+			bi := kb*ldb + j
+			for l := 0; l < kc; l++ {
+				bv := b[bi]
+				s0 += a0[l] * bv
+				s1 += a1[l] * bv
+				s2 += a2[l] * bv
+				s3 += a3[l] * bv
+				bi += ldb
+			}
+			dst[i*ldb+j] = s0
+			dst[(i+1)*ldb+j] = s1
+			dst[(i+2)*ldb+j] = s2
+			dst[(i+3)*ldb+j] = s3
+		}
+	}
+	for ; i < r1; i++ {
+		ar := a[i*k+kb : i*k+kb+kc]
+		for j := jb; j < jb+nc; j++ {
+			s := dst[i*ldb+j]
+			bi := kb*ldb + j
+			for _, av := range ar {
+				s += av * b[bi]
+				bi += ldb
+			}
+			dst[i*ldb+j] = s
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package tensor
+
+// amd64 wiring for the GemmNN vector microkernel: runtime AVX2 detection via
+// CPUID/XGETBV so the same binary runs on pre-AVX2 hardware through the
+// scalar path.  Both paths are bit-identical; the flag only selects speed.
+
+// gemmNNKernel is the AVX2 4x8 register-tile microkernel (gemm_nn_amd64.s).
+// nc must be a positive multiple of 8.
+//
+//go:noescape
+func gemmNNKernel(dst, a, b []float32, kc, nc, ldb, lda int)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// gemmNNVector reports whether the vector microkernel is usable: the CPU
+// supports AVX2 and the OS saves/restores the YMM state.
+var gemmNNVector = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

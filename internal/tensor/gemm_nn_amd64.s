@@ -1,0 +1,104 @@
+// AVX2 microkernel for the batched-inference GEMM (see gemm_nn.go).
+//
+// Bit-exactness: each dst element owns one accumulator lane; every depth
+// step performs VMULPS followed by VADDPS — two separately rounded IEEE-754
+// single-precision operations, exactly like the scalar reference — never a
+// fused multiply-add.  Lanes never interact, so the result is bit-identical
+// to the scalar loop for any blocking.
+
+#include "textflag.h"
+
+// func gemmNNKernel(dst, a, b []float32, kc, nc, ldb, lda int)
+//
+// Computes dst[r][j] += sum_l a[r][l]*b[l][j] for r in [0,4), j in [0,nc),
+// l in [0,kc).  dst rows are ldb floats apart, a rows lda floats apart, b
+// rows ldb floats apart.  nc must be a positive multiple of 8; kc positive.
+// Only the slice base pointers are used; callers pre-offset them.
+TEXT ·gemmNNKernel(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	MOVQ kc+72(FP), CX
+	MOVQ nc+80(FP), R8
+	MOVQ ldb+88(FP), R9
+	MOVQ lda+96(FP), R10
+	SHLQ $2, R9              // row strides in bytes
+	SHLQ $2, R10
+
+	// a row pointers (advance via the shared l offset in SI below).
+	MOVQ SI, R12             // a0
+	LEAQ (R12)(R10*1), R13   // a1
+	LEAQ (R13)(R10*1), R14   // a2
+	LEAQ (R14)(R10*1), R15   // a3
+
+	XORQ AX, AX              // column byte offset
+
+colloop:
+	// Load the 4x8 accumulator block from dst (bias-seeded partial sums).
+	LEAQ (DI)(AX*1), DX
+	VMOVUPS (DX), Y0
+	ADDQ R9, DX
+	VMOVUPS (DX), Y1
+	ADDQ R9, DX
+	VMOVUPS (DX), Y2
+	ADDQ R9, DX
+	VMOVUPS (DX), Y3
+
+	LEAQ (BX)(AX*1), DX      // b walking pointer for this column block
+	XORQ SI, SI              // depth byte offset into the a rows
+	MOVQ CX, R11             // depth counter
+
+kloop:
+	VBROADCASTSS (R12)(SI*1), Y4
+	VBROADCASTSS (R13)(SI*1), Y5
+	VBROADCASTSS (R14)(SI*1), Y6
+	VBROADCASTSS (R15)(SI*1), Y7
+	VMOVUPS      (DX), Y8
+	VMULPS       Y8, Y4, Y4
+	VADDPS       Y4, Y0, Y0
+	VMULPS       Y8, Y5, Y5
+	VADDPS       Y5, Y1, Y1
+	VMULPS       Y8, Y6, Y6
+	VADDPS       Y6, Y2, Y2
+	VMULPS       Y8, Y7, Y7
+	VADDPS       Y7, Y3, Y3
+	ADDQ $4, SI
+	ADDQ R9, DX              // next b row
+	DECQ R11
+	JNE  kloop
+
+	// Store the accumulator block back to dst.
+	LEAQ (DI)(AX*1), DX
+	VMOVUPS Y0, (DX)
+	ADDQ R9, DX
+	VMOVUPS Y1, (DX)
+	ADDQ R9, DX
+	VMOVUPS Y2, (DX)
+	ADDQ R9, DX
+	VMOVUPS Y3, (DX)
+
+	ADDQ $32, AX             // next 8-column block
+	SUBQ $8, R8
+	JNE  colloop
+
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 platforms run GemmNN entirely on the portable scalar kernel,
+// which shares the summation order of the vector microkernel bit for bit.
+
+const gemmNNVector = false
+
+// gemmNNKernel is never called when gemmNNVector is false.
+func gemmNNKernel(dst, a, b []float32, kc, nc, ldb, lda int) {
+	panic("tensor: vector gemm kernel unavailable")
+}
