@@ -1,0 +1,226 @@
+// Command tango-loadtest is the CI load generator for tango-serve: it fires
+// N concurrent classify requests at a running server, then fails loudly
+// unless
+//
+//   - every request came back 2xx,
+//   - every response is bit-identical to a local single-sample Classify of
+//     the same input (batching must never change numerics),
+//   - /metrics reports zero queue-full rejections, and
+//   - the mean formed batch size exceeds -min-mean-batch (i.e. dynamic
+//     batching actually engaged under the concurrent load).
+//
+// It waits for /healthz before loading, so CI can start the server in the
+// background and invoke this immediately:
+//
+//	./tango-serve -addr 127.0.0.1:8437 -benchmarks CifarNet &
+//	go run ./cmd/tango-loadtest -url http://127.0.0.1:8437 -requests 96 -concurrency 16
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tango"
+)
+
+type classifyResponse struct {
+	Class         int       `json:"class"`
+	Probabilities []float32 `json:"probabilities"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8437", "base URL of the running tango-serve")
+	benchmark := flag.String("benchmark", "CifarNet", "CNN benchmark to load (must be served)")
+	requests := flag.Int("requests", 96, "total requests to fire")
+	concurrency := flag.Int("concurrency", 16, "concurrent client goroutines")
+	seedBase := flag.Uint64("seed", 1, "first sample seed; request i uses seed+i")
+	minMeanBatch := flag.Float64("min-mean-batch", 1.0, "fail unless /metrics mean_batch_size exceeds this")
+	verify := flag.Bool("verify", true, "bit-compare every response against a local Classify")
+	readyTimeout := flag.Duration("ready-timeout", 60*time.Second, "max wait for /healthz")
+	flag.Parse()
+
+	if err := waitReady(*url+"/healthz", *readyTimeout); err != nil {
+		log.Fatalf("tango-loadtest: %v", err)
+	}
+
+	b, err := tango.LoadBenchmark(*benchmark)
+	if err != nil {
+		log.Fatalf("tango-loadtest: %v", err)
+	}
+
+	// Pre-generate the inputs and, when verifying, the expected bit-exact
+	// answers (local per-sample Classify of the same image), so the timed
+	// window contains only HTTP traffic.
+	images := make([][]float32, *requests)
+	expected := make([]*tango.Classification, *requests)
+	for i := range images {
+		img, _, err := b.SampleImage(*seedBase + uint64(i))
+		if err != nil {
+			log.Fatalf("tango-loadtest: %v", err)
+		}
+		images[i] = img
+		if *verify {
+			expected[i], err = b.Classify(img)
+			if err != nil {
+				log.Fatalf("tango-loadtest: %v", err)
+			}
+		}
+	}
+
+	var failures atomic.Uint64
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 120 * time.Second}
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fire(client, *url, *benchmark, images[i], expected[i]); err != nil {
+					failures.Add(1)
+					log.Printf("request %d: %v", i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m, err := fetchMetrics(client, *url+"/metrics")
+	if err != nil {
+		log.Fatalf("tango-loadtest: %v", err)
+	}
+
+	fmt.Printf("fired %d requests (%d concurrent) in %s: %.1f req/s\n",
+		*requests, *concurrency, elapsed.Round(time.Millisecond), float64(*requests)/elapsed.Seconds())
+	fmt.Printf("server metrics: %d requests, %d batches, mean batch %.2f, %d queue-full rejections\n",
+		m.Requests, m.Batches, m.MeanBatchSize, m.RejectedQueueFull)
+
+	failed := false
+	if n := failures.Load(); n > 0 {
+		fmt.Printf("FAIL: %d requests failed or mismatched\n", n)
+		failed = true
+	}
+	if m.RejectedQueueFull > 0 {
+		fmt.Printf("FAIL: %d requests were rejected queue-full at default depth\n", m.RejectedQueueFull)
+		failed = true
+	}
+	if m.MeanBatchSize <= *minMeanBatch {
+		fmt.Printf("FAIL: mean batch size %.2f <= %.2f: dynamic batching did not engage\n",
+			m.MeanBatchSize, *minMeanBatch)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	if *verify {
+		fmt.Println("PASS: all responses 2xx and bit-identical to local Classify; batching engaged")
+	} else {
+		fmt.Println("PASS: all responses 2xx; batching engaged")
+	}
+}
+
+// waitReady polls healthURL until it answers 200.  The probe client has its
+// own short timeout so a wedged listener (accepts, never answers) cannot
+// stall the poll loop past the deadline.
+func waitReady(healthURL string, timeout time.Duration) error {
+	probe := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := probe.Get(healthURL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not ready after %s: %v", timeout, err)
+			}
+			return fmt.Errorf("server not ready after %s", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fire sends one classify request and, when want is non-nil, bit-compares
+// the response against the local per-sample result.
+func fire(client *http.Client, baseURL, benchmark string, image []float32, want *tango.Classification) error {
+	body, err := json.Marshal(map[string]any{"benchmark": benchmark, "image": image})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/v1/classify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if want == nil {
+		return nil
+	}
+	var got classifyResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		return err
+	}
+	if got.Class != want.Class {
+		return fmt.Errorf("class mismatch: served %d, local %d", got.Class, want.Class)
+	}
+	if len(got.Probabilities) != len(want.Probabilities) {
+		return fmt.Errorf("probability count mismatch: served %d, local %d",
+			len(got.Probabilities), len(want.Probabilities))
+	}
+	for i := range got.Probabilities {
+		if math.Float32bits(got.Probabilities[i]) != math.Float32bits(want.Probabilities[i]) {
+			return fmt.Errorf("probability %d not bit-identical: served %v, local %v",
+				i, got.Probabilities[i], want.Probabilities[i])
+		}
+	}
+	return nil
+}
+
+// fetchMetrics reads the server's stats snapshot from /metrics, decoding
+// into the server's own exported type so the CI assertions stay type-linked
+// to the JSON shape tango-serve actually emits.
+func fetchMetrics(client *http.Client, url string) (*tango.ServerStats, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var m tango.ServerStats
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,125 @@
+// Command tango-serve is the network-facing inference server of the suite:
+// it loads one or more benchmarks, mounts the dynamic-batching tango.Server
+// over HTTP (stdlib net/http only), and serves until SIGINT/SIGTERM, then
+// drains gracefully.
+//
+//	tango-serve -addr :8080 -benchmarks CifarNet,LSTM -max-batch 16 -max-delay-us 1000
+//
+// Endpoints:
+//
+//	POST /v1/classify  {"benchmark":"CifarNet","image":[...]} or {"benchmark":...,"seed":N}
+//	POST /v1/forecast  {"benchmark":"LSTM","history":[...]}   or {"benchmark":...,"seed":N}
+//	GET  /healthz
+//	GET  /metrics
+//
+// Concurrent requests to the same benchmark are coalesced into batched
+// engine runs (up to -max-batch per batch, waiting at most -max-delay-us for
+// a batch to fill); responses are bit-identical to single-sample Classify /
+// Forecast.  A full queue (-queue-depth) rejects with HTTP 429 instead of
+// queuing unboundedly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tango"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	benchmarks := flag.String("benchmarks", "CifarNet", "comma-separated benchmarks to serve")
+	maxBatch := flag.Int("max-batch", 16, "max requests coalesced into one engine batch")
+	maxDelayUS := flag.Int("max-delay-us", 1000, "max microseconds the oldest queued request waits for its batch to fill")
+	queueDepth := flag.Int("queue-depth", 256, "per-benchmark request queue capacity (full queue rejects with 429)")
+	parallel := flag.Int("parallel", 0, "engine workers per batch run (0 = single worker, -1 = one per CPU)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	flag.Parse()
+
+	names := splitBenchmarks(*benchmarks)
+	if len(names) == 0 {
+		log.Fatal("tango-serve: -benchmarks must name at least one benchmark")
+	}
+
+	log.Printf("loading %s ...", strings.Join(names, ", "))
+	srv, err := tango.NewServer(names, tango.ServerConfig{
+		MaxBatch:    *maxBatch,
+		MaxDelay:    time.Duration(*maxDelayUS) * time.Microsecond,
+		QueueDepth:  *queueDepth,
+		Parallelism: *parallel,
+	})
+	if err != nil {
+		log.Fatalf("tango-serve: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s on %s (max-batch %d, max-delay %dus, queue-depth %d)",
+		strings.Join(names, ", "), *addr, *maxBatch, *maxDelayUS, *queueDepth)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("tango-serve: %v", err)
+	case <-ctx.Done():
+	}
+	// Restore default signal disposition: a second SIGINT/SIGTERM during
+	// the drain kills the process immediately instead of being swallowed.
+	stop()
+
+	log.Print("shutting down: draining in-flight requests ...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("tango-serve: http shutdown: %v", err)
+	}
+	// The same -drain-timeout window bounds the batcher drain: a queue
+	// still full when it expires is abandoned rather than stalling the
+	// process past an orchestrator's kill-grace period.
+	drained := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-shutdownCtx.Done():
+		log.Print("tango-serve: drain timeout expired with requests still queued")
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("tango-serve: %v", err)
+	}
+
+	stats := srv.Stats()
+	log.Printf("served %d requests in %d batches (mean batch %.2f, %d rejected)",
+		stats.Completed, stats.Batches, stats.MeanBatchSize, stats.RejectedQueueFull)
+	fmt.Println("bye")
+}
+
+// splitBenchmarks parses the -benchmarks list.
+func splitBenchmarks(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

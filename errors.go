@@ -1,0 +1,29 @@
+package tango
+
+import (
+	"errors"
+
+	"tango/internal/serve"
+	"tango/internal/tensor"
+)
+
+// Sentinel errors of the public API, for use with errors.Is.
+var (
+	// ErrShape reports an input whose shape or length does not match what
+	// the benchmark expects: wrong image length, empty batch, empty
+	// history, ragged batch.  Every shape rejection across the suite wraps
+	// this sentinel.
+	ErrShape = tensor.ErrShape
+
+	// ErrQueueFull is the Server's backpressure signal: the benchmark's
+	// request queue is at capacity and the request was rejected without
+	// queuing (surfaced as HTTP 429 by the tango-serve binary).
+	ErrQueueFull = serve.ErrQueueFull
+
+	// ErrServerClosed reports a request submitted after Server.Close began.
+	ErrServerClosed = serve.ErrClosed
+
+	// ErrNotServed reports a request naming a benchmark the Server was not
+	// configured to serve.
+	ErrNotServed = errors.New("tango: benchmark not served")
+)

@@ -1,0 +1,108 @@
+// Serve: embed the dynamic-batching tango.Server in-process, the way an
+// application would, and show what the batching layer does under concurrent
+// load: closed-loop clients hammer Classify, the scheduler coalesces their
+// requests into batched engine runs, and the stats snapshot shows the formed
+// batch sizes and end-to-end latency percentiles.  (For the network-facing
+// version of the same thing, see cmd/tango-serve.)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"tango"
+)
+
+func main() {
+	name := flag.String("benchmark", "CifarNet", "CNN benchmark to serve")
+	requests := flag.Int("requests", 64, "total requests to serve")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	maxBatch := flag.Int("max-batch", 16, "max requests per formed batch")
+	maxDelayUS := flag.Int("max-delay-us", 500, "max wait for a batch to fill, microseconds")
+	flag.Parse()
+
+	b, err := tango.LoadBenchmark(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if b.Kind() != "CNN" {
+		log.Fatalf("this example serves CNN benchmarks; %s is a %s", *name, b.Kind())
+	}
+
+	// Sequential baseline: what the same request stream costs without the
+	// serving layer, one Classify per request.
+	img, _, err := b.SampleImage(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := b.Classify(img); err != nil { // warm the plan
+		log.Fatal(err)
+	}
+	seqStart := time.Now()
+	for i := 0; i < *requests; i++ {
+		if _, err := b.Classify(img); err != nil {
+			log.Fatal(err)
+		}
+	}
+	seqRate := float64(*requests) / time.Since(seqStart).Seconds()
+
+	srv, err := tango.NewServer([]string{*name}, tango.ServerConfig{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   time.Duration(*maxDelayUS) * time.Microsecond,
+		QueueDepth: 1024,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Closed-loop clients: each submits its next request the moment the
+	// previous one completes, like a saturated frontend.  Errors are
+	// collected, not fatal'd from the goroutines, so the deferred Close
+	// still drains on failure.
+	work := make(chan int)
+	clientErrs := make(chan error, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var failed error
+			for range work {
+				if failed != nil {
+					continue // keep draining so the producer never blocks
+				}
+				if _, err := srv.Classify(context.Background(), *name, img); err != nil {
+					failed = err
+				}
+			}
+			if failed != nil {
+				clientErrs <- failed
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	close(clientErrs)
+	if err := <-clientErrs; err != nil {
+		log.Fatal(err)
+	}
+	servedRate := float64(*requests) / time.Since(start).Seconds()
+
+	st := srv.Stats().Benchmarks[*name]
+	fmt.Printf("served %d requests from %d concurrent clients on %s:\n\n", *requests, *clients, *name)
+	fmt.Printf("  %-28s %10.1f req/s\n", "sequential Classify", seqRate)
+	fmt.Printf("  %-28s %10.1f req/s (%.2fx)\n\n", "batching server", servedRate, servedRate/seqRate)
+	fmt.Printf("  batches formed        %d (mean size %.2f)\n", st.Batches, st.MeanBatchSize)
+	fmt.Printf("  batch size histogram  %v\n", st.BatchSizeHist)
+	fmt.Printf("  latency p50 / p99     %.0fus / %.0fus\n", st.LatencyP50Micros, st.LatencyP99Micros)
+	fmt.Printf("  rejected (queue full) %d\n", st.RejectedQueueFull)
+}

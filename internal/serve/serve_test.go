@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echo is a trivial batch function for scheduling tests.
+func echo(ins []int) ([]int, error) {
+	outs := make([]int, len(ins))
+	for i, v := range ins {
+		outs[i] = v * 2
+	}
+	return outs, nil
+}
+
+// gatedEcho returns an echo batch function that signals on entered for every
+// batch and blocks until release is closed, so tests can hold a batch
+// in flight while they arrange queue state.
+func gatedEcho(entered chan<- struct{}, release <-chan struct{}) func([]int) ([]int, error) {
+	return func(ins []int) ([]int, error) {
+		entered <- struct{}{}
+		<-release
+		return echo(ins)
+	}
+}
+
+// TestBatcherCoalesces holds the first batch in flight while N more requests
+// queue up, then checks that the queued requests were served in larger
+// batches, every result is correct, and the histogram accounts for every
+// request.
+func TestBatcherCoalesces(t *testing.T) {
+	const n = 9
+	// Buffered past any possible batch count so the gate never blocks a
+	// flush on the test consuming its signal.
+	entered := make(chan struct{}, 4*n)
+	release := make(chan struct{})
+	b := NewBatcher(Config{MaxBatch: 4, MaxDelay: time.Millisecond, QueueDepth: 64},
+		gatedEcho(entered, release))
+	defer b.Close()
+
+	results := make(chan error, n+1)
+	do := func(v int) {
+		got, err := b.Do(context.Background(), v)
+		if err == nil && got != 2*v {
+			err = errors.New("wrong result")
+		}
+		results <- err
+	}
+	go do(100)
+	<-entered // first batch (size 1) is in flight
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			do(v)
+		}(i)
+	}
+	// Wait until all n are queued, then let batches run.
+	for deadline := time.Now().Add(5 * time.Second); b.Stats().Submitted < n+1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never queued: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < n+1; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("request failed: %v", err)
+		}
+	}
+
+	st := b.Stats()
+	if st.Completed != n+1 {
+		t.Fatalf("completed %d, want %d", st.Completed, n+1)
+	}
+	var histTotal uint64
+	for size, count := range st.BatchSizeHist {
+		histTotal += uint64(size+1) * count
+	}
+	if histTotal != n+1 {
+		t.Fatalf("histogram accounts for %d requests, want %d (hist %v)", histTotal, n+1, st.BatchSizeHist)
+	}
+	// 9 queued requests with MaxBatch 4 need at most 3 batches; together
+	// with the size-1 opener the mean must exceed 1.
+	if st.MeanBatchSize <= 1 {
+		t.Fatalf("coalescing never engaged: mean batch %.2f (hist %v)", st.MeanBatchSize, st.BatchSizeHist)
+	}
+}
+
+// TestTimeoutOnlyFlush checks the straggler path: one lone request must be
+// flushed as a batch of 1 once MaxDelay expires, not wait for MaxBatch.
+func TestTimeoutOnlyFlush(t *testing.T) {
+	b := NewBatcher(Config{MaxBatch: 8, MaxDelay: 5 * time.Millisecond, QueueDepth: 8}, echo)
+	defer b.Close()
+
+	start := time.Now()
+	got, err := b.Do(context.Background(), 21)
+	if err != nil || got != 42 {
+		t.Fatalf("Do = %d, %v; want 42, nil", got, err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("straggler waited %s; timeout flush did not fire", waited)
+	}
+	st := b.Stats()
+	if st.Batches != 1 || st.BatchSizeHist[0] != 1 {
+		t.Fatalf("want one batch of size 1, got %d batches, hist %v", st.Batches, st.BatchSizeHist)
+	}
+}
+
+// TestQueueFullRejection fills the bounded queue behind an in-flight batch
+// and checks the next submission is bounced immediately with ErrQueueFull.
+func TestQueueFullRejection(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	b := NewBatcher(Config{MaxBatch: 1, MaxDelay: 0, QueueDepth: 2},
+		gatedEcho(entered, release))
+	defer b.Close()
+
+	done := make(chan error, 3)
+	go func() {
+		_, err := b.Do(context.Background(), 1)
+		done <- err
+	}()
+	<-entered // batch of 1 in flight; queue is empty again
+	for i := 0; i < 2; i++ {
+		go func(v int) {
+			_, err := b.Do(context.Background(), v)
+			done <- err
+		}(i)
+	}
+	for deadline := time.Now().Add(5 * time.Second); b.Stats().Submitted < 3; {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue (depth 2) now holds 2 requests: the next one must bounce.
+	if _, err := b.Do(context.Background(), 99); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Do error = %v, want ErrQueueFull", err)
+	}
+	if st := b.Stats(); st.RejectedQueueFull != 1 {
+		t.Fatalf("RejectedQueueFull = %d, want 1", st.RejectedQueueFull)
+	}
+
+	close(release)
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("accepted request failed: %v", err)
+		}
+	}
+}
+
+// TestShutdownDrainsInFlight closes the batcher while a batch is running and
+// more requests are queued: Close must block until every accepted request
+// has been served, and later submissions must fail with ErrClosed.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	b := NewBatcher(Config{MaxBatch: 2, MaxDelay: 0, QueueDepth: 16},
+		gatedEcho(entered, release))
+
+	const queued = 5
+	done := make(chan error, queued+1)
+	do := func(v int) {
+		got, err := b.Do(context.Background(), v)
+		if err == nil && got != 2*v {
+			err = errors.New("wrong result")
+		}
+		done <- err
+	}
+	go do(7)
+	<-entered // opener in flight
+	for i := 0; i < queued; i++ {
+		go do(i)
+	}
+	for deadline := time.Now().Add(5 * time.Second); b.Stats().Submitted < queued+1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never queued: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a batch was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	go func() {
+		for range entered { // drain gate signals for the remaining batches
+		}
+	}()
+	close(release)
+	<-closed
+	close(entered)
+
+	for i := 0; i < queued+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("queued request lost in shutdown: %v", err)
+		}
+	}
+	if _, err := b.Do(context.Background(), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Do error = %v, want ErrClosed", err)
+	}
+	if st := b.Stats(); st.Completed != queued+1 || st.RejectedClosed != 1 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+}
+
+// TestContextCanceledWhileQueued cancels a queued request before its batch
+// forms: the dispatcher must drop it (never run it) and Do must return the
+// context error.
+func TestContextCanceledWhileQueued(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	var served atomic.Int64
+	b := NewBatcher(Config{MaxBatch: 1, MaxDelay: 0, QueueDepth: 8},
+		func(ins []int) ([]int, error) {
+			entered <- struct{}{}
+			<-release
+			served.Add(int64(len(ins)))
+			return echo(ins)
+		})
+	defer b.Close()
+
+	opener := make(chan error, 1)
+	go func() {
+		_, err := b.Do(context.Background(), 1)
+		opener <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := make(chan error, 1)
+	go func() {
+		_, err := b.Do(ctx, 2)
+		canceled <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); b.Stats().Submitted < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("request never queued: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-canceled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Do error = %v, want context.Canceled", err)
+	}
+
+	go func() {
+		for range entered {
+		}
+	}()
+	close(release)
+	if err := <-opener; err != nil {
+		t.Fatalf("opener failed: %v", err)
+	}
+	b.Close()
+	close(entered)
+	if n := served.Load(); n != 1 {
+		t.Fatalf("served %d requests, want 1 (canceled request must be dropped)", n)
+	}
+	if st := b.Stats(); st.Canceled != 1 {
+		t.Fatalf("Canceled = %d, want 1", st.Canceled)
+	}
+}
+
+// TestPreCanceledContextFastFails checks a request whose context is already
+// done never occupies a queue slot.
+func TestPreCanceledContextFastFails(t *testing.T) {
+	b := NewBatcher(Config{MaxBatch: 4, MaxDelay: 0, QueueDepth: 8}, echo)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Do(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Do error = %v, want context.Canceled", err)
+	}
+	if st := b.Stats(); st.Submitted != 0 {
+		t.Fatalf("pre-canceled request was queued: %+v", st)
+	}
+}
+
+// TestBatchRunError propagates a failed batch run to every request that
+// shared the batch.
+func TestBatchRunError(t *testing.T) {
+	boom := errors.New("boom")
+	b := NewBatcher(Config{MaxBatch: 4, MaxDelay: 0, QueueDepth: 8},
+		func(ins []int) ([]int, error) { return nil, boom })
+	defer b.Close()
+
+	if _, err := b.Do(context.Background(), 1); !errors.Is(err, boom) {
+		t.Fatalf("Do error = %v, want boom", err)
+	}
+	if st := b.Stats(); st.BatchErrors != 1 || st.Completed != 1 {
+		t.Fatalf("stats after failed batch = %+v", st)
+	}
+}
+
+// TestBatchRunPanicContained converts a panicking batch function into a
+// per-batch error instead of killing the dispatcher (and with it every
+// other queue).
+func TestBatchRunPanicContained(t *testing.T) {
+	calls := 0
+	b := NewBatcher(Config{MaxBatch: 4, MaxDelay: 0, QueueDepth: 8},
+		func(ins []int) ([]int, error) {
+			calls++
+			if calls == 1 {
+				panic("kernel bug")
+			}
+			return echo(ins)
+		})
+	defer b.Close()
+
+	if _, err := b.Do(context.Background(), 1); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("Do error = %v, want batch-panic error", err)
+	}
+	// The dispatcher must still be alive and serving.
+	got, err := b.Do(context.Background(), 3)
+	if err != nil || got != 6 {
+		t.Fatalf("post-panic Do = %d, %v; want 6, nil", got, err)
+	}
+	if st := b.Stats(); st.BatchErrors != 1 || st.Completed != 2 {
+		t.Fatalf("stats after contained panic = %+v", st)
+	}
+}
+
+// TestConcurrentSubmitShutdownRace hammers Do from many goroutines while
+// Close runs concurrently.  Run under -race this is the scheduler's
+// submit-vs-shutdown ordering test: every call must either complete with a
+// correct result or fail with ErrClosed/ErrQueueFull, and nothing may panic
+// or deadlock.
+func TestConcurrentSubmitShutdownRace(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		b := NewBatcher(Config{MaxBatch: 8, MaxDelay: 100 * time.Microsecond, QueueDepth: 32}, echo)
+		var wg sync.WaitGroup
+		var completed, rejected atomic.Int64
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					got, err := b.Do(context.Background(), i)
+					switch {
+					case err == nil:
+						if got != 2*i {
+							t.Errorf("wrong result %d for %d", got, i)
+							return
+						}
+						completed.Add(1)
+					case errors.Is(err, ErrClosed), errors.Is(err, ErrQueueFull):
+						rejected.Add(1)
+					default:
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		// Close mid-flight; Do calls racing the close must observe a
+		// clean rejection, never a send on a closed channel.
+		time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+		b.Close()
+		wg.Wait()
+
+		st := b.Stats()
+		if st.Completed != uint64(completed.Load()) {
+			t.Fatalf("round %d: stats completed %d, callers saw %d", round, st.Completed, completed.Load())
+		}
+		if completed.Load()+rejected.Load() != 8*50 {
+			t.Fatalf("round %d: %d completed + %d rejected != 400", round, completed.Load(), rejected.Load())
+		}
+	}
+}
+
+// TestStatsPercentiles sanity-checks the latency window.
+func TestStatsPercentiles(t *testing.T) {
+	b := NewBatcher(Config{MaxBatch: 4, MaxDelay: 0, QueueDepth: 8}, echo)
+	defer b.Close()
+	for i := 0; i < 32; i++ {
+		if _, err := b.Do(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.LatencySamples != 32 {
+		t.Fatalf("LatencySamples = %d, want 32", st.LatencySamples)
+	}
+	if st.LatencyP50 <= 0 || st.LatencyP99 < st.LatencyP50 {
+		t.Fatalf("implausible percentiles: p50 %s, p99 %s", st.LatencyP50, st.LatencyP99)
+	}
+}
+
+// TestConfigDefaults checks unset policy fields pick up the documented
+// defaults.
+func TestConfigDefaults(t *testing.T) {
+	b := NewBatcher(Config{}, echo)
+	defer b.Close()
+	cfg := b.Config()
+	if cfg.MaxBatch != DefaultMaxBatch || cfg.QueueDepth != DefaultQueueDepth || cfg.MaxDelay != 0 {
+		t.Fatalf("defaulted config = %+v", cfg)
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the percentile window
+// keeps.  Percentiles are computed over this sliding window, not the full
+// history, so they track current load.
+const latencyWindow = 4096
+
+// Stats is a point-in-time snapshot of a batcher's counters.
+type Stats struct {
+	// Submitted counts requests accepted into the queue.
+	Submitted uint64
+	// Completed counts requests that received a result (including requests
+	// that shared a failed batch run and received its error).
+	Completed uint64
+	// Canceled counts requests whose context expired while queued; they
+	// were dropped at batch-formation time without running.
+	Canceled uint64
+	// RejectedQueueFull counts requests bounced with ErrQueueFull.
+	RejectedQueueFull uint64
+	// RejectedClosed counts requests bounced with ErrClosed.
+	RejectedClosed uint64
+	// Batches counts batches actually run; BatchErrors counts the subset
+	// whose run function returned an error.
+	Batches     uint64
+	BatchErrors uint64
+	// BatchSizeHist[i] counts batches of size i+1 (length = MaxBatch).
+	BatchSizeHist []uint64
+	// MeanBatchSize is the total number of batched requests divided by
+	// Batches (0 when no batch has run).
+	MeanBatchSize float64
+	// LatencyP50 and LatencyP99 are percentiles of end-to-end request
+	// latency (queue wait + batch compute) over the recent window.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+	// LatencySamples is the number of samples currently in the window.
+	LatencySamples int
+}
+
+// collector accumulates counters under one mutex.  The hot paths take the
+// lock once per request (submit/reject) or once per batch (finishBatch);
+// contention is negligible next to millisecond-scale inference.
+type collector struct {
+	mu                sync.Mutex
+	submitted         uint64
+	completed         uint64
+	canceled          uint64
+	rejectedQueueFull uint64
+	rejectedClosed    uint64
+	batches           uint64
+	batchErrors       uint64
+	batchedRequests   uint64
+	hist              []uint64
+	lat               []time.Duration
+	latNext           int
+	latCount          int
+}
+
+func (c *collector) init(maxBatch int) {
+	c.hist = make([]uint64, maxBatch)
+	c.lat = make([]time.Duration, latencyWindow)
+}
+
+func (c *collector) submit() {
+	c.mu.Lock()
+	c.submitted++
+	c.mu.Unlock()
+}
+
+// rejectFull records an ErrQueueFull bounce.  The caller counted the
+// attempt via submit before trying the queue (so Submitted >= Completed
+// holds at every instant); undo that here.
+func (c *collector) rejectFull() {
+	c.mu.Lock()
+	c.submitted--
+	c.rejectedQueueFull++
+	c.mu.Unlock()
+}
+
+func (c *collector) rejectClosed() {
+	c.mu.Lock()
+	c.rejectedClosed++
+	c.mu.Unlock()
+}
+
+func (c *collector) cancel() {
+	c.mu.Lock()
+	c.canceled++
+	c.mu.Unlock()
+}
+
+// finishBatch records one executed batch: its size, whether its run failed,
+// and the end-to-end latency of every request it served.
+func (c *collector) finishBatch(size int, failed bool, lats []time.Duration) {
+	c.mu.Lock()
+	c.batches++
+	c.batchedRequests += uint64(size)
+	c.completed += uint64(size)
+	if failed {
+		c.batchErrors++
+	}
+	if size >= 1 && size <= len(c.hist) {
+		c.hist[size-1]++
+	}
+	for _, d := range lats {
+		c.lat[c.latNext] = d
+		c.latNext = (c.latNext + 1) % len(c.lat)
+		if c.latCount < len(c.lat) {
+			c.latCount++
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	s := Stats{
+		Submitted:         c.submitted,
+		Completed:         c.completed,
+		Canceled:          c.canceled,
+		RejectedQueueFull: c.rejectedQueueFull,
+		RejectedClosed:    c.rejectedClosed,
+		Batches:           c.batches,
+		BatchErrors:       c.batchErrors,
+		BatchSizeHist:     append([]uint64(nil), c.hist...),
+		LatencySamples:    c.latCount,
+	}
+	if c.batches > 0 {
+		s.MeanBatchSize = float64(c.batchedRequests) / float64(c.batches)
+	}
+	window := append([]time.Duration(nil), c.lat[:c.latCount]...)
+	c.mu.Unlock()
+
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.LatencyP50 = percentile(window, 0.50)
+		s.LatencyP99 = percentile(window, 0.99)
+	}
+	return s
+}
+
+// percentile returns the nearest-rank percentile of a sorted sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

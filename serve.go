@@ -1,0 +1,357 @@
+package tango
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tango/internal/networks"
+	"tango/internal/serve"
+)
+
+// This file implements the embedding API of the serving subsystem: a Server
+// owns one dynamic-batching scheduler per benchmark, so concurrent
+// independent Classify / Forecast requests are coalesced into ClassifyBatch /
+// ForecastBatch calls and the batched engine is what runs under load.  The
+// cmd/tango-serve binary wraps a Server in an HTTP frontend (see Handler).
+
+// ServerConfig sets the batching policy of a Server.  The zero value is a
+// usable default (batches of up to 16, greedy flush, queue depth 256,
+// single-worker engine).
+type ServerConfig struct {
+	// MaxBatch is the largest batch formed per benchmark; a forming batch
+	// is flushed as soon as it reaches MaxBatch requests.  <1 selects the
+	// default (16).
+	MaxBatch int
+	// MaxDelay bounds how long the oldest queued request waits for the
+	// batch to fill before being flushed anyway.  Zero flushes as soon as
+	// the queue is momentarily empty (greedy batching, no added latency).
+	MaxDelay time.Duration
+	// QueueDepth is the per-benchmark bounded queue capacity; requests
+	// beyond it are rejected immediately with ErrQueueFull.  <1 selects
+	// the default (256).
+	QueueDepth int
+	// Parallelism is the compute-engine worker count used for batch runs,
+	// exactly as WithParallelism: 0 keeps the single-worker engine,
+	// negative selects one worker per CPU.  Batching composes with engine
+	// parallelism: the batch amortizes weight traffic, the workers split
+	// each batch's GEMM row panels.
+	Parallelism int
+}
+
+// Server coalesces concurrent inference requests into batched engine runs.
+// Create one with NewServer, embed it directly (Classify / Forecast) or
+// mount its Handler on an HTTP server, and Close it to drain.
+//
+// Results are bit-identical to calling Benchmark.Classify / Forecast on the
+// same inputs: batching changes scheduling, never numerics.
+type Server struct {
+	cfg    ServerConfig
+	models map[string]*serverModel
+	order  []string
+}
+
+// serverModel is one served benchmark: the loaded workload plus its
+// request batcher (classify for CNNs, forecast for RNNs).
+type serverModel struct {
+	bench    *Benchmark
+	inputLen int
+	classify *serve.Batcher[[]float32, BatchClassification]
+	forecast *serve.Batcher[[]float64, float64]
+}
+
+// NewServer loads the named benchmarks and starts one dynamic-batching
+// scheduler per benchmark.  Each benchmark is prewarmed (weight plan
+// resolved, scratch pools grown) so the first request is served at
+// steady-state speed.  The caller must Close the server to stop the
+// scheduler goroutines.
+func NewServer(benchmarks []string, cfg ServerConfig) (*Server, error) {
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("tango: NewServer needs at least one benchmark")
+	}
+	scfg := serve.Config{
+		MaxBatch:   cfg.MaxBatch,
+		MaxDelay:   cfg.MaxDelay,
+		QueueDepth: cfg.QueueDepth,
+	}
+	effMaxBatch := scfg.WithDefaults().MaxBatch
+	var opts []SimOption
+	if cfg.Parallelism != 0 {
+		opts = append(opts, WithParallelism(cfg.Parallelism))
+	}
+	s := &Server{cfg: cfg, models: make(map[string]*serverModel, len(benchmarks))}
+	for _, name := range benchmarks {
+		if _, ok := s.models[name]; ok {
+			continue
+		}
+		b, err := LoadBenchmark(name)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		m := &serverModel{bench: b}
+		switch b.inner.Kind() {
+		case networks.KindCNN:
+			m.inputLen = 1
+			for _, d := range b.inner.Network.InputShape {
+				m.inputLen *= d
+			}
+			// Prewarm: resolve the plan and grow the scratch to the
+			// configured batch geometry outside any request latency.
+			if _, err := b.ClassifySampleBatch(0, effMaxBatch, opts...); err != nil {
+				s.close()
+				return nil, fmt.Errorf("tango: prewarm %s: %w", name, err)
+			}
+			m.classify = serve.NewBatcher(scfg, func(images [][]float32) ([]BatchClassification, error) {
+				return b.ClassifyBatch(images, opts...)
+			})
+		case networks.KindRNN:
+			// Prewarm the batched recurrent path at full batch width.
+			history, err := b.SampleHistory(0)
+			if err != nil {
+				s.close()
+				return nil, fmt.Errorf("tango: prewarm %s: %w", name, err)
+			}
+			warm := make([][]float64, effMaxBatch)
+			for i := range warm {
+				warm[i] = history
+			}
+			if _, err := b.ForecastBatch(warm, opts...); err != nil {
+				s.close()
+				return nil, fmt.Errorf("tango: prewarm %s: %w", name, err)
+			}
+			m.forecast = serve.NewBatcher(scfg, func(histories [][]float64) ([]float64, error) {
+				return forecastGrouped(b, histories, opts)
+			})
+		default:
+			s.close()
+			return nil, fmt.Errorf("tango: %s has unsupported kind %s", name, b.Kind())
+		}
+		s.models[name] = m
+		s.order = append(s.order, name)
+	}
+	return s, nil
+}
+
+// forecastGrouped runs a formed forecast batch.  ForecastBatch requires
+// equal-length histories (the recurrent gates advance the batch in
+// lockstep), but independent requests may carry different lengths, so the
+// batch is partitioned into equal-length groups, each run as one batched
+// call.  Grouping never changes numerics: batched results are bit-identical
+// to per-sample Forecast regardless of how the batch is split.
+func forecastGrouped(b *Benchmark, histories [][]float64, opts []SimOption) ([]float64, error) {
+	n := len(histories)
+	out := make([]float64, n)
+	done := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		steps := len(histories[i])
+		idx := []int{i}
+		for j := i + 1; j < n; j++ {
+			if !done[j] && len(histories[j]) == steps {
+				idx = append(idx, j)
+			}
+		}
+		group := make([][]float64, len(idx))
+		for k, j := range idx {
+			group[k] = histories[j]
+		}
+		preds, err := b.ForecastBatch(group, opts...)
+		if err != nil {
+			return nil, err
+		}
+		for k, j := range idx {
+			out[j] = preds[k]
+			done[j] = true
+		}
+	}
+	return out, nil
+}
+
+// Benchmarks returns the served benchmark names in configuration order.
+func (s *Server) Benchmarks() []string { return append([]string(nil), s.order...) }
+
+// errWrongKind is the single rejection for a request that reached a model
+// through the wrong entry point (Classify on an RNN or Forecast on a CNN),
+// shared by the embedding API and the HTTP seed path so both report the
+// same wrapped ErrShape.
+func (m *serverModel) errWrongKind(benchmark string) error {
+	use := "Classify (/v1/classify)"
+	if m.classify == nil {
+		use = "Forecast (/v1/forecast)"
+	}
+	return fmt.Errorf("tango: %s is a %s benchmark; %w: use %s",
+		benchmark, m.bench.Kind(), ErrShape, use)
+}
+
+// sampleImage resolves the deterministic sample image for a seed-based
+// classify request against a served CNN benchmark.
+func (s *Server) sampleImage(benchmark string, seed uint64) ([]float32, error) {
+	m, err := s.model(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if m.classify == nil {
+		return nil, m.errWrongKind(benchmark)
+	}
+	img, _, err := m.bench.SampleImage(seed)
+	return img, err
+}
+
+// sampleHistory resolves the deterministic sample history for a seed-based
+// forecast request against a served RNN benchmark.
+func (s *Server) sampleHistory(benchmark string, seed uint64) ([]float64, error) {
+	m, err := s.model(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if m.forecast == nil {
+		return nil, m.errWrongKind(benchmark)
+	}
+	return m.bench.SampleHistory(seed)
+}
+
+// model resolves a served benchmark by name.
+func (s *Server) model(name string) (*serverModel, error) {
+	m, ok := s.models[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (serving %v)", ErrNotServed, name, s.order)
+	}
+	return m, nil
+}
+
+// Classify submits one image to a served CNN benchmark and blocks until its
+// batch has run or ctx is done.  The image must be a flat CHW float32 slice
+// of the benchmark's input shape; wrong lengths are rejected up front with a
+// wrapped ErrShape so one bad request never poisons a batch.  Under load,
+// concurrent calls share batched engine runs; the result is bit-identical
+// to Benchmark.Classify on the same image.  The image slice is retained
+// until its batch runs: callers must not mutate it before Classify returns.
+func (s *Server) Classify(ctx context.Context, benchmark string, image []float32) (BatchClassification, error) {
+	m, err := s.model(benchmark)
+	if err != nil {
+		return BatchClassification{}, err
+	}
+	if m.classify == nil {
+		return BatchClassification{}, m.errWrongKind(benchmark)
+	}
+	if len(image) != m.inputLen {
+		return BatchClassification{}, fmt.Errorf("tango: %s: %w: image has %d elements, want %d (input shape %v)",
+			benchmark, ErrShape, len(image), m.inputLen, m.bench.inner.Network.InputShape)
+	}
+	return m.classify.Do(ctx, image)
+}
+
+// Forecast submits one history of scalar observations to a served RNN
+// benchmark and blocks until its batch has run or ctx is done.  Histories of
+// different lengths may be submitted concurrently; the scheduler groups
+// equal lengths per engine call.  The result is bit-identical to
+// Benchmark.Forecast on the same history.  The history slice is retained
+// until its batch runs: callers must not mutate it before Forecast returns.
+func (s *Server) Forecast(ctx context.Context, benchmark string, history []float64) (float64, error) {
+	m, err := s.model(benchmark)
+	if err != nil {
+		return 0, err
+	}
+	if m.forecast == nil {
+		return 0, m.errWrongKind(benchmark)
+	}
+	if len(history) == 0 {
+		return 0, fmt.Errorf("tango: %s: %w: empty history", benchmark, ErrShape)
+	}
+	return m.forecast.Do(ctx, history)
+}
+
+// Close stops accepting requests, serves everything already queued
+// (graceful drain), and stops the scheduler goroutines.  It is idempotent.
+// Requests submitted after Close begins fail with ErrServerClosed.
+func (s *Server) Close() { s.close() }
+
+func (s *Server) close() {
+	for _, name := range s.order {
+		m := s.models[name]
+		if m.classify != nil {
+			m.classify.Close()
+		}
+		if m.forecast != nil {
+			m.forecast.Close()
+		}
+	}
+}
+
+// BenchmarkServeStats is the per-benchmark slice of a Server stats snapshot.
+// Latencies are end-to-end (queue wait + batch compute) percentiles over a
+// recent window.
+type BenchmarkServeStats struct {
+	Benchmark         string   `json:"benchmark"`
+	Kind              string   `json:"kind"`
+	Submitted         uint64   `json:"submitted"`
+	Completed         uint64   `json:"completed"`
+	Canceled          uint64   `json:"canceled"`
+	RejectedQueueFull uint64   `json:"rejected_queue_full"`
+	RejectedClosed    uint64   `json:"rejected_closed"`
+	Batches           uint64   `json:"batches"`
+	BatchErrors       uint64   `json:"batch_errors"`
+	MeanBatchSize     float64  `json:"mean_batch_size"`
+	BatchSizeHist     []uint64 `json:"batch_size_hist"`
+	LatencyP50Micros  float64  `json:"latency_p50_us"`
+	LatencyP99Micros  float64  `json:"latency_p99_us"`
+}
+
+// ServerStats is a point-in-time snapshot of a Server's counters, as
+// served by GET /metrics.
+type ServerStats struct {
+	// Aggregates over every served benchmark.
+	Requests          uint64  `json:"requests"`
+	Completed         uint64  `json:"completed"`
+	RejectedQueueFull uint64  `json:"rejected_queue_full"`
+	Batches           uint64  `json:"batches"`
+	MeanBatchSize     float64 `json:"mean_batch_size"`
+
+	Benchmarks map[string]BenchmarkServeStats `json:"benchmarks"`
+}
+
+// Stats snapshots the server's counters: request totals, rejections,
+// batches formed, batch-size histograms and latency percentiles.
+func (s *Server) Stats() ServerStats {
+	out := ServerStats{Benchmarks: make(map[string]BenchmarkServeStats, len(s.models))}
+	var batchedRequests uint64
+	for _, name := range s.order {
+		m := s.models[name]
+		var st serve.Stats
+		if m.classify != nil {
+			st = m.classify.Stats()
+		} else {
+			st = m.forecast.Stats()
+		}
+		bs := BenchmarkServeStats{
+			Benchmark:         name,
+			Kind:              m.bench.Kind(),
+			Submitted:         st.Submitted,
+			Completed:         st.Completed,
+			Canceled:          st.Canceled,
+			RejectedQueueFull: st.RejectedQueueFull,
+			RejectedClosed:    st.RejectedClosed,
+			Batches:           st.Batches,
+			BatchErrors:       st.BatchErrors,
+			MeanBatchSize:     st.MeanBatchSize,
+			BatchSizeHist:     st.BatchSizeHist,
+			LatencyP50Micros:  float64(st.LatencyP50) / float64(time.Microsecond),
+			LatencyP99Micros:  float64(st.LatencyP99) / float64(time.Microsecond),
+		}
+		out.Benchmarks[name] = bs
+		out.Requests += st.Submitted
+		out.Completed += st.Completed
+		out.RejectedQueueFull += st.RejectedQueueFull
+		out.Batches += st.Batches
+		// Every completed request went through exactly one executed batch,
+		// so Completed is also the batched-request total.
+		batchedRequests += st.Completed
+	}
+	if out.Batches > 0 {
+		out.MeanBatchSize = float64(batchedRequests) / float64(out.Batches)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package tango
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// This file is the HTTP frontend of the serving subsystem (stdlib net/http
+// only).  Handler exposes a Server over four endpoints:
+//
+//	POST /v1/classify  {"benchmark":"CifarNet","image":[...]}   -> {"class":..,"probabilities":[...]}
+//	POST /v1/forecast  {"benchmark":"LSTM","history":[...]}     -> {"prediction":..}
+//	GET  /healthz                                               -> {"status":"ok","benchmarks":[...]}
+//	GET  /metrics                                               -> ServerStats JSON
+//
+// Classify requests may pass {"seed":N} instead of an image and forecast
+// requests {"seed":N} instead of a history to use the benchmark's
+// deterministic synthetic sample input (handy for load generators: the
+// client can recompute the exact input, and the response stays bit-identical
+// to a local Classify/Forecast of that sample).
+//
+// Error mapping: shape errors (wrapped ErrShape, including an empty body)
+// are 400, unknown benchmarks 404, queue-full backpressure 429, a draining
+// server 503, everything else 500.  Error bodies are {"error":"..."}.
+
+// maxRequestBody bounds request JSON.  Bodies are fully buffered before
+// decoding, so the bound is sized to the workload, not generously: the
+// largest valid image (VGGNet, 3x224x224 float32) is ~1.7 MB of JSON text
+// at full float precision; 8 MB leaves headroom without letting a burst of
+// oversized posts buffer gigabytes.
+const maxRequestBody = 8 << 20
+
+// classifyRequest is the POST /v1/classify body.
+type classifyRequest struct {
+	Benchmark string    `json:"benchmark"`
+	Image     []float32 `json:"image,omitempty"`
+	Seed      *uint64   `json:"seed,omitempty"`
+}
+
+// classifyResponse is the POST /v1/classify success body.
+type classifyResponse struct {
+	Benchmark     string    `json:"benchmark"`
+	Class         int       `json:"class"`
+	Probabilities []float32 `json:"probabilities"`
+}
+
+// forecastRequest is the POST /v1/forecast body.
+type forecastRequest struct {
+	Benchmark string    `json:"benchmark"`
+	History   []float64 `json:"history,omitempty"`
+	Seed      *uint64   `json:"seed,omitempty"`
+}
+
+// forecastResponse is the POST /v1/forecast success body.
+type forecastResponse struct {
+	Benchmark  string  `json:"benchmark"`
+	Prediction float64 `json:"prediction"`
+}
+
+// Handler returns the Server's HTTP API as a stdlib http.Handler, ready to
+// mount on any mux or http.Server.  The tango-serve binary is a thin wrapper
+// around it.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("POST /v1/forecast", s.handleForecast)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// decodeRequest reads and unmarshals a request body into v.  A zero-length
+// body is a shape error (wrapped ErrShape -> 400), matching how the compute
+// engine rejects empty inputs.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, err) // 413 via writeError
+		} else {
+			// Truncated/aborted uploads are client faults, not 500s.
+			writeError(w, fmt.Errorf("tango: %w: reading request body: %v", ErrShape, err))
+		}
+		return false
+	}
+	if len(body) == 0 {
+		writeError(w, fmt.Errorf("tango: %w: empty request body", ErrShape))
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, fmt.Errorf("tango: %w: invalid request JSON: %v", ErrShape, err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	image := req.Image
+	if image == nil && req.Seed != nil {
+		var err error
+		if image, err = s.sampleImage(req.Benchmark, *req.Seed); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	res, err := s.Classify(r.Context(), req.Benchmark, image)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, classifyResponse{
+		Benchmark:     req.Benchmark,
+		Class:         res.Class,
+		Probabilities: res.Probabilities,
+	})
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	var req forecastRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	history := req.History
+	if history == nil && req.Seed != nil {
+		var err error
+		if history, err = s.sampleHistory(req.Benchmark, *req.Seed); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	pred, err := s.Forecast(r.Context(), req.Benchmark, history)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, forecastResponse{Benchmark: req.Benchmark, Prediction: pred})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"benchmarks": s.Benchmarks(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeError maps a serving error to its HTTP status and writes the
+// {"error":...} body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var tooLarge *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrShape):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotServed):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrServerClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away or timed out while queued.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,248 @@
+package tango_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tango"
+)
+
+// newHTTPServer mounts a tango.Server's Handler on an httptest server.
+func newHTTPServer(t *testing.T) (*tango.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := tango.NewServer([]string{"CifarNet", "LSTM"}, tango.ServerConfig{
+		MaxBatch:   8,
+		MaxDelay:   2 * time.Millisecond,
+		QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// postJSON posts a raw body and returns status + response bytes.
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestHTTPClassify drives concurrent seed-based requests over real HTTP and
+// bit-compares the responses against local per-sample Classify.
+func TestHTTPClassify(t *testing.T) {
+	srv, ts := newHTTPServer(t)
+	b, err := tango.LoadBenchmark("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seed := uint64(i + 1)
+			status, data := postJSONQuiet(ts.URL+"/v1/classify",
+				fmt.Sprintf(`{"benchmark":"CifarNet","seed":%d}`, seed))
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", status, data)
+				return
+			}
+			var got struct {
+				Class         int       `json:"class"`
+				Probabilities []float32 `json:"probabilities"`
+			}
+			if err := json.Unmarshal(data, &got); err != nil {
+				errs[i] = err
+				return
+			}
+			img, _, err := b.SampleImage(seed)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			want, err := b.Classify(img)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got.Class != want.Class {
+				errs[i] = fmt.Errorf("class %d, want %d", got.Class, want.Class)
+				return
+			}
+			for j := range got.Probabilities {
+				if math.Float32bits(got.Probabilities[j]) != math.Float32bits(want.Probabilities[j]) {
+					errs[i] = fmt.Errorf("prob %d: served %v, local %v", j, got.Probabilities[j], want.Probabilities[j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	if st := srv.Stats(); st.Benchmarks["CifarNet"].Completed != n {
+		t.Fatalf("completed %d, want %d", st.Benchmarks["CifarNet"].Completed, n)
+	}
+}
+
+// postJSONQuiet is postJSON without the testing.T plumbing, for goroutines.
+func postJSONQuiet(url, body string) (int, []byte) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// TestHTTPForecast round-trips an explicit history.
+func TestHTTPForecast(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	b, err := tango.LoadBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := []float64{0.41, 0.43, 0.42}
+	want, err := b.Forecast(history)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, data := postJSON(t, ts.URL+"/v1/forecast", `{"benchmark":"LSTM","history":[0.41,0.43,0.42]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	var got struct {
+		Prediction float64 `json:"prediction"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.Prediction) != math.Float64bits(want) {
+		t.Fatalf("prediction %v, want %v (not bit-identical)", got.Prediction, want)
+	}
+}
+
+// TestHTTPBadRequests covers the 4xx mapping: empty body and wrong-shape
+// inputs are 400 (wrapped ErrShape server-side), unknown benchmarks 404,
+// unknown routes 404/405.
+func TestHTTPBadRequests(t *testing.T) {
+	_, ts := newHTTPServer(t)
+
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+		substr string
+	}{
+		{"empty body", "/v1/classify", "", http.StatusBadRequest, "empty request body"},
+		{"bad json", "/v1/classify", "{", http.StatusBadRequest, "invalid request JSON"},
+		{"wrong shape", "/v1/classify", `{"benchmark":"CifarNet","image":[1,2,3]}`, http.StatusBadRequest, "want 3072"},
+		{"missing image", "/v1/classify", `{"benchmark":"CifarNet"}`, http.StatusBadRequest, ""},
+		{"empty history", "/v1/forecast", `{"benchmark":"LSTM","history":[]}`, http.StatusBadRequest, "empty history"},
+		{"kind mismatch", "/v1/forecast", `{"benchmark":"CifarNet","history":[0.5]}`, http.StatusBadRequest, "use Classify"},
+		{"seed kind mismatch classify", "/v1/classify", `{"benchmark":"LSTM","seed":1}`, http.StatusBadRequest, "/v1/forecast"},
+		{"seed kind mismatch forecast", "/v1/forecast", `{"benchmark":"CifarNet","seed":1}`, http.StatusBadRequest, "/v1/classify"},
+		{"not served", "/v1/classify", `{"benchmark":"AlexNet","seed":1}`, http.StatusNotFound, "not served"},
+		{"empty forecast body", "/v1/forecast", "", http.StatusBadRequest, "empty request body"},
+	}
+	for _, tc := range cases {
+		status, data := postJSON(t, ts.URL+tc.path, tc.body)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.status, data)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not {\"error\":...}", tc.name, data)
+			continue
+		}
+		if tc.substr != "" && !strings.Contains(e.Error, tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, e.Error, tc.substr)
+		}
+	}
+
+	// Shape rejections must wrap the suite's ErrShape sentinel: the message
+	// carries the sentinel text end to end.
+	status, data := postJSON(t, ts.URL+"/v1/classify", `{"benchmark":"CifarNet","image":[1,2,3]}`)
+	if status != http.StatusBadRequest || !bytes.Contains(data, []byte(tango.ErrShape.Error())) {
+		t.Fatalf("shape rejection = %d %q; want 400 mentioning %q", status, data, tango.ErrShape.Error())
+	}
+}
+
+// TestHTTPHealthAndMetrics checks the operational endpoints.
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	_, ts := newHTTPServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status     string   `json:"status"`
+		Benchmarks []string `json:"benchmarks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Benchmarks) != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	if _, data := postJSON(t, ts.URL+"/v1/forecast", `{"benchmark":"LSTM","seed":7}`); len(data) == 0 {
+		t.Fatal("forecast returned empty body")
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var stats tango.ServerStats
+	if err := json.NewDecoder(mresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests == 0 || stats.Batches == 0 {
+		t.Fatalf("metrics show no traffic: %+v", stats)
+	}
+	if _, ok := stats.Benchmarks["LSTM"]; !ok {
+		t.Fatalf("metrics missing LSTM: %+v", stats)
+	}
+}

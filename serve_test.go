@@ -1,0 +1,178 @@
+package tango_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"tango"
+)
+
+// newTestServer starts a server on CifarNet + LSTM with a batching window
+// wide enough that concurrent submissions coalesce.
+func newTestServer(t *testing.T) *tango.Server {
+	t.Helper()
+	srv, err := tango.NewServer([]string{"CifarNet", "LSTM"}, tango.ServerConfig{
+		MaxBatch:   8,
+		MaxDelay:   2 * time.Millisecond,
+		QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestServerClassifyBitExact drives concurrent classify requests through the
+// dynamic batcher and bit-compares every response against the single-sample
+// Classify path: batching must change scheduling, never numerics.
+func TestServerClassifyBitExact(t *testing.T) {
+	srv := newTestServer(t)
+	b, err := tango.LoadBenchmark("CifarNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 24
+	images := make([][]float32, n)
+	want := make([]*tango.Classification, n)
+	for i := range images {
+		img, _, err := b.SampleImage(uint64(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = img
+		want[i], err = b.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([]tango.BatchClassification, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = srv.Classify(context.Background(), "CifarNet", images[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if got[i].Class != want[i].Class {
+			t.Fatalf("request %d: class %d, want %d", i, got[i].Class, want[i].Class)
+		}
+		for j := range got[i].Probabilities {
+			if math.Float32bits(got[i].Probabilities[j]) != math.Float32bits(want[i].Probabilities[j]) {
+				t.Fatalf("request %d prob %d: served %v, local %v (not bit-identical)",
+					i, j, got[i].Probabilities[j], want[i].Probabilities[j])
+			}
+		}
+	}
+
+	st := srv.Stats()
+	cn := st.Benchmarks["CifarNet"]
+	if cn.Completed != n {
+		t.Fatalf("completed %d, want %d", cn.Completed, n)
+	}
+	if cn.RejectedQueueFull != 0 {
+		t.Fatalf("%d requests rejected at default depth", cn.RejectedQueueFull)
+	}
+}
+
+// TestServerForecastBitExact checks batched serving of RNN requests,
+// including histories of different lengths submitted concurrently (the
+// scheduler must group equal lengths per engine call instead of failing the
+// whole batch as ragged).
+func TestServerForecastBitExact(t *testing.T) {
+	srv := newTestServer(t)
+	b, err := tango.LoadBenchmark("LSTM")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	histories := make([][]float64, n)
+	want := make([]float64, n)
+	for i := range histories {
+		h := make([]float64, 2+i%3) // lengths 2, 3, 4 interleaved
+		for j := range h {
+			h[j] = 0.4 + 0.01*float64(i+j)
+		}
+		histories[i] = h
+		want[i], err = b.Forecast(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = srv.Forecast(context.Background(), "LSTM", histories[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("request %d: served %v, local %v (not bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestServerRejectsBadRequests covers the submit-time validation that keeps
+// one bad request from poisoning a batch.
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	ctx := context.Background()
+
+	if _, err := srv.Classify(ctx, "CifarNet", make([]float32, 7)); !errors.Is(err, tango.ErrShape) {
+		t.Fatalf("wrong-length image error = %v, want wrapped ErrShape", err)
+	}
+	if _, err := srv.Forecast(ctx, "LSTM", nil); !errors.Is(err, tango.ErrShape) {
+		t.Fatalf("empty history error = %v, want wrapped ErrShape", err)
+	}
+	if _, err := srv.Classify(ctx, "LSTM", make([]float32, 7)); !errors.Is(err, tango.ErrShape) {
+		t.Fatalf("classify-on-RNN error = %v, want wrapped ErrShape", err)
+	}
+	if _, err := srv.Classify(ctx, "AlexNet", make([]float32, 7)); !errors.Is(err, tango.ErrNotServed) {
+		t.Fatalf("unserved benchmark error = %v, want wrapped ErrNotServed", err)
+	}
+}
+
+// TestServerClosedRejects checks requests after Close fail with
+// ErrServerClosed and that Close is idempotent.
+func TestServerClosedRejects(t *testing.T) {
+	srv, err := tango.NewServer([]string{"LSTM"}, tango.ServerConfig{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Forecast(context.Background(), "LSTM", []float64{0.5, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close()
+	if _, err := srv.Forecast(context.Background(), "LSTM", []float64{0.5, 0.6}); !errors.Is(err, tango.ErrServerClosed) {
+		t.Fatalf("post-close error = %v, want ErrServerClosed", err)
+	}
+	if st := srv.Stats(); st.Benchmarks["LSTM"].RejectedClosed != 1 {
+		t.Fatalf("RejectedClosed = %d, want 1", st.Benchmarks["LSTM"].RejectedClosed)
+	}
+}
