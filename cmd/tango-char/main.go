@@ -1,12 +1,15 @@
 // Command tango-char regenerates a single table or figure of the paper's
-// evaluation section.
+// evaluation section, or runs a multi-device characterization sweep across
+// the registered accelerator targets.
 //
 // Usage:
 //
 //	tango-char -exp fig2                 # L1D sensitivity sweep (Figure 2)
-//	tango-char -exp table3 -csv          # launch geometry as CSV
+//	tango-char -exp table3 -format csv   # launch geometry as CSV
 //	tango-char -exp fig6 -networks CifarNet
-//	tango-char -list                     # list experiments
+//	tango-char -targets gp102,tx1,pynq -fast            # multi-device sweep
+//	tango-char -targets gp102 -l1 0,64,256 -format json # L1 sweep as JSON
+//	tango-char -list                     # list experiments and targets
 package main
 
 import (
@@ -16,39 +19,78 @@ import (
 	"strings"
 
 	"tango"
+	"tango/internal/cli"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list the reproducible experiments and exit")
-		exp      = flag.String("exp", "", "experiment id (table1..table4, fig1..fig16)")
-		networks = flag.String("networks", "", "comma-separated benchmark filter (default: the experiment's full set)")
-		fast     = flag.Bool("fast", false, "use coarse simulation sampling")
-		parallel = flag.Int("parallel", 1, "worker goroutines for the simulation matrix (0 = one per CPU)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		list       = flag.Bool("list", false, "list the reproducible experiments and registered targets, then exit")
+		exp        = flag.String("exp", "", "experiment id (table1..table4, fig1..fig16)")
+		targets    = flag.String("targets", "", "comma-separated accelerator targets: sweep mode (see -list)")
+		l1Sizes    = flag.String("l1", "", "sweep mode: comma-separated L1D sizes in KB (0 = bypass)")
+		schedulers = flag.String("schedulers", "", "sweep mode: comma-separated warp schedulers (gto, lrr, tlv)")
+		networks   = flag.String("networks", "", "comma-separated benchmark filter (default: the experiment's full set)")
+		fast       = flag.Bool("fast", false, "use coarse simulation sampling")
+		parallel   = flag.Int("parallel", 1, "worker goroutines for the simulation matrix (0 = one per CPU)")
+		format     = flag.String("format", "table", "output format: table, csv or json")
+		csv        = flag.Bool("csv", false, "emit CSV (deprecated alias for -format csv)")
 	)
 	flag.Parse()
+
+	if *csv {
+		*format = "csv"
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want table, csv or json)", *format))
+	}
 
 	if *list {
 		fmt.Println("Reproducible experiments:")
 		for _, e := range tango.Experiments() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 		}
+		fmt.Println("\nAccelerator targets (-targets):")
+		for _, t := range tango.Targets() {
+			fmt.Printf("  %-8s %-5s %-14s %s (aliases: %s)\n",
+				t.Name, t.Class, t.Role, t.Description, strings.Join(t.Aliases, ", "))
+		}
 		return
 	}
+
+	names := cli.SplitList(*networks)
+
+	if *targets != "" {
+		if *exp != "" {
+			fatal(fmt.Errorf("-exp and -targets are mutually exclusive"))
+		}
+		l1kb, err := cli.ParseInts(*l1Sizes)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := tango.Sweep(tango.SweepConfig{
+			Networks:     names,
+			Targets:      cli.SplitList(*targets),
+			L1SizesKB:    l1kb,
+			Schedulers:   cli.SplitList(*schedulers),
+			FastSampling: *fast,
+			Parallelism:  cli.Workers(*parallel),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emitDataset(ds, *format)
+		return
+	}
+
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "tango-char: -exp is required (use -list to see experiments)")
+		fmt.Fprintln(os.Stderr, "tango-char: -exp or -targets is required (use -list to see experiments and targets)")
 		os.Exit(2)
 	}
 
 	var opts []tango.ExperimentOption
-	if *networks != "" {
-		var names []string
-		for _, n := range strings.Split(*networks, ",") {
-			if trimmed := strings.TrimSpace(n); trimmed != "" {
-				names = append(names, trimmed)
-			}
-		}
+	if len(names) > 0 {
 		opts = append(opts, tango.WithNetworks(names...))
 	}
 	if *fast {
@@ -62,12 +104,39 @@ func main() {
 	session.PrewarmExperiment(*exp)
 	table, err := session.Run(*exp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tango-char:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	if *csv {
+	switch *format {
+	case "csv":
 		fmt.Print(table.CSV())
-		return
+	case "json":
+		out, err := table.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	default:
+		fmt.Print(table.String())
 	}
-	fmt.Print(table.String())
+}
+
+// emitDataset prints a sweep dataset in the selected format.
+func emitDataset(ds *tango.Dataset, format string) {
+	switch format {
+	case "csv":
+		fmt.Print(ds.CSV())
+	case "json":
+		out, err := ds.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	default:
+		fmt.Print(ds.Table("sweep", "Characterization sweep").String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tango-char:", err)
+	os.Exit(1)
 }

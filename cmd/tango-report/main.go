@@ -1,13 +1,19 @@
 // Command tango-report runs the complete experiment matrix — every table and
 // figure of the paper's evaluation — and writes the results to stdout or to a
-// directory of per-experiment files.  Simulation results are cached across
-// experiments, so each (network, configuration) pair is simulated once.
+// directory of per-experiment files.  Layer traces and simulation runs are
+// shared across experiments through the characterization pipeline's store, so
+// each (network, target, configuration) cell is computed once.
+//
+// With -targets the command instead runs a multi-device characterization
+// sweep over the registered accelerator targets and emits the dataset.
 //
 // Usage:
 //
 //	tango-report                      # full report to stdout
 //	tango-report -out results/        # one .txt and .csv file per experiment
 //	tango-report -fast -networks GRU,LSTM,CifarNet
+//	tango-report -format json         # tables as JSON
+//	tango-report -targets gp102,tx1,pynq -fast -format csv
 package main
 
 import (
@@ -19,25 +25,43 @@ import (
 	"time"
 
 	"tango"
+	"tango/internal/cli"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "", "directory to write per-experiment .txt/.csv files (default: stdout only)")
-		networks = flag.String("networks", "", "comma-separated benchmark filter")
-		fast     = flag.Bool("fast", false, "use coarse simulation sampling")
-		parallel = flag.Int("parallel", 1, "worker goroutines for the simulation matrix (0 = one per CPU)")
+		out        = flag.String("out", "", "directory to write per-experiment .txt/.csv files (default: stdout only)")
+		networks   = flag.String("networks", "", "comma-separated benchmark filter")
+		targets    = flag.String("targets", "", "comma-separated accelerator targets: run a sweep instead of the report")
+		l1Sizes    = flag.String("l1", "", "sweep mode: comma-separated L1D sizes in KB (0 = bypass)")
+		schedulers = flag.String("schedulers", "", "sweep mode: comma-separated warp schedulers (gto, lrr, tlv)")
+		fast       = flag.Bool("fast", false, "use coarse simulation sampling")
+		parallel   = flag.Int("parallel", 1, "worker goroutines for the simulation matrix (0 = one per CPU)")
+		format     = flag.String("format", "table", "stdout format: table, csv or json")
 	)
 	flag.Parse()
 
-	var opts []tango.ExperimentOption
-	if *networks != "" {
-		var names []string
-		for _, n := range strings.Split(*networks, ",") {
-			if trimmed := strings.TrimSpace(n); trimmed != "" {
-				names = append(names, trimmed)
-			}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want table, csv or json)", *format))
+	}
+
+	names := cli.SplitList(*networks)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
 		}
+	}
+
+	if *targets != "" {
+		runSweep(names, cli.SplitList(*targets), *l1Sizes, *schedulers, *fast, *parallel, *format, *out)
+		return
+	}
+
+	var opts []tango.ExperimentOption
+	if len(names) > 0 {
 		opts = append(opts, tango.WithNetworks(names...))
 	}
 	if *fast {
@@ -45,12 +69,6 @@ func main() {
 	}
 	if *parallel != 1 {
 		opts = append(opts, tango.WithExperimentParallelism(*parallel))
-	}
-
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(err)
-		}
 	}
 
 	session := tango.NewExperimentSession(opts...)
@@ -62,9 +80,20 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
-		fmt.Printf("==== %s: %s (%.1fs) ====\n", e.ID, e.Title, time.Since(expStart).Seconds())
-		fmt.Print(table.String())
-		fmt.Println()
+		switch *format {
+		case "csv":
+			fmt.Print(table.CSV())
+		case "json":
+			enc, err := table.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(enc))
+		default:
+			fmt.Printf("==== %s: %s (%.1fs) ====\n", e.ID, e.Title, time.Since(expStart).Seconds())
+			fmt.Print(table.String())
+			fmt.Println()
+		}
 		if *out != "" {
 			base := filepath.Join(*out, e.ID)
 			if err := os.WriteFile(base+".txt", []byte(table.String()), 0o644); err != nil {
@@ -75,7 +104,59 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("completed %d experiments in %.1fs\n", len(tango.Experiments()), time.Since(start).Seconds())
+	if *format == "table" {
+		fmt.Printf("completed %d experiments in %.1fs\n", len(tango.Experiments()), time.Since(start).Seconds())
+	}
+}
+
+// runSweep executes the multi-device sweep mode and emits the dataset.
+func runSweep(names, targets []string, l1Sizes, schedulers string, fast bool, parallel int, format, out string) {
+	l1kb, err := cli.ParseInts(l1Sizes)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	ds, err := tango.Sweep(tango.SweepConfig{
+		Networks:     names,
+		Targets:      targets,
+		L1SizesKB:    l1kb,
+		Schedulers:   cli.SplitList(schedulers),
+		FastSampling: fast,
+		Parallelism:  cli.Workers(parallel),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	table := ds.Table("sweep", fmt.Sprintf("Characterization sweep over %s", strings.Join(targets, ", ")))
+	switch format {
+	case "csv":
+		fmt.Print(ds.CSV())
+	case "json":
+		enc, err := ds.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(enc))
+	default:
+		fmt.Print(table.String())
+		fmt.Printf("swept %d cells in %.1fs\n", ds.Len(), time.Since(start).Seconds())
+	}
+	if out != "" {
+		base := filepath.Join(out, "sweep")
+		enc, err := ds.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		for suffix, data := range map[string][]byte{
+			".txt":  []byte(table.String()),
+			".csv":  []byte(ds.CSV()),
+			".json": enc,
+		} {
+			if err := os.WriteFile(base+suffix, data, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }
 
 func fatal(err error) {

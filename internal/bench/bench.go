@@ -1,20 +1,22 @@
 // Package bench contains one experiment driver per table and figure of the
-// paper's evaluation section.  Each driver runs the necessary simulations
-// (with caching, so a full report run does not repeat work) and renders the
-// same rows or series the paper reports as a report.Table.
+// paper's evaluation section.  Each driver is a pure projection of the
+// characterization pipeline: networks are lowered to layer traces once, every
+// accelerator target derives its statistics from those shared traces through
+// the target.Store, and the drivers render the same rows or series the paper
+// reports as a report.Table from the cached runs.
 package bench
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
-	"tango/internal/core"
 	"tango/internal/device"
 	"tango/internal/gpusim"
 	"tango/internal/networks"
 	"tango/internal/report"
+	"tango/internal/sched"
+	"tango/internal/target"
 )
 
 // Experiment identifies one reproducible table or figure.
@@ -77,6 +79,10 @@ type Options struct {
 	// Zero or one keeps execution fully serial.  Rendered tables are
 	// identical either way.
 	Parallelism int
+	// Store is the trace/run store backing the session; nil selects the
+	// process-wide shared store, so repeated sessions reuse each other's
+	// traces and runs.  Tests use a private store for isolation.
+	Store *target.Store
 }
 
 // withDefaults fills unset options.
@@ -108,57 +114,105 @@ func (o Options) filter(names []string) []string {
 	return out
 }
 
-// Session caches benchmarks and simulation results so that a full report run
-// simulates each (network, configuration) pair once.
+// Session projects experiments from the shared characterization pipeline:
+// layer traces are extracted once per network and every (target,
+// configuration) run is computed once in the backing store, so a full report
+// run — and any later session sharing the store — never repeats work.
 type Session struct {
 	opts  Options
-	suite *core.Suite
+	store *target.Store
 
-	mu   sync.Mutex
-	runs map[string]*gpusim.RunStats
+	// gpu is the session's default GPU target (Options.Device); tx1 and
+	// fpga are the fixed embedded targets of Figure 6.
+	gpu  target.Target
+	tx1  target.Target
+	fpga target.Target
 }
 
 // NewSession creates a session with the given options.
 func NewSession(opts Options) *Session {
-	return &Session{opts: opts.withDefaults(), suite: core.NewSuite(), runs: make(map[string]*gpusim.RunStats)}
+	opts = opts.withDefaults()
+	store := opts.Store
+	if store == nil {
+		store = target.Shared()
+	}
+	reg := target.Builtin()
+	tx1, err := reg.Lookup("tx1")
+	if err != nil {
+		panic(err) // builtin registry always has tx1
+	}
+	fp, err := reg.Lookup("pynq")
+	if err != nil {
+		panic(err) // builtin registry always has pynq
+	}
+	return &Session{
+		opts:  opts,
+		store: store,
+		gpu:   target.ForGPU(opts.Device),
+		tx1:   tx1,
+		fpga:  fp,
+	}
 }
 
 // Options returns the session's effective options.
 func (s *Session) Options() Options { return s.opts }
 
-// baseConfig returns the default simulation configuration for the session.
-func (s *Session) baseConfig() gpusim.Config {
-	return gpusim.ConfigFor(s.opts.Device).WithSampling(s.opts.Sampling)
+// Store returns the session's backing trace/run store.
+func (s *Session) Store() *target.Store { return s.store }
+
+// variant resolves one of the session's configuration tags to a variant of
+// the default GPU target.  experimentTags and matrix use the same tags, so
+// prewarming covers exactly the cells the renderers consume
+// (TestPrewarmForCoversExperiments guards this).
+func (s *Session) variant(tag string) (target.Variant, error) {
+	v := target.DefaultVariant(s.opts.Sampling)
+	switch tag {
+	case "default":
+		return v, nil
+	case "nol1":
+		return v.WithL1(tag, 0), nil
+	case "l1":
+		return v.WithL1(tag, 64<<10), nil
+	case "l1x2":
+		return v.WithL1(tag, 128<<10), nil
+	case "l1x4":
+		return v.WithL1(tag, 256<<10), nil
+	case "sched-" + string(sched.LRR):
+		return v.WithScheduler(tag, sched.LRR), nil
+	case "sched-" + string(sched.TLV):
+		return v.WithScheduler(tag, sched.TLV), nil
+	default:
+		return v, fmt.Errorf("bench: unknown configuration tag %q", tag)
+	}
 }
 
-// simulate runs (or returns the cached run of) a network under a
-// configuration labelled by key.
-func (s *Session) simulate(network, key string, cfg gpusim.Config) (*gpusim.RunStats, error) {
-	cacheKey := network + "|" + key
-	s.mu.Lock()
-	if rs, ok := s.runs[cacheKey]; ok {
-		s.mu.Unlock()
-		return rs, nil
-	}
-	s.mu.Unlock()
+// trace returns the network's layer trace from the store.
+func (s *Session) trace(network string) (*target.Trace, error) {
+	return s.store.Trace(network)
+}
 
-	b, err := s.suite.Benchmark(network)
+// runOn derives the statistics of one network on an explicit target.
+func (s *Session) runOn(t target.Target, network string, v target.Variant) (*target.RunStats, error) {
+	return s.store.Run(t, network, v)
+}
+
+// simulate runs (or returns the cached run of) a network on the session's
+// GPU target under the configuration tag.
+func (s *Session) simulate(network, tag string) (*gpusim.RunStats, error) {
+	v, err := s.variant(tag)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := b.Simulate(cfg)
+	ts, err := s.runOn(s.gpu, network, v)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.runs[cacheKey] = rs
-	s.mu.Unlock()
-	return rs, nil
+	return ts.GPU, nil
 }
 
 // simulateDefault runs a network under the session's default configuration.
 func (s *Session) simulateDefault(network string) (*gpusim.RunStats, error) {
-	return s.simulate(network, "default", s.baseConfig())
+	return s.simulate(network, "default")
 }
 
 // Run executes one experiment by id.
@@ -211,7 +265,7 @@ func (s *Session) Run(id string) (*report.Table, error) {
 
 // RunAll executes every experiment and returns the tables in paper order.
 // With Options.Parallelism > 1 the simulation matrix is computed concurrently
-// first; rendering always happens serially from the cache, so the returned
+// first; rendering always happens serially from the store, so the returned
 // tables are byte-identical to a serial run.
 func (s *Session) RunAll() ([]*report.Table, error) {
 	if s.opts.Parallelism > 1 {
@@ -230,6 +284,9 @@ func (s *Session) RunAll() ([]*report.Table, error) {
 	}
 	return out, nil
 }
+
+// suiteNames returns the full benchmark suite in suite order.
+func suiteNames() []string { return networks.Names() }
 
 // classOrder is the stacking order the paper's layer-type figures use.
 var classOrder = []string{

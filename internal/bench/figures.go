@@ -3,14 +3,13 @@ package bench
 import (
 	"fmt"
 
-	"tango/internal/device"
-	"tango/internal/fpga"
 	"tango/internal/gpusim"
 	"tango/internal/isa"
 	"tango/internal/power"
 	"tango/internal/profiler"
 	"tango/internal/report"
 	"tango/internal/sched"
+	"tango/internal/target"
 )
 
 // figureCNNs is the CNN subset the paper's per-layer-type figures use.
@@ -20,7 +19,7 @@ func (s *Session) figureCNNs() []string {
 
 // allNetworks is the full suite, filtered by the options.
 func (s *Session) allNetworks() []string {
-	return s.opts.filter(s.suite.Names())
+	return s.opts.filter(suiteNames())
 }
 
 // Fig1 reproduces Figure 1: execution-time breakdown per layer type.
@@ -82,8 +81,7 @@ func (s *Session) Fig2() (*report.Table, error) {
 		row := []interface{}{name}
 		var norms []interface{}
 		for _, sz := range sizes {
-			cfg := s.baseConfig().WithL1Size(sz.bytes)
-			rs, err := s.simulate(name, sz.key, cfg)
+			rs, err := s.simulate(name, sz.key)
 			if err != nil {
 				return nil, err
 			}
@@ -213,7 +211,8 @@ func (s *Session) Fig5() (*report.Table, error) {
 }
 
 // Fig6 reproduces Figure 6: energy on the embedded GPU (TX1) versus the
-// embedded FPGA (PynQ) for CifarNet and SqueezeNet.
+// embedded FPGA (PynQ) for CifarNet and SqueezeNet.  Both platforms run
+// through the target registry, deriving from the same shared traces.
 func (s *Session) Fig6() (*report.Table, error) {
 	nets := s.opts.filter([]string{"CifarNet", "SqueezeNet"})
 	t := &report.Table{
@@ -221,31 +220,20 @@ func (s *Session) Fig6() (*report.Table, error) {
 		Title:   "Energy consumption on embedded GPU (TX1) vs embedded FPGA (PynQ) (Figure 6)",
 		Columns: []string{"Network", "Platform", "Peak power (W)", "Exec time (s)", "Energy (J)", "Normalized energy"},
 	}
-	tx1 := device.TX1()
-	tx1Model := power.NewModel(tx1)
-	fpgaModel, err := fpga.New(fpga.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
+	v := target.DefaultVariant(s.opts.Sampling)
 	for _, name := range nets {
-		rs, err := s.simulate(name, "tx1", gpusim.ConfigFor(tx1).WithSampling(s.opts.Sampling))
+		gpu, err := s.runOn(s.tx1, name, v)
 		if err != nil {
 			return nil, err
 		}
-		np := tx1Model.NetworkPower(rs)
 		// The paper computes energy as peak power times execution time.
-		gpuTime := rs.TotalSeconds()
-		gpuEnergy := np.PeakWatts * gpuTime
+		gpuEnergy := gpu.PeakWatts * gpu.Seconds
 
-		b, err := s.suite.Benchmark(name)
+		fp, err := s.runOn(s.fpga, name, v)
 		if err != nil {
 			return nil, err
 		}
-		fp, err := fpgaModel.EstimateNetwork(b.Network)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name, "TX1", np.PeakWatts, gpuTime, gpuEnergy, fmt.Sprintf("%.2f", gpuEnergy/fp.EnergyJoules))
+		t.AddRow(name, "TX1", gpu.PeakWatts, gpu.Seconds, gpuEnergy, fmt.Sprintf("%.2f", gpuEnergy/fp.EnergyJoules))
 		t.AddRow(name, "PynQ", fp.PeakWatts, fp.Seconds, fp.EnergyJoules, "1.00")
 	}
 	t.AddNote("TX1 draws higher peak power but finishes faster; its total energy still exceeds the PynQ's (Section IV-B3)")
@@ -403,11 +391,11 @@ func (s *Session) Fig11() (*report.Table, error) {
 		Columns: []string{"Network", "Weights (KB)", "Activations (KB)", "Total (KB)"},
 	}
 	for _, name := range s.allNetworks() {
-		b, err := s.suite.Benchmark(name)
+		tr, err := s.trace(name)
 		if err != nil {
 			return nil, err
 		}
-		fp, err := profiler.MemoryFootprint(b.Network)
+		fp, err := profiler.MemoryFootprint(tr.Net)
 		if err != nil {
 			return nil, err
 		}
@@ -453,7 +441,7 @@ func (s *Session) l2ByClassTable(id, title string, ratio bool) (*report.Table, e
 	perNet := make(map[string]map[string]int64, len(nets))
 	statsPerNet := make(map[string]map[string]float64, len(nets))
 	for _, name := range nets {
-		rs, err := s.simulate(name, "nol1", s.baseConfig().WithL1Size(0))
+		rs, err := s.simulate(name, "nol1")
 		if err != nil {
 			return nil, err
 		}
@@ -512,13 +500,11 @@ func (s *Session) Fig15() (*report.Table, error) {
 	for _, name := range s.allNetworks() {
 		cycles := map[sched.Kind]int64{}
 		for _, kind := range sched.Kinds() {
-			key := "sched-" + string(kind)
-			cfg := s.baseConfig().WithScheduler(kind)
+			tag := "sched-" + string(kind)
 			if kind == sched.GTO {
-				key = "default"
-				cfg = s.baseConfig()
+				tag = "default"
 			}
-			rs, err := s.simulate(name, key, cfg)
+			rs, err := s.simulate(name, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -545,13 +531,11 @@ func (s *Session) Fig16() (*report.Table, error) {
 	for _, name := range nets {
 		perSched := map[sched.Kind]*gpusim.RunStats{}
 		for _, kind := range sched.Kinds() {
-			key := "sched-" + string(kind)
-			cfg := s.baseConfig().WithScheduler(kind)
+			tag := "sched-" + string(kind)
 			if kind == sched.GTO {
-				key = "default"
-				cfg = s.baseConfig()
+				tag = "default"
 			}
-			rs, err := s.simulate(name, key, cfg)
+			rs, err := s.simulate(name, tag)
 			if err != nil {
 				return nil, err
 			}

@@ -3,73 +3,79 @@ package bench
 import (
 	"strings"
 
-	"tango/internal/device"
-	"tango/internal/gpusim"
 	"tango/internal/par"
 	"tango/internal/sched"
+	"tango/internal/target"
 )
 
-// simJob names one (network, configuration) cell of the experiment matrix.
-type simJob struct {
+// cell names one (target, network, variant) cell of the experiment matrix,
+// tagged with the session configuration tag the renderers look it up under.
+type cell struct {
+	t       target.Target
 	network string
-	key     string
-	cfg     gpusim.Config
+	v       target.Variant
+	tag     string
 }
 
-// matrix enumerates every simulation the session's experiments need: the
-// default configuration, the Figure 2 L1 sweep, the Figure 6 TX1 runs and
-// the Figure 15/16 scheduler sweep, each over the experiment's network set.
-// The experiment drivers hit the session cache for all of these, so warming
-// the matrix up front makes a full report run embarrassingly parallel.
-func (s *Session) matrix() []simJob {
-	base := s.baseConfig()
+// gpuTags are the session GPU target's configuration tags: the default
+// configuration, the Figure 2 L1 sweep (whose "nol1" runs also feed Figures
+// 13 and 14) and the Figure 15/16 scheduler sweep.
+var gpuTags = []string{
+	"default",
+	"nol1", "l1", "l1x2", "l1x4",
+	"sched-" + string(sched.LRR), "sched-" + string(sched.TLV),
+}
+
+// matrix enumerates every run the session's experiments need: the GPU tags
+// over the experiment's network set plus the Figure 6 embedded-platform runs
+// (TX1 and PynQ) over its CNN pair.  The experiment drivers hit the store for
+// all of these, so warming the matrix up front makes a full report run
+// embarrassingly parallel.
+func (s *Session) matrix() []cell {
 	all := s.allNetworks()
-	var jobs []simJob
-	add := func(nets []string, key string, cfg gpusim.Config) {
-		for _, n := range nets {
-			jobs = append(jobs, simJob{network: n, key: key, cfg: cfg})
+	var cells []cell
+	for _, tag := range gpuTags {
+		v, err := s.variant(tag)
+		if err != nil {
+			continue // unreachable: gpuTags and variant are defined together
+		}
+		for _, n := range all {
+			cells = append(cells, cell{t: s.gpu, network: n, v: v, tag: tag})
 		}
 	}
-	add(all, "default", base)
-	// Figure 2: L1 sweep (the "nol1" runs also feed Figures 13 and 14).
-	add(all, "nol1", base.WithL1Size(0))
-	add(all, "l1", base.WithL1Size(64<<10))
-	add(all, "l1x2", base.WithL1Size(128<<10))
-	add(all, "l1x4", base.WithL1Size(256<<10))
-	// Figure 6: the embedded-GPU runs.
-	add(s.opts.filter([]string{"CifarNet", "SqueezeNet"}), "tx1",
-		gpusim.ConfigFor(device.TX1()).WithSampling(s.opts.Sampling))
-	// Figures 15 and 16: the non-default schedulers.
-	add(all, "sched-"+string(sched.LRR), base.WithScheduler(sched.LRR))
-	add(all, "sched-"+string(sched.TLV), base.WithScheduler(sched.TLV))
-	return jobs
+	// Figure 6: the embedded GPU and FPGA runs.
+	v := target.DefaultVariant(s.opts.Sampling)
+	for _, n := range s.opts.filter([]string{"CifarNet", "SqueezeNet"}) {
+		cells = append(cells, cell{t: s.tx1, network: n, v: v, tag: "tx1"})
+		cells = append(cells, cell{t: s.fpga, network: n, v: v, tag: "pynq"})
+	}
+	return cells
 }
 
-// Prewarm simulates the session's full network x configuration matrix on n
-// concurrent workers, populating the result cache.  Simulation results are
-// keyed and cached exactly as the serial experiment drivers would compute
-// them, so subsequent Run/RunAll calls render identical tables from cache
-// hits.  The first error in matrix order is returned; cells that failed stay
-// uncached and will be re-attempted (and re-reported deterministically) by
-// the serial render path.
+// Prewarm computes the session's full target x network x configuration matrix
+// on n concurrent workers, populating the run store.  Runs are keyed exactly
+// as the serial experiment drivers request them, so subsequent Run/RunAll
+// calls render identical tables from store hits.  The first error in matrix
+// order is returned; cells that failed stay uncached and will be re-attempted
+// (and re-reported deterministically) by the serial render path.
 func (s *Session) Prewarm(n int) error {
-	return s.prewarmJobs(s.matrix(), n)
+	return s.prewarmCells(s.matrix(), n)
 }
 
-// experimentKeys returns the simulation-cache keys the given experiment's
-// renderer consumes; nil means it renders without simulating (the tables).
+// experimentTags returns the matrix tags the given experiment's renderer
+// consumes; nil means it renders without running targets (the GPU tables).
 // TestPrewarmForCoversExperiments guards this mapping against drift.
-func experimentKeys(id string) []string {
+func experimentTags(id string) []string {
 	switch strings.ToLower(id) {
 	case "fig2":
 		return []string{"nol1", "l1", "l1x2", "l1x4"}
 	case "fig6":
-		return []string{"tx1"}
+		return []string{"tx1", "pynq"}
 	case "fig13", "fig14":
 		return []string{"nol1"}
 	case "fig15", "fig16":
 		return []string{"default", "sched-" + string(sched.LRR), "sched-" + string(sched.TLV)}
-	case "fig1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12":
+	case "fig1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig12":
 		return []string{"default"}
 	default:
 		return nil
@@ -79,45 +85,33 @@ func experimentKeys(id string) []string {
 // PrewarmFor warms only the matrix cells the given experiment consumes, on n
 // concurrent workers — the single-experiment counterpart of Prewarm, used by
 // tango-char so one figure does not simulate the whole report matrix.
-// Unknown ids and the simulation-free tables warm nothing; error semantics
-// match Prewarm.
+// Unknown ids and the run-free tables warm nothing; error semantics match
+// Prewarm.
 func (s *Session) PrewarmFor(id string, n int) error {
-	keys := experimentKeys(id)
-	if len(keys) == 0 {
+	tags := experimentTags(id)
+	if len(tags) == 0 {
 		return nil
 	}
-	want := make(map[string]bool, len(keys))
-	for _, k := range keys {
-		want[k] = true
+	want := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		want[t] = true
 	}
-	var jobs []simJob
-	for _, j := range s.matrix() {
-		if want[j.key] {
-			jobs = append(jobs, j)
+	var cells []cell
+	for _, c := range s.matrix() {
+		if want[c.tag] {
+			cells = append(cells, c)
 		}
 	}
-	return s.prewarmJobs(jobs, n)
+	return s.prewarmCells(cells, n)
 }
 
-// prewarmJobs simulates the given matrix cells on n concurrent workers.
-func (s *Session) prewarmJobs(jobs []simJob, n int) error {
-	// Load the benchmarks up front: the suite cache is shared state, and
-	// loading each network once on one goroutine keeps the workers purely
-	// compute-bound.
-	loaded := map[string]bool{}
-	for _, j := range jobs {
-		if loaded[j.network] {
-			continue
-		}
-		if _, err := s.suite.Benchmark(j.network); err != nil {
-			return err
-		}
-		loaded[j.network] = true
-	}
-
-	return par.ForEach(n, len(jobs), func(i int) error {
-		j := jobs[i]
-		_, err := s.simulate(j.network, j.key, j.cfg)
+// prewarmCells computes the given matrix cells on n concurrent workers.
+// Trace extraction is shared through the store's singleflight, so concurrent
+// cells of one network never lower it twice.
+func (s *Session) prewarmCells(cells []cell, n int) error {
+	return par.ForEach(n, len(cells), func(i int) error {
+		c := cells[i]
+		_, err := s.store.Run(c.t, c.network, c.v)
 		return err
 	})
 }

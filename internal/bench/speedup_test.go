@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"tango/internal/gpusim"
+	"tango/internal/target"
+)
+
+// TestTraceStoreRepeatSpeedup is the benchmark-backed guard on the pipeline's
+// reuse: a second session over the same store must render the full report at
+// least 1.5x faster than the first, because every repeated-device figure
+// derives from the store instead of re-simulating (the PR 4 baseline kept the
+// simulation cache per-session, so a new session re-ran the entire matrix).
+// In practice the warm run is orders of magnitude faster; 1.5x keeps the
+// assertion robust on slow, noisy CI machines.
+func TestTraceStoreRepeatSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based test skipped in -short mode")
+	}
+	opts := Options{
+		Networks: []string{"GRU", "LSTM", "CifarNet"},
+		Sampling: gpusim.FastSampling(),
+		Store:    target.NewStore(),
+	}
+
+	start := time.Now()
+	cold, err := NewSession(opts).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTime := time.Since(start)
+
+	start = time.Now()
+	warm, err := NewSession(opts).RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTime := time.Since(start)
+
+	if len(cold) != len(warm) {
+		t.Fatalf("table counts differ: %d vs %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		if cold[i].String() != warm[i].String() {
+			t.Errorf("%s: warm rendering differs from cold", cold[i].ID)
+		}
+	}
+	if coldTime < warmTime*3/2 {
+		t.Errorf("shared store should make a repeat RunAll >= 1.5x faster: cold %v, warm %v (%.1fx)",
+			coldTime, warmTime, float64(coldTime)/float64(warmTime))
+	}
+	t.Logf("cold %v, warm %v (%.1fx)", coldTime, warmTime, float64(coldTime)/float64(warmTime))
+}

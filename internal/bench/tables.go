@@ -18,7 +18,7 @@ func (s *Session) Table1() (*report.Table, error) {
 		Columns: []string{"Network", "Input Data", "Pre-trained Model", "Output"},
 	}
 	keep := map[string]bool{}
-	for _, n := range s.opts.filter(s.suite.Names()) {
+	for _, n := range s.opts.filter(suiteNames()) {
 		keep[n] = true
 	}
 	for _, r := range core.ReferenceInputs() {
@@ -56,12 +56,12 @@ func (s *Session) Table3() (*report.Table, error) {
 		Title:   "Network configuration and SRAM usage (Table III)",
 		Columns: []string{"Network", "Layer", "gridDim", "blockDim", "regs", "smem", "cmem"},
 	}
-	for _, name := range s.opts.filter(s.suite.Names()) {
-		b, err := s.suite.Benchmark(name)
+	for _, name := range s.opts.filter(suiteNames()) {
+		tr, err := s.trace(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, k := range b.Kernels {
+		for _, k := range tr.Kernels {
 			lc := k.Launch
 			t.AddRow(name, k.LayerName,
 				fmt.Sprintf("(%d,%d,%d)", lc.Grid[0], lc.Grid[1], lc.Grid[2]),

@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := map[string][]string{
+		"":             nil,
+		"a":            {"a"},
+		"a,b":          {"a", "b"},
+		" a , ,b, ":    {"a", "b"},
+		",,":           nil,
+		"GRU,CifarNet": {"GRU", "CifarNet"},
+	}
+	for in, want := range cases {
+		if got := SplitList(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("SplitList(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("0, 64,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 64, 256}) {
+		t.Errorf("ParseInts = %v", got)
+	}
+	if out, err := ParseInts(""); err != nil || out != nil {
+		t.Errorf("empty list should parse to nil, got %v, %v", out, err)
+	}
+	if _, err := ParseInts("64,x"); err == nil {
+		t.Error("non-integer entry should fail")
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}

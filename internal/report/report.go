@@ -3,6 +3,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -116,6 +117,17 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// JSON renders the table (columns, rows, notes) as indented JSON.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID      string     `json:"id,omitempty"`
+		Title   string     `json:"title,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes}, "", "  ")
 }
 
 // CSV renders the table as comma-separated values with a header row.

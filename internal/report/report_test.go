@@ -61,6 +61,70 @@ func TestCSV(t *testing.T) {
 	}
 }
 
+// TestEmptyTable asserts a table with no columns, rows or title renders
+// without panicking in every format.
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{}
+	if s := tab.String(); s == "" {
+		t.Error("empty table should still render the (empty) header block")
+	}
+	if csv := tab.CSV(); csv != "\n" {
+		t.Errorf("empty table CSV should be a single empty line, got %q", csv)
+	}
+	enc, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), "columns") {
+		t.Errorf("empty table JSON should carry the columns key: %s", enc)
+	}
+
+	titled := &Table{ID: "x", Title: "Only a title"}
+	if s := titled.String(); !strings.Contains(s, "[x] Only a title") {
+		t.Errorf("title-only table should render its title: %q", s)
+	}
+}
+
+// TestMismatchedRowWidths asserts rows wider or narrower than the header
+// render without panicking: extra cells print unpadded, missing cells leave
+// their columns blank, and CSV emits exactly the cells each row has.
+func TestMismatchedRowWidths(t *testing.T) {
+	tab := &Table{Columns: []string{"A", "B"}}
+	tab.AddRow("r1a")
+	tab.AddRow("r2a", "r2b", "r2extra")
+	s := tab.String()
+	if !strings.Contains(s, "r1a") || !strings.Contains(s, "r2extra") {
+		t.Errorf("all cells should render: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Header + separator + 2 rows.
+	if len(lines) != 4 {
+		t.Fatalf("unexpected line count %d: %q", len(lines), s)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "r1a\n") {
+		t.Errorf("short row should emit only its own cells: %q", csv)
+	}
+	if !strings.Contains(csv, "r2a,r2b,r2extra") {
+		t.Errorf("long row should keep its extra cell: %q", csv)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tab := &Table{ID: "fig0", Title: "Example", Columns: []string{"A"}}
+	tab.AddRow("x")
+	tab.AddNote("n")
+	enc, err := tab.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "fig0"`, `"columns"`, `"rows"`, `"notes"`, `"x"`} {
+		if !strings.Contains(string(enc), want) {
+			t.Errorf("JSON missing %s:\n%s", want, enc)
+		}
+	}
+}
+
 func TestFormatFloat(t *testing.T) {
 	cases := map[float64]string{
 		0:       "0",

@@ -1,0 +1,151 @@
+package target
+
+import (
+	"sync"
+
+	"tango/internal/kernel"
+	"tango/internal/networks"
+)
+
+// Trace is the extracted characterization input of one network: the built
+// layer graph plus the lowered kernel list (launch geometry and per-thread
+// programs).  Extraction is backend-independent — every target derives its
+// statistics from the same trace — and deliberately skips weight synthesis,
+// which only the native inference path needs.
+type Trace struct {
+	// Network is the benchmark name.
+	Network string
+	// Net is the built layer graph with reference shapes.
+	Net *networks.Network
+	// Kernels is the lowered kernel list in layer order (Table III geometry).
+	Kernels []*kernel.Kernel
+}
+
+// Extract lowers a network to its layer trace.
+func Extract(name string) (*Trace, error) {
+	n, err := networks.New(name)
+	if err != nil {
+		return nil, err
+	}
+	ks, err := kernel.Generate(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Network: n.Name, Net: n, Kernels: ks}, nil
+}
+
+// StoreStats counts the store's cached entries and cache traffic.
+type StoreStats struct {
+	// Traces and Runs are the cached entry counts.
+	Traces int
+	Runs   int
+	// TraceHits/TraceMisses and RunHits/RunMisses count lookups.  A miss is
+	// the lookup that created an entry and computed it; a hit is a lookup
+	// served from an existing entry, including waiting on one still being
+	// computed (singleflight waiters are hits — the work happened once).
+	TraceHits, TraceMisses int64
+	RunHits, RunMisses     int64
+}
+
+// entry is one singleflight cell: done is closed once val/err are final.
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Store memoizes layer traces and per-target runs so that every figure,
+// config variant and sweep over the same (network, target, configuration)
+// cell computes it exactly once.  The store is safe for concurrent use:
+// concurrent requests for one cell are coalesced onto a single computation
+// (singleflight) and everyone waits for its result.  Failed computations are
+// not cached — the next request retries, so serial render paths re-encounter
+// and report errors exactly as they would without the store.
+type Store struct {
+	mu     sync.Mutex
+	traces map[string]*entry[*Trace]
+	runs   map[string]*entry[*RunStats]
+	stats  StoreStats
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		traces: make(map[string]*entry[*Trace]),
+		runs:   make(map[string]*entry[*RunStats]),
+	}
+}
+
+// shared is the process-wide store: sessions, sweeps and commands share it by
+// default, so repeated characterization of the same cells is free.
+var shared = NewStore()
+
+// Shared returns the process-wide store.
+func Shared() *Store { return shared }
+
+// Trace returns the network's layer trace, extracting it on first use.
+func (s *Store) Trace(network string) (*Trace, error) {
+	s.mu.Lock()
+	if e, ok := s.traces[network]; ok {
+		s.stats.TraceHits++
+		s.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	s.stats.TraceMisses++
+	e := &entry[*Trace]{done: make(chan struct{})}
+	s.traces[network] = e
+	s.mu.Unlock()
+
+	e.val, e.err = Extract(network)
+	if e.err != nil {
+		s.mu.Lock()
+		delete(s.traces, network)
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Run returns the statistics of running the network's trace on the target
+// under the variant, computing them on first use.  Results are keyed by the
+// target's canonical variant key, so variants that resolve to the same
+// effective configuration share one run.
+func (s *Store) Run(t Target, network string, v Variant) (*RunStats, error) {
+	key := t.Name() + "\x00" + network + "\x00" + t.CacheKey(v)
+	s.mu.Lock()
+	if e, ok := s.runs[key]; ok {
+		s.stats.RunHits++
+		s.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	s.stats.RunMisses++
+	e := &entry[*RunStats]{done: make(chan struct{})}
+	s.runs[key] = e
+	s.mu.Unlock()
+
+	tr, err := s.Trace(network)
+	if err == nil {
+		e.val, e.err = t.Run(tr, v)
+	} else {
+		e.err = err
+	}
+	if e.err != nil {
+		s.mu.Lock()
+		delete(s.runs, key)
+		s.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Stats returns a snapshot of the store's entry counts and cache traffic.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Traces = len(s.traces)
+	st.Runs = len(s.runs)
+	return st
+}

@@ -43,8 +43,12 @@ func TestRunAllParallelDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The isolated cache forces the parallel session to genuinely recompute
+	// its matrix concurrently — without it the session would render from the
+	// process-wide shared store and the comparison would be vacuous.
 	parallelTables, err := tango.NewExperimentSession(
-		tango.WithFastExperimentSampling(), tango.WithExperimentParallelism(8)).RunAll()
+		tango.WithFastExperimentSampling(), tango.WithExperimentParallelism(8),
+		tango.WithIsolatedCache()).RunAll()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,9 +7,13 @@ import (
 
 	"tango/internal/device"
 	"tango/internal/gpusim"
+	"tango/internal/networks"
+	"tango/internal/par"
 	"tango/internal/power"
 	"tango/internal/profiler"
+	"tango/internal/report"
 	"tango/internal/sched"
+	"tango/internal/target"
 )
 
 // simSettings collects the simulation options.
@@ -139,6 +143,219 @@ type SimulationResult struct {
 	MaxRegisterKBPerSM float64
 	// Layers holds per-kernel details in execution order.
 	Layers []LayerSimulation
+}
+
+// Dataset is the deterministic result of a characterization sweep: one
+// record per (network, target, variant) cell, renderable as a table, CSV or
+// JSON.
+type Dataset = report.Dataset
+
+// SweepRecord is one cell of a sweep dataset.
+type SweepRecord = report.Record
+
+// TargetInfo describes one registered accelerator target.
+type TargetInfo struct {
+	// Name is the canonical registry key, e.g. "gp102" or "pynq".
+	Name string
+	// Class is the device class ("GPU" or "FPGA").
+	Class string
+	// Role is the evaluation role, e.g. "Simulator", "Server", "Edge".
+	Role string
+	// Description names the modeled hardware.
+	Description string
+	// Aliases are the alternative lookup names.
+	Aliases []string
+}
+
+// Targets lists the registered accelerator targets in registry order.
+func Targets() []TargetInfo {
+	reg := target.Builtin()
+	var out []TargetInfo
+	for _, t := range reg.Targets() {
+		out = append(out, TargetInfo{
+			Name:        t.Name(),
+			Class:       t.Class().String(),
+			Role:        t.Role(),
+			Description: t.Description(),
+			Aliases:     reg.Aliases(t.Name()),
+		})
+	}
+	return out
+}
+
+// SweepConfig configures a multi-device characterization sweep: the cross
+// product of networks, targets and configuration variants, every cell derived
+// from the shared layer traces.
+type SweepConfig struct {
+	// Networks restricts the benchmarks (nil = the full seven-network suite).
+	Networks []string
+	// Targets are registry names or aliases (nil = the GP102 simulator
+	// configuration).  See Targets for the registry.
+	Targets []string
+	// L1SizesKB adds one configuration variant per entry overriding the
+	// per-SM L1D size; 0 bypasses the L1.  Empty keeps each target's default.
+	L1SizesKB []int
+	// Schedulers adds one configuration variant per entry overriding the
+	// warp scheduler ("gto", "lrr", "tlv").  Empty keeps the default.
+	// When both L1SizesKB and Schedulers are set the sweep runs their cross
+	// product.
+	Schedulers []string
+	// FastSampling selects coarse simulator sampling for quick sweeps.
+	FastSampling bool
+	// Parallelism fans the sweep cells out over n worker goroutines; n <= 1
+	// (including the zero value) runs serially.  The dataset is identical
+	// either way.
+	Parallelism int
+}
+
+// sweepVariants expands the config's L1/scheduler dimensions into the variant
+// list, cross-producting them when both are set.
+func sweepVariants(cfg SweepConfig, sampling gpusim.Sampling) ([]target.Variant, error) {
+	type l1opt struct {
+		key   string
+		bytes int
+		set   bool
+	}
+	l1s := []l1opt{{key: "", set: false}}
+	if len(cfg.L1SizesKB) > 0 {
+		l1s = nil
+		for _, kb := range cfg.L1SizesKB {
+			if kb < 0 {
+				return nil, fmt.Errorf("tango: negative L1 size %dKB", kb)
+			}
+			key := fmt.Sprintf("l1-%dkb", kb)
+			if kb == 0 {
+				key = "nol1"
+			}
+			l1s = append(l1s, l1opt{key: key, bytes: kb << 10, set: true})
+		}
+	}
+	scheds := []sched.Kind{""}
+	if len(cfg.Schedulers) > 0 {
+		scheds = nil
+		for _, name := range cfg.Schedulers {
+			k := sched.Kind(strings.ToLower(name))
+			if _, err := sched.New(k); err != nil {
+				return nil, err
+			}
+			scheds = append(scheds, k)
+		}
+	}
+	var out []target.Variant
+	for _, l1 := range l1s {
+		for _, k := range scheds {
+			v := target.DefaultVariant(sampling)
+			var parts []string
+			if l1.set {
+				v.L1Bytes = l1.bytes
+				v.L1Set = true
+				parts = append(parts, l1.key)
+			}
+			if k != "" {
+				v.Scheduler = k
+				parts = append(parts, "sched-"+string(k))
+			}
+			if len(parts) == 0 {
+				v.Key = "default"
+			} else {
+				v.Key = strings.Join(parts, "+")
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// sweepStore supplies the store backing Sweep: the process-wide shared store,
+// overridden only by white-box determinism tests that need cold runs.
+var sweepStore = target.Shared
+
+// Sweep runs the {networks x targets x variants} characterization matrix and
+// returns one dataset record per cell in deterministic sweep order (networks
+// outermost, then targets, then variants), regardless of parallelism.
+//
+// Every cell is derived from the shared layer-trace store: each network is
+// lowered once and each effective (target, configuration) run is computed
+// once per process, so sweeps compose cheaply with experiment sessions and
+// with each other.  FPGA-class targets are configuration-insensitive and run
+// their default variant only.
+func Sweep(cfg SweepConfig) (*Dataset, error) {
+	nets := cfg.Networks
+	if len(nets) == 0 {
+		nets = networks.Names()
+	}
+	reg := target.Builtin()
+	targetNames := cfg.Targets
+	if len(targetNames) == 0 {
+		targetNames = []string{"gp102"}
+	}
+	targets := make([]target.Target, 0, len(targetNames))
+	for _, name := range targetNames {
+		t, err := reg.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	sampling := gpusim.DefaultSampling()
+	if cfg.FastSampling {
+		sampling = gpusim.FastSampling()
+	}
+	variants, err := sweepVariants(cfg, sampling)
+	if err != nil {
+		return nil, err
+	}
+
+	type sweepCell struct {
+		t target.Target
+		n string
+		v target.Variant
+	}
+	var cells []sweepCell
+	for _, n := range nets {
+		for _, t := range targets {
+			for _, v := range variants {
+				if t.Class() == device.ClassFPGA && v.Key != variants[0].Key {
+					// The dataflow model ignores every GPU knob; one default
+					// cell per network keeps the dataset free of duplicates.
+					continue
+				}
+				cells = append(cells, sweepCell{t: t, n: n, v: v})
+			}
+		}
+	}
+
+	store := sweepStore()
+	records := make([]report.Record, len(cells))
+	err = par.ForEach(cfg.Parallelism, len(cells), func(i int) error {
+		c := cells[i]
+		rs, err := store.Run(c.t, c.n, c.v)
+		if err != nil {
+			return fmt.Errorf("tango: sweep %s on %s (%s): %w", c.n, c.t.Name(), c.v.Key, err)
+		}
+		key := c.v.Key
+		if c.t.Class() == device.ClassFPGA {
+			key = "default"
+		}
+		records[i] = report.Record{
+			Network:      rs.Network,
+			Target:       rs.Target,
+			Class:        rs.Class.String(),
+			Variant:      key,
+			Cycles:       rs.Cycles,
+			Seconds:      rs.Seconds,
+			Instructions: rs.Instructions,
+			PeakWatts:    rs.PeakWatts,
+			AvgWatts:     rs.AvgWatts,
+			EnergyJoules: rs.EnergyJoules,
+			L2MissRatio:  rs.L2MissRatio,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Records: records}, nil
 }
 
 // Simulate runs every kernel of the benchmark on the architecture simulator

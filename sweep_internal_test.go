@@ -1,0 +1,42 @@
+package tango
+
+import (
+	"reflect"
+	"testing"
+
+	"tango/internal/target"
+)
+
+// TestSweepParallelDeterminismColdStore is the white-box counterpart of the
+// external sweep tests: each sweep runs against its own fresh store, so the
+// parallel fan-out genuinely recomputes every cell concurrently instead of
+// reading the serial run's results from the process-wide shared store.
+func TestSweepParallelDeterminismColdStore(t *testing.T) {
+	cfg := SweepConfig{
+		Networks:     []string{"GRU", "CifarNet"},
+		Targets:      []string{"gp102", "tx1", "pynq"},
+		L1SizesKB:    []int{0, 64},
+		FastSampling: true,
+	}
+
+	prev := sweepStore
+	defer func() { sweepStore = prev }()
+
+	sweepStore = func() *target.Store { return target.NewStore() }
+	serial, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sweepStore = func() *target.Store { return target.NewStore() }
+	cfg.Parallelism = 8
+	parallel, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("cold parallel sweep differs from cold serial sweep:\n%+v\nvs\n%+v",
+			serial.Records, parallel.Records)
+	}
+}

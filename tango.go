@@ -2,9 +2,11 @@
 // suite reproduction: seven DNN inference workloads (CifarNet, AlexNet,
 // SqueezeNet, ResNet-50, VGGNet-16, GRU and LSTM) expressed as fundamental
 // math kernels, a cycle-approximate GPU architecture simulator with
-// configurable caches and warp schedulers, GPU and FPGA power models, and an
+// configurable caches and warp schedulers, GPU and FPGA power models, an
 // experiment harness that regenerates every table and figure of the paper's
-// evaluation.
+// evaluation, and a multi-device sweep engine (Sweep) that characterizes the
+// suite across the registered accelerator targets (Targets) from shared
+// layer traces.
 //
 // Typical use:
 //
