@@ -17,14 +17,21 @@
 // a batch to fill); responses are bit-identical to single-sample Classify /
 // Forecast.  A full queue (-queue-depth) rejects with HTTP 429 instead of
 // queuing unboundedly.
+//
+// Chaos testing: -faults/-fault-seed (or the TANGO_FAULTS/TANGO_FAULT_SEED
+// environment variables) enable the deterministic fault-injection plan, and
+// every exit path emits one structured JSON shutdown record on stdout so
+// harnesses can assert how the process died and what it drained.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,9 +40,56 @@ import (
 	"time"
 
 	"tango"
+	"tango/internal/resilience"
 )
 
+// shutdownRecord is the structured line emitted on stdout by every exit
+// path: orchestrators and chaos harnesses parse it instead of scraping
+// free-form logs.  Drained counts the requests completed between the
+// shutdown trigger and process exit; InFlight is what was still unresolved
+// at exit (nonzero only when the drain timeout expired).
+type shutdownRecord struct {
+	Event    string  `json:"event"`
+	Reason   string  `json:"reason"`
+	ExitCode int     `json:"exit_code"`
+	UptimeS  float64 `json:"uptime_s"`
+
+	Completed uint64 `json:"completed"`
+	Drained   uint64 `json:"drained"`
+	InFlight  int64  `json:"in_flight"`
+	Rejected  uint64 `json:"rejected"`
+	Batches   uint64 `json:"batches"`
+}
+
+// exit emits the shutdown record and terminates with its exit code.  srv
+// and atTrigger may be nil (startup failures die before a server exists).
+func exit(rec shutdownRecord, srv *tango.Server, atTrigger *tango.ServerStats, start time.Time) {
+	rec.Event = "shutdown"
+	rec.UptimeS = time.Since(start).Seconds()
+	if srv != nil {
+		st := srv.Stats()
+		rec.Completed = st.Completed
+		rec.InFlight = st.InFlight
+		rec.Rejected = st.RejectedQueueFull + st.Shed
+		rec.Batches = st.Batches
+		if atTrigger != nil {
+			rec.Drained = st.Completed - atTrigger.Completed
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		log.Printf("tango-serve: encoding shutdown record: %v", err)
+	} else {
+		fmt.Println(string(line))
+	}
+	if rec.ExitCode == 0 {
+		fmt.Println("bye")
+	}
+	os.Exit(rec.ExitCode)
+}
+
 func main() {
+	start := time.Now()
 	addr := flag.String("addr", ":8080", "listen address")
 	benchmarks := flag.String("benchmarks", "CifarNet", "comma-separated benchmarks to serve")
 	maxBatch := flag.Int("max-batch", 16, "max requests coalesced into one engine batch")
@@ -43,26 +97,51 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "per-benchmark request queue capacity (full queue rejects with 429)")
 	parallel := flag.Int("parallel", 0, "engine workers per batch run (0 = single worker, -1 = one per CPU)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline (queue wait + compute); 0 = none")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. \"serve.batch.run=error:0.05\" (overrides "+resilience.EnvSpec+")")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection plan")
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		log.Printf("tango-serve: "+format, args...)
+		exit(shutdownRecord{Reason: "startup-error", ExitCode: 1}, nil, nil, start)
+	}
+
+	// A -faults flag beats the environment; either way the active plan is
+	// logged so a chaos run is attributable from the server's own output.
+	if *faults != "" {
+		if err := resilience.Enable(*faults, *faultSeed); err != nil {
+			fail("%v", err)
+		}
+	} else if _, err := resilience.EnableFromEnv(); err != nil {
+		fail("%v", err)
+	}
+	if resilience.Enabled() {
+		log.Printf("fault injection active: %s", resilience.Spec())
+	}
 
 	names := splitBenchmarks(*benchmarks)
 	if len(names) == 0 {
-		log.Fatal("tango-serve: -benchmarks must name at least one benchmark")
+		fail("-benchmarks must name at least one benchmark")
 	}
 
 	log.Printf("loading %s ...", strings.Join(names, ", "))
 	srv, err := tango.NewServer(names, tango.ServerConfig{
-		MaxBatch:    *maxBatch,
-		MaxDelay:    time.Duration(*maxDelayUS) * time.Microsecond,
-		QueueDepth:  *queueDepth,
-		Parallelism: *parallel,
+		MaxBatch:       *maxBatch,
+		MaxDelay:       time.Duration(*maxDelayUS) * time.Microsecond,
+		QueueDepth:     *queueDepth,
+		Parallelism:    *parallel,
+		RequestTimeout: *requestTimeout,
 	})
 	if err != nil {
-		log.Fatalf("tango-serve: %v", err)
+		fail("%v", err)
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail("%v", err)
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -71,18 +150,21 @@ func main() {
 	defer stop()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() { errCh <- httpSrv.Serve(ln) }()
 	log.Printf("serving %s on %s (max-batch %d, max-delay %dus, queue-depth %d)",
-		strings.Join(names, ", "), *addr, *maxBatch, *maxDelayUS, *queueDepth)
+		strings.Join(names, ", "), ln.Addr(), *maxBatch, *maxDelayUS, *queueDepth)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("tango-serve: %v", err)
+		atFailure := srv.Stats()
+		log.Printf("tango-serve: %v", err)
+		exit(shutdownRecord{Reason: "listener-error", ExitCode: 1}, srv, &atFailure, start)
 	case <-ctx.Done():
 	}
 	// Restore default signal disposition: a second SIGINT/SIGTERM during
 	// the drain kills the process immediately instead of being swallowed.
 	stop()
+	atSignal := srv.Stats()
 
 	log.Print("shutting down: draining in-flight requests ...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -93,6 +175,7 @@ func main() {
 	// The same -drain-timeout window bounds the batcher drain: a queue
 	// still full when it expires is abandoned rather than stalling the
 	// process past an orchestrator's kill-grace period.
+	reason := "signal"
 	drained := make(chan struct{})
 	go func() {
 		srv.Close()
@@ -101,6 +184,7 @@ func main() {
 	select {
 	case <-drained:
 	case <-shutdownCtx.Done():
+		reason = "drain-timeout"
 		log.Print("tango-serve: drain timeout expired with requests still queued")
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -110,7 +194,7 @@ func main() {
 	stats := srv.Stats()
 	log.Printf("served %d requests in %d batches (mean batch %.2f, %d rejected)",
 		stats.Completed, stats.Batches, stats.MeanBatchSize, stats.RejectedQueueFull)
-	fmt.Println("bye")
+	exit(shutdownRecord{Reason: reason, ExitCode: 0}, srv, &atSignal, start)
 }
 
 // splitBenchmarks parses the -benchmarks list.

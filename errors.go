@@ -3,6 +3,7 @@ package tango
 import (
 	"errors"
 
+	"tango/internal/resilience"
 	"tango/internal/serve"
 	"tango/internal/tensor"
 )
@@ -26,4 +27,16 @@ var (
 	// ErrNotServed reports a request naming a benchmark the Server was not
 	// configured to serve.
 	ErrNotServed = errors.New("tango: benchmark not served")
+
+	// ErrDegraded reports a request rejected because the benchmark's
+	// circuit breaker is open: the engine has failed repeatedly and the
+	// server is shedding work while it recovers (surfaced as HTTP 503
+	// with a Retry-After hint).  The server is degraded, not dead —
+	// /healthz keeps answering and probes keep testing recovery.
+	ErrDegraded = errors.New("tango: serving degraded, circuit breaker open")
+
+	// ErrInjected is the sentinel wrapped by every fault deliberately
+	// injected through the resilience layer (chaos testing); use it to
+	// tell injected faults from organic ones.
+	ErrInjected = resilience.ErrInjected
 )

@@ -1,0 +1,48 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// CheckLeaks snapshots the goroutine count and returns a function that
+// verifies the count has settled back to (or below) the snapshot, polling
+// for up to two seconds so goroutines that are mid-exit are not false
+// positives.  Intended use, from any test in the repo:
+//
+//	defer par.CheckLeaks()(t)
+//
+// where t is any *testing.T-like Errorf sink.  The helper lives here (not
+// in a _test.go file) so concurrency tests in other packages — sweeps,
+// serving, the store — can share it.
+func CheckLeaks() func(t interface{ Errorf(string, ...any) }) {
+	before := runtime.NumGoroutine()
+	return func(t interface{ Errorf(string, ...any) }) {
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if after > before {
+			t.Errorf("goroutine leak: %d before, %d after\n%s", before, after, goroutineDump())
+		}
+	}
+}
+
+// goroutineDump returns the all-goroutine stack dump, truncated so a
+// failure message stays readable.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	if parts := strings.SplitAfter(s, "\n\n"); len(parts) > 25 {
+		s = strings.Join(parts[:25], "") + fmt.Sprintf("... (%d more goroutines)", len(parts)-25)
+	}
+	return s
+}

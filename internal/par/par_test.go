@@ -1,10 +1,12 @@
 package par_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"tango/internal/par"
 )
@@ -63,3 +65,121 @@ func TestForEachZeroJobs(t *testing.T) {
 		t.Errorf("n=0 should be a no-op, got %v", err)
 	}
 }
+
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := par.ForEach(workers, 8, func(i int) error {
+			if i == 5 {
+				panic("kernel bug")
+			}
+			return nil
+		})
+		var pe *par.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 5 || pe.Value != "kernel bug" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError = index %d value %v (stack %d bytes)",
+				workers, pe.Index, pe.Value, len(pe.Stack))
+		}
+	}
+}
+
+func TestForEachPanicLosesToEarlierError(t *testing.T) {
+	// Index-order error semantics hold across failure kinds: the error at
+	// index 2 beats the panic at index 6.
+	err := par.ForEach(4, 8, func(i int) error {
+		switch i {
+		case 2:
+			return errors.New("plain failure")
+		case 6:
+			panic("later panic")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "plain failure" {
+		t.Fatalf("err = %v, want index 2's plain failure", err)
+	}
+}
+
+func TestForEachCtxPreCanceled(t *testing.T) {
+	defer par.CheckLeaks()(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	for _, workers := range []int{1, 4} {
+		err := par.ForEachCtx(ctx, workers, 100, func(i int) error {
+			calls.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// The parallel path may admit up to `workers` tasks racing the cancel
+	// check; it must not run anywhere near the full job count.
+	if n := calls.Load(); n > 8 {
+		t.Errorf("pre-canceled ForEachCtx ran %d tasks", n)
+	}
+}
+
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	defer par.CheckLeaks()(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- par.ForEachCtx(ctx, 2, 1000, func(i int) error {
+			started.Add(1)
+			<-release
+			return nil
+		})
+	}()
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release) // let the two in-flight tasks finish
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Only the tasks in flight at cancel time (plus at most one racing
+	// dispatch per worker) may have run.
+	if n := started.Load(); n > 6 {
+		t.Errorf("%d tasks ran after mid-run cancel", n)
+	}
+}
+
+func TestForEachCtxErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := par.ForEachCtx(ctx, 2, 4, func(i int) error {
+		if i == 1 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want task error to win over ctx.Err()", err)
+	}
+}
+
+func TestCheckLeaksDetectsLeak(t *testing.T) {
+	check := par.CheckLeaks()
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	var sink errorfRecorder
+	check(&sink)
+	close(stop)
+	if !sink.called {
+		t.Error("CheckLeaks missed a deliberately leaked goroutine")
+	}
+}
+
+type errorfRecorder struct{ called bool }
+
+func (r *errorfRecorder) Errorf(string, ...any) { r.called = true }

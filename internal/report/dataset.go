@@ -23,7 +23,16 @@ type Record struct {
 	AvgWatts     float64 `json:"avg_watts"`
 	EnergyJoules float64 `json:"energy_joules"`
 	L2MissRatio  float64 `json:"l2_miss_ratio,omitempty"`
+
+	// Err is the cell's failure message in a partial sweep (empty for
+	// successful cells): the cell identity columns are filled in, the
+	// statistics are zero, and the error is carried in-band so a sweep with
+	// one broken cell still yields a dataset covering every other cell.
+	Err string `json:"error,omitempty"`
 }
+
+// Failed reports whether the record is a partial-sweep error cell.
+func (r Record) Failed() bool { return r.Err != "" }
 
 // Dataset is the deterministic result of a characterization sweep: one record
 // per (network, target, variant) cell.  Figures and tables are projections of
@@ -59,8 +68,10 @@ func (d *Dataset) Table(id, title string) *Table {
 	t := &Table{
 		ID:    id,
 		Title: title,
+		// The Error column stays last so downstream CSV consumers keyed on
+		// the leading identity/statistics columns are unaffected.
 		Columns: []string{"Network", "Target", "Class", "Variant",
-			"Cycles", "Seconds", "Instructions", "Peak (W)", "Avg (W)", "Energy (J)", "L2 miss"},
+			"Cycles", "Seconds", "Instructions", "Peak (W)", "Avg (W)", "Energy (J)", "L2 miss", "Error"},
 	}
 	for _, r := range d.Records {
 		cycles := "-"
@@ -75,10 +86,14 @@ func (d *Dataset) Table(id, title string) *Table {
 		if r.L2MissRatio > 0 {
 			l2 = fmt.Sprintf("%.4f", r.L2MissRatio)
 		}
+		errCell := "-"
+		if r.Err != "" {
+			errCell = r.Err
+		}
 		t.AddRow(r.Network, r.Target, r.Class, r.Variant,
 			cycles, FormatFloat(r.Seconds), instr,
 			FormatFloat(r.PeakWatts), FormatFloat(r.AvgWatts),
-			FormatFloat(r.EnergyJoules), l2)
+			FormatFloat(r.EnergyJoules), l2, errCell)
 	}
 	return t
 }

@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for breaker timing.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold, probes int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	return NewBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, Probes: probes, Now: clk.now}), clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, 1, time.Second)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(boom)
+	}
+	// A success resets the streak.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.Record(boom)
+	}
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v", st)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := newTestBreaker(1, 2, time.Second)
+	b.Record(errors.New("boom")) // trips (threshold 1)
+	if b.State() != BreakerOpen {
+		t.Fatal("not open after threshold")
+	}
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("not half-open after cooldown")
+	}
+	// Two probe slots; a third concurrent call is rejected.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("third concurrent probe allowed: %v", err)
+	}
+	b.Record(nil)
+	b.Record(nil)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after 2 probe successes = %v", st)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, time.Second)
+	b.Record(errors.New("boom"))
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errors.New("still broken"))
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", st)
+	}
+	// The fresh open period starts at the probe failure.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerForgiveReleasesProbeSlot(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, time.Second)
+	b.Record(errors.New("boom"))
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	// The probe was canceled client-side: no verdict, slot returned.
+	b.Forgive()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("forgiven probe slot not released: %v", err)
+	}
+	b.Record(nil)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v", st)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.cfg.Threshold != 5 || b.cfg.Cooldown != 2*time.Second || b.cfg.Probes != 1 || b.cfg.Now == nil {
+		t.Fatalf("defaults = %+v", b.cfg)
+	}
+	states := []BreakerState{BreakerClosed, BreakerOpen, BreakerHalfOpen, BreakerState(99)}
+	want := []string{"closed", "open", "half-open", "unknown"}
+	for i, s := range states {
+		if s.String() != want[i] {
+			t.Fatalf("State(%d).String() = %q", i, s.String())
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// WithBudget bounds ctx to at most d from now.  An existing earlier
+// deadline is kept (the tighter budget wins), so a server-wide request
+// timeout composes with per-call client deadlines.  d <= 0 returns ctx
+// unchanged with a no-op cancel, so the zero policy costs nothing.
+func WithBudget(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Remaining returns the time left until ctx's deadline, or def when ctx
+// has none.  A passed deadline returns zero, never a negative duration.
+func Remaining(ctx context.Context, def time.Duration) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return def
+	}
+	if left := time.Until(dl); left > 0 {
+		return left
+	}
+	return 0
+}

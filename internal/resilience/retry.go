@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Backoff is a bounded-retry policy: capped exponential backoff with
+// deterministic jitter.  The zero value retries 3 times starting at 10ms,
+// doubling up to a 1s cap, with no jitter.
+type Backoff struct {
+	// Attempts is the total number of tries (first call included); values
+	// below 1 select 3.
+	Attempts int
+	// Initial is the delay before the second attempt; values <= 0 select
+	// 10ms.
+	Initial time.Duration
+	// Max caps the per-attempt delay; values <= 0 select 1s.
+	Max time.Duration
+	// Factor multiplies the delay between attempts; values <= 1 select 2.
+	Factor float64
+	// Jitter spreads each delay by ±Jitter fraction (0.2 = ±20%).  The
+	// jitter sequence is derived from Seed, not the global RNG, so a
+	// retry schedule replays identically for a given seed.
+	Jitter float64
+	// Seed keys the jitter sequence.
+	Seed uint64
+	// sleep is the test hook for the inter-attempt wait.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Attempts < 1 {
+		b.Attempts = 3
+	}
+	if b.Initial <= 0 {
+		b.Initial = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.sleep == nil {
+		b.sleep = sleepCtx
+	}
+	return b
+}
+
+// delay returns the wait before attempt n+1 (n is the 0-based attempt
+// that just failed).
+func (b Backoff) delay(n int) time.Duration {
+	d := float64(b.Initial)
+	for i := 0; i < n; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		// u in [-1, 1), deterministic in (seed, attempt).
+		u := float64(splitmix64(b.Seed^uint64(n)*0x9e3779b97f4a7c15)>>11)/float64(1<<52) - 1
+		d *= 1 + b.Jitter*u
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	return time.Duration(d)
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Retry stops immediately instead of burning
+// the remaining attempts (e.g. a validation failure that cannot succeed
+// on retry).  A nil error stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retry runs fn until it succeeds, returns a Permanent error, exhausts
+// the attempt budget, or ctx is done.  The error of the last attempt is
+// returned (annotated with the attempt count when every attempt failed);
+// ctx expiry during a backoff wait returns ctx's error.
+func Retry(ctx context.Context, b Backoff, fn func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b = b.withDefaults()
+	var last error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("resilience: retry canceled after %d attempts (%v): %w", attempt, err, last)
+			}
+			return err
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if attempt == b.Attempts-1 {
+			break
+		}
+		if err := b.sleep(ctx, b.delay(attempt)); err != nil {
+			return fmt.Errorf("resilience: retry canceled after %d attempts (%v): %w", attempt+1, err, last)
+		}
+	}
+	if b.Attempts == 1 {
+		return last
+	}
+	return fmt.Errorf("resilience: %d attempts failed: %w", b.Attempts, last)
+}
+
+// sleepCtx waits d, returning early with ctx's error if ctx is done
+// first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

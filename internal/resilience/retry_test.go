@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// instantSleep records requested delays without sleeping.
+func instantSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	b := Backoff{Attempts: 5, Initial: 10 * time.Millisecond, Max: 40 * time.Millisecond, sleep: instantSleep(&delays)}
+	calls := 0
+	err := Retry(context.Background(), b, func(context.Context) error {
+		calls++
+		if calls < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 4 {
+		t.Fatalf("Retry = %v after %d calls", err, calls)
+	}
+	// Exponential with cap: 10ms, 20ms, 40ms (capped).
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delays = %v, want %v", delays, want)
+		}
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), Backoff{Attempts: 3, sleep: instantSleep(&delays)},
+		func(context.Context) error { calls++; return boom })
+	if calls != 3 || !errors.Is(err, boom) {
+		t.Fatalf("Retry = %v after %d calls, want wrapped boom after 3", err, calls)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Retry(context.Background(), Backoff{Attempts: 5},
+		func(context.Context) error { calls++; return Permanent(fatal) })
+	if calls != 1 || !errors.Is(err, fatal) {
+		t.Fatalf("Retry = %v after %d calls, want fatal after 1", err, calls)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, Backoff{Attempts: 5}, func(context.Context) error { calls++; return errors.New("x") })
+	if calls != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Retry = %v after %d calls", err, calls)
+	}
+
+	// Cancel during the backoff wait: the last attempt's error is kept.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err = Retry(ctx2, Backoff{Attempts: 5, Initial: time.Hour, sleep: func(ctx context.Context, d time.Duration) error {
+		cancel2()
+		return context.Canceled
+	}}, func(context.Context) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("canceled-in-backoff Retry = %v, want wrapped boom", err)
+	}
+}
+
+func TestRetryJitterDeterministic(t *testing.T) {
+	b := Backoff{Attempts: 4, Initial: 100 * time.Millisecond, Jitter: 0.5, Seed: 11}.withDefaults()
+	for n := 0; n < 3; n++ {
+		d1, d2 := b.delay(n), b.delay(n)
+		if d1 != d2 {
+			t.Fatalf("jittered delay(%d) not deterministic: %v vs %v", n, d1, d2)
+		}
+		base := 100 * time.Millisecond << n
+		lo, hi := base/2, base+base/2
+		if d1 < lo || d1 > hi {
+			t.Fatalf("delay(%d) = %v outside ±50%% of %v", n, d1, base)
+		}
+	}
+}
+
+func TestWithBudget(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if Remaining(ctx, 0) <= 0 || Remaining(ctx, 0) > 50*time.Millisecond {
+		t.Fatalf("Remaining = %v", Remaining(ctx, 0))
+	}
+
+	// A tighter existing deadline wins.
+	tight, cancelTight := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancelTight()
+	ctx2, cancel2 := WithBudget(tight, time.Hour)
+	defer cancel2()
+	if Remaining(ctx2, 0) > 10*time.Millisecond {
+		t.Fatalf("budget loosened an existing deadline: %v", Remaining(ctx2, 0))
+	}
+
+	// Zero budget: unchanged context, default remaining.
+	ctx3, cancel3 := WithBudget(context.Background(), 0)
+	defer cancel3()
+	if ctx3 != context.Background() || Remaining(ctx3, time.Minute) != time.Minute {
+		t.Fatal("zero budget must leave ctx unchanged")
+	}
+
+	// Expired deadline clamps to zero.
+	past, cancelPast := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelPast()
+	if Remaining(past, time.Minute) != 0 {
+		t.Fatalf("expired Remaining = %v, want 0", Remaining(past, time.Minute))
+	}
+}

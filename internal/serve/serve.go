@@ -18,7 +18,16 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"tango/internal/resilience"
 )
+
+// PointBatchRun is the fault-injection site fired at the top of every
+// batch-function invocation (including bisection sub-batches): a chaos
+// plan can make batch runs fail, stall or panic, and what is under test
+// is that the batcher degrades per-sample instead of crashing or failing
+// whole batches.
+var PointBatchRun = resilience.Register("serve.batch.run", "before each batch-function run (incl. bisection sub-batches)")
 
 // ErrQueueFull is returned by Do when the request queue is at capacity.
 // It is a fast, non-blocking rejection: the caller can retry, shed load, or
@@ -118,6 +127,15 @@ func NewBatcher[In, Out any](cfg Config, run func([]In) ([]Out, error)) *Batcher
 
 // Config returns the batcher's effective (defaulted) policy.
 func (b *Batcher[In, Out]) Config() Config { return b.cfg }
+
+// QueueLen returns the number of requests currently waiting in the
+// bounded queue; QueueCap returns the queue's capacity.  Together they
+// give admission layers the occupancy signal for priority-based load
+// shedding.
+func (b *Batcher[In, Out]) QueueLen() int { return len(b.reqs) }
+
+// QueueCap returns the bounded queue's capacity.
+func (b *Batcher[In, Out]) QueueCap() int { return cap(b.reqs) }
 
 // Do submits one request and blocks until its batch has run or ctx is done.
 // A nil ctx is treated as context.Background().  It returns ErrQueueFull
@@ -253,18 +271,54 @@ func (b *Batcher[In, Out]) dispatch() {
 // runProtected invokes the batch function, containing a panic to a batch
 // error: the compute runs on the lone dispatcher goroutine, so an escaped
 // panic would kill the whole batcher (and server) instead of the one batch
-// — the containment net/http gives a non-batched handler per request.
+// — the containment net/http gives a non-batched handler per request.  It
+// also normalizes a result-count mismatch into an error, and gives the
+// fault-injection plan its shot before the real run.
 func (b *Batcher[In, Out]) runProtected(ins []In) (outs []Out, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			outs, err = nil, fmt.Errorf("serve: batch function panicked: %v", p)
 		}
 	}()
-	return b.run(ins)
+	if err := resilience.Fire(PointBatchRun); err != nil {
+		return nil, err
+	}
+	outs, err = b.run(ins)
+	if err == nil && len(outs) != len(ins) {
+		return nil, fmt.Errorf("serve: batch function returned %d results for %d inputs", len(outs), len(ins))
+	}
+	return outs, err
+}
+
+// runSegment runs one slice of a failed batch during bisection: a segment
+// that succeeds resolves all its requests; a failed segment of more than
+// one request is split in half and both halves rerun; a failed singleton
+// takes the failure alone.  Sub-batches are bit-identical to any other
+// batch split (batching never changes numerics), so requests that merely
+// shared a batch with a poisoned sample still get exactly the answer a
+// solo run would have produced.
+func (b *Batcher[In, Out]) runSegment(ins []In) []outcome[Out] {
+	outs, err := b.runProtected(ins)
+	if err == nil {
+		res := make([]outcome[Out], len(ins))
+		for i := range outs {
+			res[i] = outcome[Out]{out: outs[i]}
+		}
+		return res
+	}
+	if len(ins) == 1 {
+		b.stats.isolate()
+		return []outcome[Out]{{err: fmt.Errorf("serve: sample isolated by batch bisection: %w", err)}}
+	}
+	b.stats.bisect()
+	mid := len(ins) / 2
+	return append(b.runSegment(ins[:mid]), b.runSegment(ins[mid:])...)
 }
 
 // flush drops requests whose context expired while queued, runs the
-// remaining batch, and delivers per-request outcomes.
+// remaining batch, and delivers per-request outcomes.  A failed batch of
+// more than one request falls back to bisection so a single bad request
+// degrades only itself.
 func (b *Batcher[In, Out]) flush(batch []request[In, Out]) {
 	live := batch[:0]
 	for _, r := range batch {
@@ -285,8 +339,21 @@ func (b *Batcher[In, Out]) flush(batch []request[In, Out]) {
 		ins[i] = r.in
 	}
 	outs, err := b.runProtected(ins)
-	if err == nil && len(outs) != len(live) {
-		err = fmt.Errorf("serve: batch function returned %d results for %d inputs", len(outs), len(live))
+	var results []outcome[Out]
+	switch {
+	case err == nil:
+		results = make([]outcome[Out], len(live))
+		for i := range outs {
+			results[i] = outcome[Out]{out: outs[i]}
+		}
+	case len(live) == 1:
+		// Nothing to isolate: the lone request owns the failure.
+		results = []outcome[Out]{{err: err}}
+	default:
+		// Degraded mode: bisect so only the poisoned sample(s) fail.
+		b.stats.bisect()
+		mid := len(live) / 2
+		results = append(b.runSegment(ins[:mid]), b.runSegment(ins[mid:])...)
 	}
 	now := time.Now()
 	lats := make([]time.Duration, len(live))
@@ -297,10 +364,6 @@ func (b *Batcher[In, Out]) flush(batch []request[In, Out]) {
 	// taken the moment Do returns must already count this batch.
 	b.stats.finishBatch(len(live), err != nil, lats)
 	for i, r := range live {
-		if err != nil {
-			r.done <- outcome[Out]{err: err}
-		} else {
-			r.done <- outcome[Out]{out: outs[i]}
-		}
+		r.done <- results[i]
 	}
 }

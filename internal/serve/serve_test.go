@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -412,5 +413,142 @@ func TestConfigDefaults(t *testing.T) {
 	cfg := b.Config()
 	if cfg.MaxBatch != DefaultMaxBatch || cfg.QueueDepth != DefaultQueueDepth || cfg.MaxDelay != 0 {
 		t.Fatalf("defaulted config = %+v", cfg)
+	}
+}
+
+// poisonEcho is an echo batch function that fails any segment containing
+// the poisoned value, mimicking a shape-poisoned sample that slipped into
+// a batch: the whole batch run errors, and only bisection can save the
+// innocent requests.
+func poisonEcho(poison int, runs *atomic.Int64) func([]int) ([]int, error) {
+	return func(ins []int) ([]int, error) {
+		runs.Add(1)
+		for _, v := range ins {
+			if v == poison {
+				return nil, fmt.Errorf("poisoned sample %d", poison)
+			}
+		}
+		return echo(ins)
+	}
+}
+
+// TestBisectionIsolatesPoisonedSample is the regression test for the
+// pre-bisection behavior where a failed batch run propagated its error to
+// every request in the batch: a single poisoned sample must fail alone
+// while the rest of the batch succeeds with bit-exact (here: exact)
+// per-sample results.
+func TestBisectionIsolatesPoisonedSample(t *testing.T) {
+	const n = 8
+	const poison = 5
+	var runs atomic.Int64
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	inner := poisonEcho(poison, &runs)
+	b := NewBatcher(Config{MaxBatch: n, MaxDelay: time.Second, QueueDepth: 2 * n},
+		func(ins []int) ([]int, error) {
+			entered <- struct{}{}
+			<-release
+			return inner(ins)
+		})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	outs := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = b.Do(context.Background(), i)
+		}(i)
+	}
+	// Wait for the first batch run to begin, by which time every request
+	// is either in the batch or queued; then open the gate.  The
+	// channel stays open (buffered past any run count) because bisection
+	// segments keep signaling it.
+	<-entered
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if i == poison {
+			if errs[i] == nil || !strings.Contains(errs[i].Error(), "poisoned sample") ||
+				!strings.Contains(errs[i].Error(), "bisection") {
+				t.Errorf("poisoned request error = %v, want isolated poisoned-sample error", errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("innocent request %d failed: %v", i, errs[i])
+		} else if outs[i] != 2*i {
+			t.Errorf("request %d = %d, want %d (must match a solo run exactly)", i, outs[i], 2*i)
+		}
+	}
+
+	st := b.Stats()
+	if st.Isolated != 1 {
+		t.Errorf("Isolated = %d, want exactly the poisoned sample", st.Isolated)
+	}
+	if st.Bisections == 0 {
+		t.Errorf("Bisections = 0, want > 0 after a failed multi-request batch")
+	}
+	if st.Completed != n {
+		t.Errorf("Completed = %d, want %d (every request must get an outcome)", st.Completed, n)
+	}
+	// log2 bound: isolating 1 bad sample out of 8 costs at most
+	// 1 (full) + 2*log2(8) segment runs.
+	if r := runs.Load(); r > 7 {
+		t.Errorf("bisection used %d runs for one poisoned sample in a batch of %d", r, n)
+	}
+}
+
+// TestBisectionPanicIsolated: a sample that makes the batch function panic
+// is contained and isolated exactly like an error, and the dispatcher
+// keeps serving afterwards.
+func TestBisectionPanicIsolated(t *testing.T) {
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	b := NewBatcher(Config{MaxBatch: 4, MaxDelay: time.Second, QueueDepth: 16},
+		func(ins []int) ([]int, error) {
+			entered <- struct{}{}
+			<-release
+			for _, v := range ins {
+				if v == 2 {
+					panic("poisoned kernel")
+				}
+			}
+			return echo(ins)
+		})
+	defer b.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	outs := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = b.Do(context.Background(), i)
+		}(i)
+	}
+	// Wait for the first batch run to begin, then open the gate.  The
+	// channel stays open (buffered past any run count) because bisection
+	// segments keep signaling it.
+	<-entered
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			if errs[i] == nil || !strings.Contains(errs[i].Error(), "panicked") {
+				t.Errorf("panicking request error = %v", errs[i])
+			}
+		} else if errs[i] != nil || outs[i] != 2*i {
+			t.Errorf("request %d = %d, %v; want %d, nil", i, outs[i], errs[i], 2*i)
+		}
+	}
+	if got, err := b.Do(context.Background(), 10); err != nil || got != 20 {
+		t.Fatalf("post-bisection Do = %d, %v; want 20, nil", got, err)
 	}
 }

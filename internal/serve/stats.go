@@ -26,9 +26,15 @@ type Stats struct {
 	// RejectedClosed counts requests bounced with ErrClosed.
 	RejectedClosed uint64
 	// Batches counts batches actually run; BatchErrors counts the subset
-	// whose run function returned an error.
+	// whose full-batch run function returned an error (before any
+	// bisection fallback).
 	Batches     uint64
 	BatchErrors uint64
+	// Bisections counts segment splits performed while isolating failed
+	// batches; Isolated counts requests that still failed alone after
+	// bisection (the truly poisoned samples).
+	Bisections uint64
+	Isolated   uint64
 	// BatchSizeHist[i] counts batches of size i+1 (length = MaxBatch).
 	BatchSizeHist []uint64
 	// MeanBatchSize is the total number of batched requests divided by
@@ -54,6 +60,8 @@ type collector struct {
 	rejectedClosed    uint64
 	batches           uint64
 	batchErrors       uint64
+	bisections        uint64
+	isolated          uint64
 	batchedRequests   uint64
 	hist              []uint64
 	lat               []time.Duration
@@ -94,6 +102,20 @@ func (c *collector) cancel() {
 	c.mu.Unlock()
 }
 
+// bisect records one segment split of a failed batch; isolate records one
+// request that failed alone after bisection.
+func (c *collector) bisect() {
+	c.mu.Lock()
+	c.bisections++
+	c.mu.Unlock()
+}
+
+func (c *collector) isolate() {
+	c.mu.Lock()
+	c.isolated++
+	c.mu.Unlock()
+}
+
 // finishBatch records one executed batch: its size, whether its run failed,
 // and the end-to-end latency of every request it served.
 func (c *collector) finishBatch(size int, failed bool, lats []time.Duration) {
@@ -127,6 +149,8 @@ func (c *collector) snapshot() Stats {
 		RejectedClosed:    c.rejectedClosed,
 		Batches:           c.batches,
 		BatchErrors:       c.batchErrors,
+		Bisections:        c.bisections,
+		Isolated:          c.isolated,
 		BatchSizeHist:     append([]uint64(nil), c.hist...),
 		LatencySamples:    c.latCount,
 	}

@@ -1,11 +1,20 @@
 package target
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"tango/internal/kernel"
 	"tango/internal/networks"
+	"tango/internal/resilience"
 )
+
+// PointRun is the fault-injection site fired before each cell computation
+// (after the trace is resolved, before Target.Run).  Fire labels carry
+// "network/target/variantKey", so a chaos plan can fail one exact sweep
+// cell with only=.
+var PointRun = resilience.Register("target.run", "before each store cell computation (label network/target/variant)")
 
 // Trace is the extracted characterization input of one network: the built
 // layer graph plus the lowered kernel list (launch geometry and per-thread
@@ -112,32 +121,84 @@ func (s *Store) Trace(network string) (*Trace, error) {
 // target's canonical variant key, so variants that resolve to the same
 // effective configuration share one run.
 func (s *Store) Run(t Target, network string, v Variant) (*RunStats, error) {
+	return s.RunCtx(context.Background(), t, network, v)
+}
+
+// RunCtx is Run bounded by a context.  A context that is done before any
+// computation starts touches nothing — the store never caches on behalf
+// of a canceled caller.  When ctx carries a deadline, the cell is
+// computed on a separate goroutine and the caller waits only until ctx
+// expires: a hung or slow cell costs the caller its timeout, not the
+// whole sweep.  The abandoned computation keeps running to completion —
+// a finished result is cached for the retry (or the next sweep), a
+// failure is dropped as usual, and a genuinely wedged backend parks one
+// goroutine on the poisoned cell instead of wedging every future caller.
+// Concurrent callers of one cell still coalesce onto a single
+// computation; each waits under its own context.
+func (s *Store) RunCtx(ctx context.Context, t Target, network string, v Variant) (*RunStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := t.Name() + "\x00" + network + "\x00" + t.CacheKey(v)
 	s.mu.Lock()
 	if e, ok := s.runs[key]; ok {
 		s.stats.RunHits++
 		s.mu.Unlock()
-		<-e.done
-		return e.val, e.err
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	s.stats.RunMisses++
 	e := &entry[*RunStats]{done: make(chan struct{})}
 	s.runs[key] = e
 	s.mu.Unlock()
 
+	compute := func() {
+		e.val, e.err = s.computeCell(t, network, v)
+		if e.err != nil {
+			s.mu.Lock()
+			delete(s.runs, key)
+			s.mu.Unlock()
+		}
+		close(e.done)
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		// No budget to enforce: compute on the caller's goroutine (the
+		// pre-existing synchronous fast path, no goroutine per cell).
+		compute()
+		return e.val, e.err
+	}
+	go compute()
+	select {
+	case <-e.done:
+		return e.val, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// computeCell resolves the trace and runs the target, converting a panic
+// in the backend (or an injected one) into an error: cell computations
+// run on store callers' goroutines or detached singleflight goroutines,
+// where an escaped panic would kill the whole process instead of the one
+// cell.
+func (s *Store) computeCell(t Target, network string, v Variant) (rs *RunStats, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rs, err = nil, fmt.Errorf("target: %s on %s panicked: %v", network, t.Name(), p)
+		}
+	}()
 	tr, err := s.Trace(network)
-	if err == nil {
-		e.val, e.err = t.Run(tr, v)
-	} else {
-		e.err = err
+	if err != nil {
+		return nil, err
 	}
-	if e.err != nil {
-		s.mu.Lock()
-		delete(s.runs, key)
-		s.mu.Unlock()
+	if err := resilience.FireLabeled(PointRun, network+"/"+t.Name()+"/"+v.Key); err != nil {
+		return nil, err
 	}
-	close(e.done)
-	return e.val, e.err
+	return t.Run(tr, v)
 }
 
 // Stats returns a snapshot of the store's entry counts and cache traffic.

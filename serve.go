@@ -3,9 +3,11 @@ package tango
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"tango/internal/networks"
+	"tango/internal/resilience"
 	"tango/internal/serve"
 )
 
@@ -37,6 +39,19 @@ type ServerConfig struct {
 	// parallelism: the batch amortizes weight traffic, the workers split
 	// each batch's GEMM row panels.
 	Parallelism int
+	// RequestTimeout bounds each request's end-to-end time (queue wait +
+	// batch compute) with a context deadline; requests whose caller context
+	// carries a tighter deadline keep the tighter one.  Zero means no
+	// server-imposed deadline.
+	RequestTimeout time.Duration
+	// BreakerThreshold is the number of consecutive engine failures that
+	// trips a benchmark's circuit breaker into the open state (requests
+	// then fail fast with ErrDegraded until a cooldown probe succeeds).
+	// <1 selects the resilience default (5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// probe request test recovery.  <=0 selects the resilience default (2s).
+	BreakerCooldown time.Duration
 }
 
 // Server coalesces concurrent inference requests into batched engine runs.
@@ -49,15 +64,29 @@ type Server struct {
 	cfg    ServerConfig
 	models map[string]*serverModel
 	order  []string
+	// draining flips once Close begins; /healthz reports it so load
+	// balancers stop routing here while queued work finishes.
+	draining atomic.Bool
 }
 
 // serverModel is one served benchmark: the loaded workload plus its
-// request batcher (classify for CNNs, forecast for RNNs).
+// request batcher (classify for CNNs, forecast for RNNs), circuit breaker
+// and admission counters.
 type serverModel struct {
+	name     string
 	bench    *Benchmark
 	inputLen int
 	classify *serve.Batcher[[]float32, BatchClassification]
 	forecast *serve.Batcher[[]float64, float64]
+	// breaker trips after consecutive engine failures so a broken backend
+	// fails fast (ErrDegraded) instead of queueing doomed work.
+	breaker *resilience.Breaker
+	// inFlight counts admitted requests that have not yet resolved.
+	inFlight atomic.Int64
+	// shedLoad counts occupancy-based rejections; shedBreaker counts
+	// breaker-based ones.
+	shedLoad    atomic.Uint64
+	shedBreaker atomic.Uint64
 }
 
 // NewServer loads the named benchmarks and starts one dynamic-batching
@@ -89,7 +118,14 @@ func NewServer(benchmarks []string, cfg ServerConfig) (*Server, error) {
 			s.close()
 			return nil, err
 		}
-		m := &serverModel{bench: b}
+		m := &serverModel{
+			name:  name,
+			bench: b,
+			breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+			}),
+		}
 		switch b.inner.Kind() {
 		case networks.KindCNN:
 			m.inputLen = 1
@@ -241,7 +277,16 @@ func (s *Server) Classify(ctx context.Context, benchmark string, image []float32
 		return BatchClassification{}, fmt.Errorf("tango: %s: %w: image has %d elements, want %d (input shape %v)",
 			benchmark, ErrShape, len(image), m.inputLen, m.bench.inner.Network.InputShape)
 	}
-	return m.classify.Do(ctx, image)
+	if err := s.admit(ctx, m); err != nil {
+		return BatchClassification{}, err
+	}
+	ctx, cancel := resilience.WithBudget(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	m.inFlight.Add(1)
+	res, err := m.classify.Do(ctx, image)
+	m.inFlight.Add(-1)
+	m.recordOutcome(err)
+	return res, err
 }
 
 // Forecast submits one history of scalar observations to a served RNN
@@ -261,7 +306,16 @@ func (s *Server) Forecast(ctx context.Context, benchmark string, history []float
 	if len(history) == 0 {
 		return 0, fmt.Errorf("tango: %s: %w: empty history", benchmark, ErrShape)
 	}
-	return m.forecast.Do(ctx, history)
+	if err := s.admit(ctx, m); err != nil {
+		return 0, err
+	}
+	ctx, cancel := resilience.WithBudget(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	m.inFlight.Add(1)
+	pred, err := m.forecast.Do(ctx, history)
+	m.inFlight.Add(-1)
+	m.recordOutcome(err)
+	return pred, err
 }
 
 // Close stops accepting requests, serves everything already queued
@@ -270,6 +324,7 @@ func (s *Server) Forecast(ctx context.Context, benchmark string, history []float
 func (s *Server) Close() { s.close() }
 
 func (s *Server) close() {
+	s.draining.Store(true)
 	for _, name := range s.order {
 		m := s.models[name]
 		if m.classify != nil {
@@ -294,6 +349,12 @@ type BenchmarkServeStats struct {
 	RejectedClosed    uint64   `json:"rejected_closed"`
 	Batches           uint64   `json:"batches"`
 	BatchErrors       uint64   `json:"batch_errors"`
+	Bisections        uint64   `json:"bisections"`
+	Isolated          uint64   `json:"isolated"`
+	ShedLoad          uint64   `json:"shed_load"`
+	ShedBreaker       uint64   `json:"shed_breaker"`
+	InFlight          int64    `json:"in_flight"`
+	BreakerState      string   `json:"breaker_state"`
 	MeanBatchSize     float64  `json:"mean_batch_size"`
 	BatchSizeHist     []uint64 `json:"batch_size_hist"`
 	LatencyP50Micros  float64  `json:"latency_p50_us"`
@@ -307,6 +368,8 @@ type ServerStats struct {
 	Requests          uint64  `json:"requests"`
 	Completed         uint64  `json:"completed"`
 	RejectedQueueFull uint64  `json:"rejected_queue_full"`
+	Shed              uint64  `json:"shed"`
+	InFlight          int64   `json:"in_flight"`
 	Batches           uint64  `json:"batches"`
 	MeanBatchSize     float64 `json:"mean_batch_size"`
 
@@ -320,12 +383,9 @@ func (s *Server) Stats() ServerStats {
 	var batchedRequests uint64
 	for _, name := range s.order {
 		m := s.models[name]
-		var st serve.Stats
-		if m.classify != nil {
-			st = m.classify.Stats()
-		} else {
-			st = m.forecast.Stats()
-		}
+		st := m.batcherStats()
+		shedLoad, shedBreaker := m.shedLoad.Load(), m.shedBreaker.Load()
+		inFlight := m.inFlight.Load()
 		bs := BenchmarkServeStats{
 			Benchmark:         name,
 			Kind:              m.bench.Kind(),
@@ -336,6 +396,12 @@ func (s *Server) Stats() ServerStats {
 			RejectedClosed:    st.RejectedClosed,
 			Batches:           st.Batches,
 			BatchErrors:       st.BatchErrors,
+			Bisections:        st.Bisections,
+			Isolated:          st.Isolated,
+			ShedLoad:          shedLoad,
+			ShedBreaker:       shedBreaker,
+			InFlight:          inFlight,
+			BreakerState:      m.breaker.State().String(),
 			MeanBatchSize:     st.MeanBatchSize,
 			BatchSizeHist:     st.BatchSizeHist,
 			LatencyP50Micros:  float64(st.LatencyP50) / float64(time.Microsecond),
@@ -345,6 +411,8 @@ func (s *Server) Stats() ServerStats {
 		out.Requests += st.Submitted
 		out.Completed += st.Completed
 		out.RejectedQueueFull += st.RejectedQueueFull
+		out.Shed += shedLoad + shedBreaker
+		out.InFlight += inFlight
 		out.Batches += st.Batches
 		// Every completed request went through exactly one executed batch,
 		// so Completed is also the batched-request total.

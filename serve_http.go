@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // This file is the HTTP frontend of the serving subsystem (stdlib net/http
@@ -14,7 +15,7 @@ import (
 //
 //	POST /v1/classify  {"benchmark":"CifarNet","image":[...]}   -> {"class":..,"probabilities":[...]}
 //	POST /v1/forecast  {"benchmark":"LSTM","history":[...]}     -> {"prediction":..}
-//	GET  /healthz                                               -> {"status":"ok","benchmarks":[...]}
+//	GET  /healthz                                               -> HealthReport JSON
 //	GET  /metrics                                               -> ServerStats JSON
 //
 // Classify requests may pass {"seed":N} instead of an image and forecast
@@ -23,9 +24,20 @@ import (
 // client can recompute the exact input, and the response stays bit-identical
 // to a local Classify/Forecast of that sample).
 //
+// Inference requests may carry an X-Priority header ("low", "normal",
+// "high") classifying them for admission: under queue pressure the server
+// sheds low first, then normal; high is only rejected by a full queue.
+//
 // Error mapping: shape errors (wrapped ErrShape, including an empty body)
-// are 400, unknown benchmarks 404, queue-full backpressure 429, a draining
-// server 503, everything else 500.  Error bodies are {"error":"..."}.
+// are 400, unknown benchmarks 404, queue-full backpressure and shed load
+// 429 (with Retry-After), an open circuit breaker or draining server 503
+// (with Retry-After), everything else 500.  Error bodies are
+// {"error":"..."}.
+//
+// GET /healthz is tri-state: "healthy" and "degraded" both answer 200 —
+// a degraded server (breaker open, queues at pressure) is still serving
+// what it can and must not be killed for it — while "draining" answers
+// 503 so load balancers stop routing during shutdown.
 
 // maxRequestBody bounds request JSON.  Bodies are fully buffered before
 // decoding, so the bound is sized to the workload, not generously: the
@@ -112,7 +124,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.Classify(r.Context(), req.Benchmark, image)
+	ctx := WithPriority(r.Context(), ParsePriority(r.Header.Get("X-Priority")))
+	res, err := s.Classify(ctx, req.Benchmark, image)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -137,7 +150,8 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pred, err := s.Forecast(r.Context(), req.Benchmark, history)
+	ctx := WithPriority(r.Context(), ParsePriority(r.Header.Get("X-Priority")))
+	pred, err := s.Forecast(ctx, req.Benchmark, history)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -146,10 +160,12 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"benchmarks": s.Benchmarks(),
-	})
+	rep := s.Health()
+	status := http.StatusOK // healthy AND degraded: degraded is not dead
+	if rep.Status == HealthDraining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rep)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -166,7 +182,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps a serving error to its HTTP status and writes the
-// {"error":...} body.
+// {"error":...} body.  Backpressure rejections (429) and degraded/closed
+// rejections (503) carry a Retry-After hint so well-behaved clients back
+// off for roughly a breaker cooldown instead of hammering a loaded server.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var tooLarge *http.MaxBytesError
@@ -179,11 +197,17 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDegraded):
+		// Breaker open: fail fast, invite the client back after cooldown.
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrServerClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The client went away or timed out while queued.
 		status = http.StatusServiceUnavailable
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter.Seconds())))
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

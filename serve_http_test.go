@@ -223,7 +223,7 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
-	if health.Status != "ok" || len(health.Benchmarks) != 2 {
+	if health.Status != string(tango.HealthHealthy) || len(health.Benchmarks) != 2 {
 		t.Fatalf("healthz = %+v", health)
 	}
 

@@ -1,9 +1,11 @@
 package tango
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"tango/internal/device"
 	"tango/internal/gpusim"
@@ -12,6 +14,7 @@ import (
 	"tango/internal/power"
 	"tango/internal/profiler"
 	"tango/internal/report"
+	"tango/internal/resilience"
 	"tango/internal/sched"
 	"tango/internal/target"
 )
@@ -206,6 +209,23 @@ type SweepConfig struct {
 	// (including the zero value) runs serially.  The dataset is identical
 	// either way.
 	Parallelism int
+	// CellTimeout bounds each cell's computation; a cell that exceeds it
+	// fails with context.DeadlineExceeded (and is retried if CellRetries is
+	// set).  Zero means no per-cell bound.  An abandoned computation keeps
+	// running in the background and caches its complete result for the
+	// retry; partial results are never cached.
+	CellTimeout time.Duration
+	// CellRetries is how many times a failed cell is retried (with capped
+	// exponential backoff) before its failure is final.  Zero means one
+	// attempt, no retries.
+	CellRetries int
+	// Partial keeps the sweep going past failed cells: instead of aborting
+	// the whole sweep, a cell whose attempts are exhausted contributes a
+	// record with its identity columns filled, zero statistics and the
+	// failure message in the Err field.  Cancellation of the sweep's own
+	// context still aborts (it is the caller giving up, not a cell
+	// failing).
+	Partial bool
 }
 
 // sweepVariants expands the config's L1/scheduler dimensions into the variant
@@ -280,6 +300,13 @@ var sweepStore = target.Shared
 // with each other.  FPGA-class targets are configuration-insensitive and run
 // their default variant only.
 func Sweep(cfg SweepConfig) (*Dataset, error) {
+	return SweepContext(context.Background(), cfg)
+}
+
+// SweepContext is Sweep bounded by a context: cancellation stops
+// dispatching new cells and returns promptly with ctx's error.  Per-cell
+// timeouts, retries and partial datasets are configured on SweepConfig.
+func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 	nets := cfg.Networks
 	if len(nets) == 0 {
 		nets = networks.Names()
@@ -327,15 +354,38 @@ func Sweep(cfg SweepConfig) (*Dataset, error) {
 
 	store := sweepStore()
 	records := make([]report.Record, len(cells))
-	err = par.ForEach(cfg.Parallelism, len(cells), func(i int) error {
+	backoff := resilience.Backoff{Attempts: cfg.CellRetries + 1}
+	err = par.ForEachCtx(ctx, cfg.Parallelism, len(cells), func(i int) error {
 		c := cells[i]
-		rs, err := store.Run(c.t, c.n, c.v)
-		if err != nil {
-			return fmt.Errorf("tango: sweep %s on %s (%s): %w", c.n, c.t.Name(), c.v.Key, err)
-		}
 		key := c.v.Key
 		if c.t.Class() == device.ClassFPGA {
 			key = "default"
+		}
+		var rs *target.RunStats
+		runErr := resilience.Retry(ctx, backoff, func(ctx context.Context) error {
+			cellCtx, cancel := resilience.WithBudget(ctx, cfg.CellTimeout)
+			defer cancel()
+			var err error
+			rs, err = store.RunCtx(cellCtx, c.t, c.n, c.v)
+			return err
+		})
+		if runErr != nil {
+			// The caller giving up is not a cell failure: propagate it so
+			// the sweep aborts instead of recording a partial cell.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !cfg.Partial {
+				return fmt.Errorf("tango: sweep %s on %s (%s): %w", c.n, c.t.Name(), key, runErr)
+			}
+			records[i] = report.Record{
+				Network: c.n,
+				Target:  c.t.Name(),
+				Class:   c.t.Class().String(),
+				Variant: key,
+				Err:     runErr.Error(),
+			}
+			return nil
 		}
 		records[i] = report.Record{
 			Network:      rs.Network,

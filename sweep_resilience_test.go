@@ -1,0 +1,191 @@
+package tango
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tango/internal/par"
+	"tango/internal/resilience"
+	"tango/internal/target"
+)
+
+// coldSweepStore routes Sweep at one fresh store for the test's duration
+// and returns it, so cache state can be asserted without interference from
+// the process-wide shared store.
+func coldSweepStore(t *testing.T) *target.Store {
+	t.Helper()
+	st := target.NewStore()
+	prev := sweepStore
+	sweepStore = func() *target.Store { return st }
+	t.Cleanup(func() { sweepStore = prev })
+	return st
+}
+
+// TestSweepContextPreCanceled checks a canceled context aborts the sweep
+// before any cell is computed: prompt return with ctx's error, nothing
+// cached, no goroutines left behind.
+func TestSweepContextPreCanceled(t *testing.T) {
+	defer par.CheckLeaks()(t)
+	st := coldSweepStore(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds, err := SweepContext(ctx, SweepConfig{
+		Networks:     []string{"GRU", "CifarNet"},
+		FastSampling: true,
+		Parallelism:  4,
+	})
+	if ds != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("SweepContext(canceled) = %v, %v; want nil, context.Canceled", ds, err)
+	}
+	if stats := st.Stats(); stats.Traces != 0 || stats.Runs != 0 {
+		t.Fatalf("canceled sweep touched the store: %+v", stats)
+	}
+}
+
+// TestSweepContextCancelMidSweep checks cancellation mid-sweep returns
+// promptly with ctx's error (never a partial dataset) and leaks no worker
+// goroutines.
+func TestSweepContextCancelMidSweep(t *testing.T) {
+	defer par.CheckLeaks()(t)
+	coldSweepStore(t)
+
+	// Stall every cell long enough that cancellation lands mid-flight.
+	if err := resilience.Enable("target.run=latency:1:300ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.Disable()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	ds, err := SweepContext(ctx, SweepConfig{
+		Networks:     []string{"GRU", "CifarNet"},
+		Targets:      []string{"gp102", "tx1", "pynq"},
+		FastSampling: true,
+		Parallelism:  2,
+	})
+	if ds != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("SweepContext(mid-cancel) = %v, %v; want nil, context.Canceled", ds, err)
+	}
+	// Prompt return: in-flight cells finish their stall (~300ms), but the
+	// remaining ~10 cells must not be dispatched serially afterward.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+}
+
+// TestSweepPartialDataset checks a sweep with one permanently failing cell
+// still yields a dataset covering every other cell: the failing cell's
+// record carries the error in-band, every other record is complete and
+// the error column round-trips through the CSV rendering.
+func TestSweepPartialDataset(t *testing.T) {
+	coldSweepStore(t)
+
+	// Permanently fail exactly the CifarNet cells via the labeled store
+	// injection point (labels are "network/target/variant").
+	if err := resilience.Enable("target.run=error:1:only=CifarNet/", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.Disable()
+
+	cfg := SweepConfig{
+		Networks:     []string{"GRU", "CifarNet"},
+		Targets:      []string{"gp102", "pynq"},
+		FastSampling: true,
+		CellRetries:  1,
+		Partial:      true,
+	}
+	ds, err := SweepContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 4 {
+		t.Fatalf("partial sweep has %d records, want 4", ds.Len())
+	}
+	var failed, ok int
+	for _, r := range ds.Records {
+		switch {
+		case r.Failed():
+			failed++
+			if r.Network != "CifarNet" {
+				t.Errorf("unexpected failed cell: %+v", r)
+			}
+			if !strings.Contains(r.Err, resilience.ErrInjected.Error()) {
+				t.Errorf("error cell does not carry the injected fault: %q", r.Err)
+			}
+			if r.Seconds != 0 || r.Cycles != 0 {
+				t.Errorf("failed cell has nonzero statistics: %+v", r)
+			}
+		default:
+			ok++
+			if r.Network != "GRU" || r.Seconds <= 0 {
+				t.Errorf("surviving cell looks wrong: %+v", r)
+			}
+		}
+	}
+	if failed != 2 || ok != 2 {
+		t.Fatalf("partial sweep split %d failed / %d ok, want 2 / 2", failed, ok)
+	}
+
+	// The error column renders last, so existing column consumers see an
+	// unchanged prefix and the error text stays greppable.
+	csv := ds.CSV()
+	if !strings.HasPrefix(csv, "Network,") || !strings.Contains(csv, "Error") {
+		t.Fatalf("CSV header lost the error column: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if !strings.Contains(csv, "injected fault") {
+		t.Fatalf("CSV lost the per-cell error text:\n%s", csv)
+	}
+
+	// Without Partial, the same failure aborts the whole sweep.
+	cfg.Partial = false
+	if _, err := SweepContext(context.Background(), cfg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("strict sweep error = %v, want wrapped ErrInjected", err)
+	}
+}
+
+// TestSweepCellTimeoutAndRetry checks a cell that stalls past CellTimeout
+// fails with DeadlineExceeded, and that CellRetries turns a transient
+// failure into a successful cell.
+func TestSweepCellTimeoutAndRetry(t *testing.T) {
+	coldSweepStore(t)
+
+	// A 400ms stall against a 100ms budget: the first attempt times out
+	// and its abandoned computation keeps running; retries join the
+	// singleflight entry and succeed once it completes and caches.
+	if err := resilience.Enable("target.run=latency:1:400ms", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.Disable()
+
+	cfg := SweepConfig{
+		Networks:     []string{"GRU"},
+		Targets:      []string{"pynq"},
+		FastSampling: true,
+		CellTimeout:  100 * time.Millisecond,
+	}
+	// No retries: the stalled cell times out and the strict sweep fails.
+	_, err := SweepContext(context.Background(), cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout sweep error = %v, want wrapped DeadlineExceeded", err)
+	}
+
+	// With retries, the retry waits out the backoff while the abandoned
+	// first attempt finishes and caches; a later attempt then hits the
+	// cache within its own 100ms budget.
+	cfg.CellRetries = 5
+	ds, err := SweepContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1 || ds.Records[0].Failed() || ds.Records[0].Seconds <= 0 {
+		t.Fatalf("retried sweep = %+v, want one complete record", ds.Records)
+	}
+}
