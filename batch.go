@@ -11,7 +11,10 @@ import (
 // ForecastBatch push N samples through the native compute engine in one
 // pass, folding the batch into the engine's GEMM dimensions so weight
 // traffic and staging work are amortized across the batch.  Batched results
-// are bit-identical to running each sample through Classify / Forecast.
+// are bit-identical to running each sample through Classify / Forecast on
+// the default numerics tier; under WithFastMath / WithInt8 the contract is
+// top-1 class agreement plus a small relative-error bound instead (batched
+// and single-sample fast runs tile columns differently).
 
 // BatchClassification is the result of one sample of a batched CNN run.
 // Unlike Classification, it omits the per-layer activation map: batched runs
@@ -30,8 +33,10 @@ type BatchClassification struct {
 // compute the whole batch per weight pass, which is what makes sustained
 // throughput scale with batch size.
 //
-// Results are bit-identical to calling Classify on each image, for any
-// batch size and any WithParallelism worker count.  An empty batch or
+// On the default numerics tier, results are bit-identical to calling
+// Classify on each image, for any batch size and any WithParallelism worker
+// count; under WithFastMath / WithInt8 the batch preserves each sample's
+// top-1 class within the fast tier's tolerance instead.  An empty batch or
 // images of the wrong length return an error.
 func (b *Benchmark) ClassifyBatch(images [][]float32, opts ...SimOption) ([]BatchClassification, error) {
 	if err := b.ensureKind(networks.KindCNN, "ClassifyBatch"); err != nil {
@@ -55,11 +60,11 @@ func (b *Benchmark) ClassifyBatch(images [][]float32, opts ...SimOption) ([]Batc
 		copy(data[i*want:(i+1)*want], img)
 	}
 
-	workers, err := nativeWorkers(opts)
+	workers, mode, err := nativeSettings(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := b.inner.AcquireScratch(workers)
+	s := b.inner.AcquireScratchNumerics(workers, mode)
 	defer b.inner.ReleaseScratch(s)
 	res, err := b.inner.RunBatchScratch(batch, s)
 	if err != nil {
@@ -96,11 +101,11 @@ func (b *Benchmark) ClassifySampleBatch(seed uint64, n int, opts ...SimOption) (
 	if err != nil {
 		return nil, err
 	}
-	workers, err := nativeWorkers(opts)
+	workers, mode, err := nativeSettings(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := b.inner.AcquireScratch(workers)
+	s := b.inner.AcquireScratchNumerics(workers, mode)
 	defer b.inner.ReleaseScratch(s)
 	res, err := b.inner.RunBatchScratch(batch, s)
 	if err != nil {
@@ -147,11 +152,11 @@ func (b *Benchmark) ForecastBatch(histories [][]float64, opts ...SimOption) ([]f
 		}
 	}
 
-	workers, err := nativeWorkers(opts)
+	workers, mode, err := nativeSettings(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := b.inner.AcquireScratch(workers)
+	s := b.inner.AcquireScratchNumerics(workers, mode)
 	defer b.inner.ReleaseScratch(s)
 	res, err := b.inner.RunSequenceBatchScratch(seq, s)
 	if err != nil {

@@ -1,7 +1,7 @@
 package tango_test
 
 import (
-	"math"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -42,12 +42,8 @@ func TestClassifyBatchMatchesSingle(t *testing.T) {
 			if g.Class != singles[i].Class {
 				t.Fatalf("workers=%d sample %d: class %d, want %d", workers, i, g.Class, singles[i].Class)
 			}
-			for j, p := range g.Probabilities {
-				if math.Float32bits(p) != math.Float32bits(singles[i].Probabilities[j]) {
-					t.Fatalf("workers=%d sample %d prob %d: %x, want %x",
-						workers, i, j, math.Float32bits(p), math.Float32bits(singles[i].Probabilities[j]))
-				}
-			}
+			sameProbs(t, fmt.Sprintf("workers=%d sample %d", workers, i),
+				g.Probabilities, singles[i].Probabilities)
 		}
 	}
 }
@@ -79,9 +75,7 @@ func TestForecastBatchMatchesSingle(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("%s history %d: batched %v, single %v", name, i, got[i], want[i])
-			}
+			sameForecast(t, fmt.Sprintf("%s history %d", name, i), got[i], want[i])
 		}
 	}
 }
@@ -119,11 +113,7 @@ func TestBatchAPIEdgeCases(t *testing.T) {
 		if batch[0].Class != single.Class {
 			t.Fatalf("class %d, want %d", batch[0].Class, single.Class)
 		}
-		for j := range batch[0].Probabilities {
-			if math.Float32bits(batch[0].Probabilities[j]) != math.Float32bits(single.Probabilities[j]) {
-				t.Fatalf("probability %d differs from single-sample path", j)
-			}
-		}
+		sameProbs(t, "batch of one", batch[0].Probabilities, single.Probabilities)
 		fSingle, err := rnn.Forecast(hist)
 		if err != nil {
 			t.Fatal(err)
@@ -132,9 +122,7 @@ func TestBatchAPIEdgeCases(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if fBatch[0] != fSingle {
-			t.Fatalf("forecast %v, want %v", fBatch[0], fSingle)
-		}
+		sameForecast(t, "forecast batch of one", fBatch[0], fSingle)
 	})
 
 	errCases := []struct {
@@ -208,10 +196,6 @@ func TestClassifySampleBatch(t *testing.T) {
 		if got[i].Class != single.Class {
 			t.Fatalf("sample %d: class %d, want %d", i, got[i].Class, single.Class)
 		}
-		for j := range got[i].Probabilities {
-			if math.Float32bits(got[i].Probabilities[j]) != math.Float32bits(single.Probabilities[j]) {
-				t.Fatalf("sample %d probability %d differs", i, j)
-			}
-		}
+		sameProbs(t, fmt.Sprintf("sample %d", i), got[i].Probabilities, single.Probabilities)
 	}
 }

@@ -1,0 +1,118 @@
+// Fast-numerics tier benchmarks: single-sample and batched AlexNet
+// classification under WithFastMath / WithInt8, tracked by the CI
+// bench-regression job against the committed baseline (BENCH_pr7.json).
+package tango_test
+
+import (
+	"testing"
+	"time"
+
+	"tango"
+)
+
+// benchmarkClassifyOpts measures single-sample classification under the
+// given inference options and reports throughput in images/sec.
+func benchmarkClassifyOpts(b *testing.B, name string, opts ...tango.SimOption) {
+	bm, err := tango.LoadBenchmark(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, _, err := bm.SampleImage(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm outside the timed region: the first fast-tier run packs the
+	// weight panels (a one-time per-plan cost).
+	if _, err := bm.Classify(img, opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.Classify(img, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+func BenchmarkClassifyAlexNetFastMath(b *testing.B) {
+	benchmarkClassifyOpts(b, "AlexNet", tango.WithFastMath())
+}
+
+func BenchmarkClassifyAlexNetInt8(b *testing.B) {
+	benchmarkClassifyOpts(b, "AlexNet", tango.WithInt8())
+}
+
+// BenchmarkClassifyAlexNetBatch8FastMath is the fast-tier counterpart of
+// BenchmarkClassifyAlexNetBatch8.
+func BenchmarkClassifyAlexNetBatch8FastMath(b *testing.B) {
+	bm, err := tango.LoadBenchmark("AlexNet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 8
+	images := make([][]float32, n)
+	for i := range images {
+		img, _, err := bm.SampleImage(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		images[i] = img
+	}
+	if _, err := bm.ClassifyBatch(images, tango.WithFastMath()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.ClassifyBatch(images, tango.WithFastMath()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+// TestFastMathSpeedupAlexNet is the fast tier's headline acceptance check:
+// single-sample AlexNet classification with WithFastMath must sustain at
+// least 2x the images/sec of the bit-exact reference path on the same
+// machine.  Skipped under -short (it times full AlexNet runs).
+func TestFastMathSpeedupAlexNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	bm, err := tango.LoadBenchmark("AlexNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := bm.SampleImage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeRuns := func(opts ...tango.SimOption) time.Duration {
+		// Warm once (plan resolution, weight packing, arena growth).
+		if _, err := bm.Classify(img, opts...); err != nil {
+			t.Fatal(err)
+		}
+		const runs = 3
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			if _, err := bm.Classify(img, opts...); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	ref := timeRuns(tango.WithReferenceNumerics())
+	fast := timeRuns(tango.WithFastMath())
+	speedup := float64(ref) / float64(fast)
+	t.Logf("AlexNet: reference %v, fastmath %v (%.2fx)", ref, fast, speedup)
+	if speedup < 2 {
+		t.Fatalf("fast-math speedup %.2fx below the required 2x (reference %v, fast %v)",
+			speedup, ref, fast)
+	}
+}

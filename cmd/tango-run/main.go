@@ -31,6 +31,8 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "worker goroutines for native inference or kernel simulation (0 = one per CPU)")
 		batch     = flag.Int("batch", 1, "native inference batch size: run N samples through the engine in one batched pass")
 		fast      = flag.Bool("fast", false, "use coarse simulation sampling")
+		fastmath  = flag.Bool("fastmath", false, "native inference: fast-numerics tier (packed weights, FMA/AVX-512 kernels; top-1 preserved, not bit-exact)")
+		int8      = flag.Bool("int8", false, "native inference: int8 quantized tier (implies the fast tier's accuracy contract)")
 		seed      = flag.Uint64("seed", 1, "seed for the synthetic sample input")
 		verbose   = flag.Bool("v", false, "print per-layer detail")
 	)
@@ -59,20 +61,39 @@ func main() {
 		if *batch > 1 {
 			fatal(fmt.Errorf("-batch applies to native inference only; drop -simulate to run a batched pass"))
 		}
+		if *fastmath || *int8 {
+			fatal(fmt.Errorf("-fastmath/-int8 apply to native inference only; the simulator models reference numerics"))
+		}
 		runSimulated(b, *deviceStr, *l1kb, *scheduler, *parallel, *fast, *verbose)
 		return
 	}
+	numOpts, err := numericsOpts(*fastmath, *int8)
+	if err != nil {
+		fatal(err)
+	}
 	if *batch > 1 {
-		runNativeBatch(b, *seed, *batch, *parallel)
+		runNativeBatch(b, *seed, *batch, *parallel, numOpts)
 		return
 	}
-	runNative(b, *seed, *parallel, *verbose)
+	runNative(b, *seed, *parallel, *verbose, numOpts)
+}
+
+// numericsOpts maps the -fastmath / -int8 flags to inference options.
+func numericsOpts(fastmath, int8 bool) ([]tango.SimOption, error) {
+	switch {
+	case fastmath && int8:
+		return nil, fmt.Errorf("-fastmath and -int8 are mutually exclusive")
+	case int8:
+		return []tango.SimOption{tango.WithInt8()}, nil
+	case fastmath:
+		return []tango.SimOption{tango.WithFastMath()}, nil
+	}
+	return nil, nil
 }
 
 // runNativeBatch pushes a batch of sample inputs through the engine in one
 // batched pass and reports per-sample results plus sustained throughput.
-func runNativeBatch(b *tango.Benchmark, seed uint64, batch, parallel int) {
-	var opts []tango.SimOption
+func runNativeBatch(b *tango.Benchmark, seed uint64, batch, parallel int, opts []tango.SimOption) {
 	if parallel != 1 {
 		opts = append(opts, tango.WithParallelism(parallel))
 	}
@@ -122,8 +143,7 @@ func runNativeBatch(b *tango.Benchmark, seed uint64, batch, parallel int) {
 	}
 }
 
-func runNative(b *tango.Benchmark, seed uint64, parallel int, verbose bool) {
-	var opts []tango.SimOption
+func runNative(b *tango.Benchmark, seed uint64, parallel int, verbose bool, opts []tango.SimOption) {
 	if parallel != 1 {
 		opts = append(opts, tango.WithParallelism(parallel))
 	}

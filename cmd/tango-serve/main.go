@@ -15,8 +15,10 @@
 // Concurrent requests to the same benchmark are coalesced into batched
 // engine runs (up to -max-batch per batch, waiting at most -max-delay-us for
 // a batch to fill); responses are bit-identical to single-sample Classify /
-// Forecast.  A full queue (-queue-depth) rejects with HTTP 429 instead of
-// queuing unboundedly.
+// Forecast on the default numerics tier.  -fastmath / -int8 serve the
+// fast-numerics tiers instead: top-1 classes are preserved but outputs agree
+// only within a tolerance.  A full queue (-queue-depth) rejects with HTTP
+// 429 instead of queuing unboundedly.
 //
 // Chaos testing: -faults/-fault-seed (or the TANGO_FAULTS/TANGO_FAULT_SEED
 // environment variables) enable the deterministic fault-injection plan, and
@@ -100,6 +102,8 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline (queue wait + compute); 0 = none")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. \"serve.batch.run=error:0.05\" (overrides "+resilience.EnvSpec+")")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection plan")
+	fastmath := flag.Bool("fastmath", false, "serve with the fast-numerics tier (packed weights, FMA/AVX-512 kernels; top-1 preserved, not bit-exact)")
+	int8 := flag.Bool("int8", false, "serve with the int8 quantized tier")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -124,6 +128,15 @@ func main() {
 	if len(names) == 0 {
 		fail("-benchmarks must name at least one benchmark")
 	}
+	numerics := ""
+	switch {
+	case *fastmath && *int8:
+		fail("-fastmath and -int8 are mutually exclusive")
+	case *fastmath:
+		numerics = "fast"
+	case *int8:
+		numerics = "int8"
+	}
 
 	log.Printf("loading %s ...", strings.Join(names, ", "))
 	srv, err := tango.NewServer(names, tango.ServerConfig{
@@ -132,6 +145,7 @@ func main() {
 		QueueDepth:     *queueDepth,
 		Parallelism:    *parallel,
 		RequestTimeout: *requestTimeout,
+		Numerics:       numerics,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -151,8 +165,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("serving %s on %s (max-batch %d, max-delay %dus, queue-depth %d)",
-		strings.Join(names, ", "), ln.Addr(), *maxBatch, *maxDelayUS, *queueDepth)
+	tier := numerics
+	if tier == "" {
+		tier = "reference"
+	}
+	log.Printf("serving %s on %s (max-batch %d, max-delay %dus, queue-depth %d, numerics %s)",
+		strings.Join(names, ", "), ln.Addr(), *maxBatch, *maxDelayUS, *queueDepth, tier)
 
 	select {
 	case err := <-errCh:

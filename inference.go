@@ -2,8 +2,10 @@ package tango
 
 import (
 	"fmt"
+	"os"
 
 	"tango/internal/networks"
+	"tango/internal/nn"
 	"tango/internal/tensor"
 )
 
@@ -18,21 +20,32 @@ type Classification struct {
 	LayerActivations map[string]int
 }
 
-// nativeWorkers extracts the worker count for the native compute engine from
-// inference options.  Native inference reuses the WithParallelism knob; the
-// remaining options configure the simulator and have no effect on native
-// runs.
-func nativeWorkers(opts []SimOption) (int, error) {
+// nativeSettings extracts the worker count and numerics tier for the native
+// compute engine from inference options.  Native inference reuses the
+// WithParallelism knob and honors WithFastMath / WithInt8 /
+// WithReferenceNumerics; the remaining options configure the simulator and
+// have no effect on native runs.  When no numerics option is passed, the
+// TANGO_NUMERICS environment variable ("reference", "fast", "int8") selects
+// the default tier.
+func nativeSettings(opts []SimOption) (int, nn.Numerics, error) {
 	var settings simSettings
 	for _, opt := range opts {
 		if err := opt(&settings); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-	if settings.parallelism < 1 {
-		return 1, nil
+	workers := settings.parallelism
+	if workers < 1 {
+		workers = 1
 	}
-	return settings.parallelism, nil
+	mode := settings.numerics
+	if !settings.numericsSet {
+		var err error
+		if mode, err = nn.ParseNumerics(os.Getenv("TANGO_NUMERICS")); err != nil {
+			return 0, 0, fmt.Errorf("tango: TANGO_NUMERICS: %w", err)
+		}
+	}
+	return workers, mode, nil
 }
 
 // Classify runs a CNN benchmark natively on a CHW image supplied as a flat
@@ -40,8 +53,10 @@ func nativeWorkers(opts []SimOption) (int, error) {
 //
 // The run executes on the native compute engine (im2col + blocked GEMM with
 // pooled scratch arenas).  WithParallelism selects the engine's worker
-// count; results are bit-identical for any worker count.  Other simulation
-// options are accepted but have no effect on native runs.
+// count; results are bit-identical for any worker count.  WithFastMath and
+// WithInt8 opt into the fast-numerics tiers, which trade the bit-exactness
+// contract for throughput (top-1 class is preserved; see those options).
+// Other simulation options are accepted but have no effect on native runs.
 func (b *Benchmark) Classify(image []float32, opts ...SimOption) (*Classification, error) {
 	if err := b.ensureKind(networks.KindCNN, "Classify"); err != nil {
 		return nil, err
@@ -70,11 +85,11 @@ func (b *Benchmark) ClassifySample(seed uint64, opts ...SimOption) (*Classificat
 // classifyTensor runs the engine on a pooled scratch and copies the result
 // out before the scratch (whose arena the result aliases) is released.
 func (b *Benchmark) classifyTensor(in *tensor.Tensor, opts []SimOption) (*Classification, error) {
-	workers, err := nativeWorkers(opts)
+	workers, mode, err := nativeSettings(opts)
 	if err != nil {
 		return nil, err
 	}
-	s := b.inner.AcquireScratch(workers)
+	s := b.inner.AcquireScratchNumerics(workers, mode)
 	defer b.inner.ReleaseScratch(s)
 	res, err := b.inner.RunInferenceScratch(in, s)
 	if err != nil {
@@ -135,11 +150,11 @@ func (b *Benchmark) ForecastSample(seed uint64, opts ...SimOption) (float64, err
 // forecastSequence runs the engine on a pooled scratch and extracts the
 // prediction before the scratch is released.
 func (b *Benchmark) forecastSequence(seq []*tensor.Tensor, opts []SimOption) (float64, error) {
-	workers, err := nativeWorkers(opts)
+	workers, mode, err := nativeSettings(opts)
 	if err != nil {
 		return 0, err
 	}
-	s := b.inner.AcquireScratch(workers)
+	s := b.inner.AcquireScratchNumerics(workers, mode)
 	defer b.inner.ReleaseScratch(s)
 	res, err := b.inner.RunSequenceScratch(seq, s)
 	if err != nil {

@@ -164,13 +164,34 @@ func (b *Benchmark) Plan() (*networks.Plan, error) {
 // the run's Result has been consumed: results produced with a scratch alias
 // its arena and are overwritten by the next run that reuses it.
 func (b *Benchmark) AcquireScratch(workers int) *nn.Scratch {
+	return b.AcquireScratchNumerics(workers, nn.NumericsReference)
+}
+
+// AcquireScratchNumerics is AcquireScratch with an explicit numerics tier;
+// every configurable scratch knob is reset so a pooled scratch never leaks a
+// previous caller's mode.
+func (b *Benchmark) AcquireScratchNumerics(workers int, mode nn.Numerics) *nn.Scratch {
 	s, ok := b.scratch.Get().(*nn.Scratch)
 	if !ok {
 		s = nn.NewScratch()
 	}
 	s.SetWorkers(workers)
 	s.SetDirect(false)
+	s.SetNumerics(mode)
 	return s
+}
+
+// PrepareNumerics eagerly builds the plan and packs its weights for the
+// given numerics tier, so the first fast-tier inference doesn't pay the
+// one-time packing cost.  Packing is idempotent and otherwise happens
+// lazily on the first run that uses the tier.
+func (b *Benchmark) PrepareNumerics(mode nn.Numerics) error {
+	p, err := b.Plan()
+	if err != nil {
+		return err
+	}
+	p.Pack(mode)
+	return nil
 }
 
 // ReleaseScratch returns a scratch to the benchmark's pool.

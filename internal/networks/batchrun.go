@@ -47,10 +47,11 @@ func (p *Plan) RunBatch(input *tensor.Tensor, s *nn.Scratch) (*BatchResult, erro
 	nImg := input.Dim(0)
 
 	s.BeginRun()
+	pks := p.packsFor(s.Numerics())
 	outs := s.LayerOutputs(len(n.Layers))
 	for li := range p.layers {
 		pl := &p.layers[li]
-		out, err := p.runLayerBatch(s, li, pl, input, outs)
+		out, err := p.runLayerBatch(s, li, pl, input, outs, pks)
 		if err != nil {
 			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, pl.l.Name, err)
 		}
@@ -64,16 +65,16 @@ func (p *Plan) RunBatch(input *tensor.Tensor, s *nn.Scratch) (*BatchResult, erro
 }
 
 // runLayerBatch executes a single non-recurrent layer on the batched engine.
-func (p *Plan) runLayerBatch(s *nn.Scratch, li int, pl *planLayer, input *tensor.Tensor, outs []*tensor.Tensor) (*tensor.Tensor, error) {
+func (p *Plan) runLayerBatch(s *nn.Scratch, li int, pl *planLayer, input *tensor.Tensor, outs []*tensor.Tensor, pks *planPacks) (*tensor.Tensor, error) {
 	l := pl.l
 	in0 := p.resolveInput(li, 0, input, outs)
 	switch l.Type {
 	case LayerConv:
-		return s.Conv2DBatch(in0, pl.w, pl.b, l.Conv)
+		return s.Conv2DBatchPacked(in0, pl.w, pl.b, l.Conv, pks.convAt(li))
 	case LayerPool:
 		return s.Pool2DBatch(in0, l.Pool)
 	case LayerFC:
-		return s.FullyConnectedBatch(in0, pl.w, pl.b, l.FCOut)
+		return s.FullyConnectedBatchPacked(in0, pl.w, pl.b, l.FCOut, pks.fcAt(li))
 	case LayerLRN:
 		return s.LRNBatch(in0, l.LRN)
 	case LayerBatchNorm:
@@ -124,6 +125,7 @@ func (p *Plan) RunSequenceBatch(seq *tensor.Tensor, s *nn.Scratch) (*BatchResult
 	steps, nSeq := seq.Dim(0), seq.Dim(1)
 
 	s.BeginRun()
+	pks := p.packsFor(s.Numerics())
 	outs := s.LayerOutputs(len(n.Layers))
 	var current *tensor.Tensor
 	for li := range p.layers {
@@ -132,15 +134,15 @@ func (p *Plan) RunSequenceBatch(seq *tensor.Tensor, s *nn.Scratch) (*BatchResult
 		var err error
 		switch l.Type {
 		case LayerLSTM:
-			current, err = s.LSTMSeqBatch(pl.lstm, seq.Data(), nSeq, steps)
+			current, err = s.LSTMSeqBatchPacked(pl.lstm, pks.rnnAt(li), seq.Data(), nSeq, steps)
 		case LayerGRU:
-			current, err = s.GRUSeqBatch(pl.gru, seq.Data(), nSeq, steps)
+			current, err = s.GRUSeqBatchPacked(pl.gru, pks.rnnAt(li), seq.Data(), nSeq, steps)
 		case LayerFC:
 			if current == nil {
 				err = fmt.Errorf("FC before recurrent layer")
 				break
 			}
-			current, err = s.FullyConnectedBatch(current, pl.w, pl.b, l.FCOut)
+			current, err = s.FullyConnectedBatchPacked(current, pl.w, pl.b, l.FCOut, pks.fcAt(li))
 		default:
 			err = fmt.Errorf("unsupported layer type %v in RNN graph", l.Type)
 		}

@@ -1,0 +1,225 @@
+package networks_test
+
+import (
+	"math"
+	"testing"
+
+	"tango/internal/networks"
+	"tango/internal/nn"
+	"tango/internal/tensor"
+)
+
+// Golden accuracy tests of the fast-numerics tiers: every network must
+// produce the same top-1 class (CNNs) and an output within a relative-error
+// bound of the bit-exact reference path.
+
+// relErr returns max_i |got_i - want_i| / max_i |want_i|.
+func relErr(got, want []float32) float64 {
+	var maxAbs, maxDiff float64
+	for i := range want {
+		if a := math.Abs(float64(want[i])); a > maxAbs {
+			maxAbs = a
+		}
+		if d := math.Abs(float64(got[i]) - float64(want[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxAbs == 0 {
+		return maxDiff
+	}
+	return maxDiff / maxAbs
+}
+
+// maxULPDist returns the largest ULP distance between corresponding
+// elements, treating float32 bit patterns as lexicographically ordered
+// integers (the standard monotone mapping).
+func maxULPDist(got, want []float32) uint32 {
+	toOrd := func(f float32) int64 {
+		b := int64(int32(math.Float32bits(f)))
+		if b < 0 {
+			b = math.MinInt32 - b
+		}
+		return b
+	}
+	var worst uint32
+	for i := range want {
+		d := toOrd(got[i]) - toOrd(want[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > math.MaxUint32 {
+			d = math.MaxUint32
+		}
+		if uint32(d) > worst {
+			worst = uint32(d)
+		}
+	}
+	return worst
+}
+
+func numericsScratch(mode nn.Numerics) *nn.Scratch {
+	s := nn.NewScratch()
+	s.SetNumerics(mode)
+	return s
+}
+
+// goldenPair holds one tier-comparison run: the copied reference output and
+// the fast-tier result (whose Output aliases its scratch arena).
+type goldenPair struct {
+	refOut   []float32
+	refClass int
+	gotOut   []float32
+	gotClass int
+}
+
+// runGoldenPair runs a network on the reference tier and under mode.
+func runGoldenPair(t *testing.T, name string, mode nn.Numerics) goldenPair {
+	t.Helper()
+	p := buildPlan(t, name)
+	run := func(s *nn.Scratch) *networks.Result {
+		t.Helper()
+		var res *networks.Result
+		var err error
+		if p.Network().Kind == networks.KindRNN {
+			res, err = p.RunSequence(rnnSequence(p, 11), s)
+		} else {
+			res, err = p.Run(cnnInput(p, 11), s)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(nn.NewScratch())
+	refOut := append([]float32(nil), ref.Output.Data()...)
+	got := run(numericsScratch(mode))
+	return goldenPair{
+		refOut: refOut, refClass: ref.PredictedClass,
+		gotOut: got.Output.Data(), gotClass: got.PredictedClass,
+	}
+}
+
+func TestFastMathGoldenAllNetworks(t *testing.T) {
+	for _, name := range networks.Names() {
+		if testing.Short() && (name == "ResNet" || name == "VGGNet") {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			g := runGoldenPair(t, name, nn.NumericsFast)
+			if g.refClass != g.gotClass {
+				t.Fatalf("top-1 disagreement: reference %d, fast %d", g.refClass, g.gotClass)
+			}
+			if re := relErr(g.gotOut, g.refOut); re > 1e-3 {
+				t.Fatalf("fast output relative error %.3g exceeds 1e-3", re)
+			}
+			t.Logf("relErr=%.3g maxULP=%d", relErr(g.gotOut, g.refOut), maxULPDist(g.gotOut, g.refOut))
+		})
+	}
+}
+
+func TestInt8GoldenAllNetworks(t *testing.T) {
+	for _, name := range networks.Names() {
+		if testing.Short() && (name == "ResNet" || name == "VGGNet") {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			g := runGoldenPair(t, name, nn.NumericsInt8)
+			if g.refClass != g.gotClass {
+				t.Fatalf("top-1 disagreement: reference %d, int8 %d", g.refClass, g.gotClass)
+			}
+			re := relErr(g.gotOut, g.refOut)
+			if re > 0.25 {
+				t.Fatalf("int8 output relative error %.3g exceeds 0.25", re)
+			}
+			t.Logf("relErr=%.3g", re)
+		})
+	}
+}
+
+// TestFastMathBatchTop1 checks that the batched fast path agrees with the
+// bit-exact reference on every sample's top-1 class (batched and
+// single-sample fast outputs may differ in low bits; the accuracy contract
+// is tolerance plus class agreement).
+func TestFastMathBatchTop1(t *testing.T) {
+	for _, name := range []string{"CifarNet", "SqueezeNet"} {
+		t.Run(name, func(t *testing.T) {
+			p := buildPlan(t, name)
+			const nImg = 3
+			shape := append([]int{nImg}, p.Network().InputShape...)
+			batch := tensor.New(shape...)
+			batch.FillUniform(tensor.NewRNG(23), 0, 1)
+			refBatch, err := p.RunBatch(batch, nn.NewScratch())
+			if err != nil {
+				t.Fatal(err)
+			}
+			refPreds := append([]int(nil), refBatch.PredictedClasses...)
+			for _, mode := range []nn.Numerics{nn.NumericsFast, nn.NumericsInt8} {
+				got, err := p.RunBatch(batch, numericsScratch(mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, want := range refPreds {
+					if got.PredictedClasses[i] != want {
+						t.Fatalf("%v: sample %d top-1 %d, reference %d",
+							mode, i, got.PredictedClasses[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastMathSteadyStateAllocs proves the packed-weight fast tier reaches a
+// zero-alloc steady state: after the first run packs the weight panels and
+// grows the scratch arena, repeat inference must stay within 2 allocations
+// per run (the Result object itself).  The CI fastmath job runs this guard.
+func TestFastMathSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []nn.Numerics{nn.NumericsFast, nn.NumericsInt8} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := buildPlan(t, "CifarNet")
+			s := numericsScratch(mode)
+			in := cnnInput(p, 11)
+			if _, err := p.Run(in, s); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := p.Run(in, s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Fatalf("steady-state fast inference allocates %.0f/run, want <= 2", allocs)
+			}
+		})
+	}
+}
+
+// TestFastMathBatchSequence checks the batched fast recurrent path against
+// the reference within tolerance.
+func TestFastMathBatchSequence(t *testing.T) {
+	for _, name := range networks.RNNNames() {
+		t.Run(name, func(t *testing.T) {
+			p := buildPlan(t, name)
+			n := p.Network()
+			steps := n.SeqLen
+			if steps <= 0 {
+				steps = 2
+			}
+			const nSeq = 3
+			seq := tensor.New(steps, nSeq, n.InputShape[0])
+			seq.FillUniform(tensor.NewRNG(29), 0, 1)
+			ref, err := p.RunSequenceBatch(seq, nn.NewScratch())
+			if err != nil {
+				t.Fatal(err)
+			}
+			refOut := append([]float32(nil), ref.Output.Data()...)
+			fast, err := p.RunSequenceBatch(seq, numericsScratch(nn.NumericsFast))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re := relErr(fast.Output.Data(), refOut); re > 1e-3 {
+				t.Fatalf("fast batch output relative error %.3g exceeds 1e-3", re)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package networks
 
 import (
 	"fmt"
+	"sync"
 
 	"tango/internal/nn"
 	"tango/internal/tensor"
@@ -35,12 +36,94 @@ type planLayer struct {
 
 // Plan is a network bound to a resolved weight set: every parameter tensor
 // is looked up and validated once, so repeated runs skip the per-layer
-// weight resolution entirely.  A Plan is immutable after creation and safe
-// for concurrent use; per-run mutable state lives in the nn.Scratch passed
-// to Run/RunSequence.
+// weight resolution entirely.  A Plan is safe for concurrent use; per-run
+// mutable state lives in the nn.Scratch passed to Run/RunSequence, and the
+// lazily built fast-tier weight panels are guarded by a sync.Once per mode.
 type Plan struct {
 	net    *Network
 	layers []planLayer
+
+	fastOnce  sync.Once
+	int8Once  sync.Once
+	fastPacks *planPacks
+	int8Packs *planPacks
+}
+
+// planPacks holds one numerics mode's prepacked weight panels, indexed like
+// Plan.layers (nil entries for layers without packable weights).
+type planPacks struct {
+	conv []*nn.ConvPack
+	fc   []*nn.FCPack
+	rnn  []*nn.RNNPack
+}
+
+func (pp *planPacks) convAt(li int) *nn.ConvPack {
+	if pp == nil {
+		return nil
+	}
+	return pp.conv[li]
+}
+
+func (pp *planPacks) fcAt(li int) *nn.FCPack {
+	if pp == nil {
+		return nil
+	}
+	return pp.fc[li]
+}
+
+func (pp *planPacks) rnnAt(li int) *nn.RNNPack {
+	if pp == nil {
+		return nil
+	}
+	return pp.rnn[li]
+}
+
+// Pack builds the fast-numerics weight panels for mode, once per Plan:
+// subsequent calls (and every run under that mode) reuse them with no
+// further packing or allocation.  NumericsReference needs no packing.  Runs
+// pack lazily on first use, so calling Pack up front only moves the one-time
+// cost out of the first inference.
+func (p *Plan) Pack(mode nn.Numerics) {
+	switch mode {
+	case nn.NumericsFast:
+		p.fastOnce.Do(func() { p.fastPacks = p.buildPacks(mode) })
+	case nn.NumericsInt8:
+		p.int8Once.Do(func() { p.int8Packs = p.buildPacks(mode) })
+	}
+}
+
+// packsFor returns the weight panels for mode, building them on first use.
+func (p *Plan) packsFor(mode nn.Numerics) *planPacks {
+	p.Pack(mode)
+	switch mode {
+	case nn.NumericsFast:
+		return p.fastPacks
+	case nn.NumericsInt8:
+		return p.int8Packs
+	}
+	return nil
+}
+
+func (p *Plan) buildPacks(mode nn.Numerics) *planPacks {
+	pp := &planPacks{
+		conv: make([]*nn.ConvPack, len(p.layers)),
+		fc:   make([]*nn.FCPack, len(p.layers)),
+		rnn:  make([]*nn.RNNPack, len(p.layers)),
+	}
+	for li := range p.layers {
+		pl := &p.layers[li]
+		switch pl.l.Type {
+		case LayerConv:
+			pp.conv[li] = nn.PackConv(pl.w, pl.l.Conv, mode)
+		case LayerFC:
+			pp.fc[li] = nn.PackFC(pl.w, pl.l.FCOut, pl.w.Len()/pl.l.FCOut, mode)
+		case LayerLSTM:
+			pp.rnn[li] = nn.PackLSTM(pl.lstm, mode)
+		case LayerGRU:
+			pp.rnn[li] = nn.PackGRU(pl.gru, mode)
+		}
+	}
+	return pp
 }
 
 // NewPlan resolves every layer's parameters from w and returns a reusable
@@ -99,8 +182,11 @@ func (p *Plan) Network() *Network { return p.net }
 
 // Run executes a CNN natively on the given CHW input and returns the
 // per-layer outputs.  A non-nil Scratch supplies the compute engine's
-// reusable buffers and worker count; nil runs serially with fresh
-// allocations.  Results are bit-identical for any Scratch configuration.
+// reusable buffers, worker count and numerics tier; nil runs serially with
+// fresh allocations.  Under the default reference tier results are
+// bit-identical for any Scratch configuration; a fast tier
+// (nn.Scratch.SetNumerics) runs the prepacked fast kernels under the
+// tolerance contract described in the nn package.
 func (p *Plan) Run(input *tensor.Tensor, s *nn.Scratch) (*Result, error) {
 	n := p.net
 	if n.Kind != KindCNN {
@@ -114,10 +200,11 @@ func (p *Plan) Run(input *tensor.Tensor, s *nn.Scratch) (*Result, error) {
 		return nil, fmt.Errorf("networks: %s expects input shape %v, got %v", n.Name, n.InputShape, got)
 	}
 	s.BeginRun()
+	pks := p.packsFor(s.Numerics())
 	outs := s.LayerOutputs(len(n.Layers))
 	for li := range p.layers {
 		pl := &p.layers[li]
-		out, err := p.runLayer(s, li, pl, input, outs)
+		out, err := p.runLayer(s, li, pl, input, outs, pks)
 		if err != nil {
 			return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, pl.l.Name, err)
 		}
@@ -140,16 +227,16 @@ func (p *Plan) resolveInput(li, idx int, input *tensor.Tensor, outs []*tensor.Te
 }
 
 // runLayer executes a single non-recurrent layer on the engine.
-func (p *Plan) runLayer(s *nn.Scratch, li int, pl *planLayer, input *tensor.Tensor, outs []*tensor.Tensor) (*tensor.Tensor, error) {
+func (p *Plan) runLayer(s *nn.Scratch, li int, pl *planLayer, input *tensor.Tensor, outs []*tensor.Tensor, pks *planPacks) (*tensor.Tensor, error) {
 	l := pl.l
 	in0 := p.resolveInput(li, 0, input, outs)
 	switch l.Type {
 	case LayerConv:
-		return s.Conv2D(in0, pl.w, pl.b, l.Conv)
+		return s.Conv2DPacked(in0, pl.w, pl.b, l.Conv, pks.convAt(li))
 	case LayerPool:
 		return s.Pool2D(in0, l.Pool)
 	case LayerFC:
-		return s.FullyConnected(in0, pl.w, pl.b, l.FCOut)
+		return s.FullyConnectedPacked(in0, pl.w, pl.b, l.FCOut, pks.fcAt(li))
 	case LayerLRN:
 		return s.LRN(in0, l.LRN)
 	case LayerBatchNorm:
@@ -198,6 +285,7 @@ func (p *Plan) RunSequence(seq []*tensor.Tensor, s *nn.Scratch) (*Result, error)
 	}
 
 	s.BeginRun()
+	pks := p.packsFor(s.Numerics())
 	outs := s.LayerOutputs(len(n.Layers))
 	var current *tensor.Tensor
 	for li := range p.layers {
@@ -225,7 +313,7 @@ func (p *Plan) RunSequence(seq []*tensor.Tensor, s *nn.Scratch) (*Result, error)
 				return nil, fmt.Errorf("networks: %s layer %q: FC before recurrent layer", n.Name, l.Name)
 			}
 			var err error
-			current, err = s.FullyConnected(current, pl.w, pl.b, l.FCOut)
+			current, err = s.FullyConnectedPacked(current, pl.w, pl.b, l.FCOut, pks.fcAt(li))
 			if err != nil {
 				return nil, fmt.Errorf("networks: %s layer %q: %w", n.Name, l.Name, err)
 			}

@@ -472,6 +472,13 @@ func (s *Scratch) gatePreBatch(pre, tmp []float32, wx, uh, b *tensor.Tensor, xT,
 // rank-2 (n, hidden) tensor.  Results are bit-identical to stepping each
 // sequence through LSTMStep.
 func (s *Scratch) LSTMSeqBatch(w *LSTMWeights, seq []float32, n, steps int) (*tensor.Tensor, error) {
+	return s.LSTMSeqBatchPacked(w, nil, seq, n, steps)
+}
+
+// LSTMSeqBatchPacked is LSTMSeqBatch with an optional fast-tier gate pack:
+// under a fast numerics tier the gate GEMMs run on the prepacked
+// multi-chain kernels.
+func (s *Scratch) LSTMSeqBatchPacked(w *LSTMWeights, pk *RNNPack, seq []float32, n, steps int) (*tensor.Tensor, error) {
 	if w == nil {
 		return nil, fmt.Errorf("nn: lstm batch: nil weights")
 	}
@@ -502,14 +509,22 @@ func (s *Scratch) LSTMSeqBatch(w *LSTMWeights, seq []float32, n, steps int) (*te
 		cT[i] = 0
 	}
 	workers := s.Workers()
+	fast := pk != nil && s.Numerics() != NumericsReference
 
 	for t := 0; t < steps; t++ {
 		x := seq[t*n*w.Input : (t+1)*n*w.Input]
 		transposeToColumns(xT, x, n, w.Input)
-		s.gatePreBatch(pi, tmp, w.Wi, w.Ui, w.Bi, xT, hT, hidden, w.Input, n, workers)
-		s.gatePreBatch(pf, tmp, w.Wf, w.Uf, w.Bf, xT, hT, hidden, w.Input, n, workers)
-		s.gatePreBatch(po, tmp, w.Wo, w.Uo, w.Bo, xT, hT, hidden, w.Input, n, workers)
-		s.gatePreBatch(pc, tmp, w.Wc, w.Uc, w.Bc, xT, hT, hidden, w.Input, n, workers)
+		if fast {
+			s.gatePreBatchFast(pi, tmp, pk.gates[0], w.Bi, xT, hT, hidden, n, workers)
+			s.gatePreBatchFast(pf, tmp, pk.gates[1], w.Bf, xT, hT, hidden, n, workers)
+			s.gatePreBatchFast(po, tmp, pk.gates[2], w.Bo, xT, hT, hidden, n, workers)
+			s.gatePreBatchFast(pc, tmp, pk.gates[3], w.Bc, xT, hT, hidden, n, workers)
+		} else {
+			s.gatePreBatch(pi, tmp, w.Wi, w.Ui, w.Bi, xT, hT, hidden, w.Input, n, workers)
+			s.gatePreBatch(pf, tmp, w.Wf, w.Uf, w.Bf, xT, hT, hidden, w.Input, n, workers)
+			s.gatePreBatch(po, tmp, w.Wo, w.Uo, w.Bo, xT, hT, hidden, w.Input, n, workers)
+			s.gatePreBatch(pc, tmp, w.Wc, w.Uc, w.Bc, xT, hT, hidden, w.Input, n, workers)
+		}
 		sigmoidInPlace(pi)
 		sigmoidInPlace(pf)
 		sigmoidInPlace(po)
@@ -533,6 +548,11 @@ func (s *Scratch) LSTMSeqBatch(w *LSTMWeights, seq []float32, n, steps int) (*te
 // state as a rank-2 (n, hidden) tensor, bit-identical to stepping each
 // sequence through GRUStep.
 func (s *Scratch) GRUSeqBatch(w *GRUWeights, seq []float32, n, steps int) (*tensor.Tensor, error) {
+	return s.GRUSeqBatchPacked(w, nil, seq, n, steps)
+}
+
+// GRUSeqBatchPacked is GRUSeqBatch with an optional fast-tier gate pack.
+func (s *Scratch) GRUSeqBatchPacked(w *GRUWeights, pk *RNNPack, seq []float32, n, steps int) (*tensor.Tensor, error) {
 	if w == nil {
 		return nil, fmt.Errorf("nn: gru batch: nil weights")
 	}
@@ -557,18 +577,28 @@ func (s *Scratch) GRUSeqBatch(w *GRUWeights, seq []float32, n, steps int) (*tens
 		hT[i] = 0
 	}
 	workers := s.Workers()
+	fast := pk != nil && s.Numerics() != NumericsReference
 
 	for t := 0; t < steps; t++ {
 		x := seq[t*n*w.Input : (t+1)*n*w.Input]
 		transposeToColumns(xT, x, n, w.Input)
-		s.gatePreBatch(r, tmp, w.Wr, w.Ur, w.Br, xT, hT, hidden, w.Input, n, workers)
-		s.gatePreBatch(z, tmp, w.Wz, w.Uz, w.Bz, xT, hT, hidden, w.Input, n, workers)
+		if fast {
+			s.gatePreBatchFast(r, tmp, pk.gates[0], w.Br, xT, hT, hidden, n, workers)
+			s.gatePreBatchFast(z, tmp, pk.gates[1], w.Bz, xT, hT, hidden, n, workers)
+		} else {
+			s.gatePreBatch(r, tmp, w.Wr, w.Ur, w.Br, xT, hT, hidden, w.Input, n, workers)
+			s.gatePreBatch(z, tmp, w.Wz, w.Uz, w.Bz, xT, hT, hidden, w.Input, n, workers)
+		}
 		sigmoidInPlace(r)
 		sigmoidInPlace(z)
 		for i := 0; i < hn; i++ {
 			rh[i] = r[i] * hT[i]
 		}
-		s.gatePreBatch(ng, tmp, w.Wh, w.Uh, w.Bh, xT, rh, hidden, w.Input, n, workers)
+		if fast {
+			s.gatePreBatchFast(ng, tmp, pk.gates[2], w.Bh, xT, rh, hidden, n, workers)
+		} else {
+			s.gatePreBatch(ng, tmp, w.Wh, w.Uh, w.Bh, xT, rh, hidden, w.Input, n, workers)
+		}
 		tanhInPlace(ng)
 		for i := 0; i < hn; i++ {
 			zi := z[i]

@@ -29,14 +29,17 @@ import (
 // a nil *Scratch, which falls back to freshly allocated outputs (still using
 // the blocked kernels).
 type Scratch struct {
-	workers int
-	direct  bool
-	arena   tensor.Arena
-	col     []float32
-	vecs    [][]float32
-	bbufs   [][]float32
-	outs    []*tensor.Tensor
-	preds   []int
+	workers  int
+	direct   bool
+	numerics Numerics
+	arena    tensor.Arena
+	col      []float32
+	vecs     [][]float32
+	bbufs    [][]float32
+	u8bufs   [][]uint8
+	accb     []int32
+	outs     []*tensor.Tensor
+	preds    []int
 }
 
 // NewScratch returns an empty single-worker Scratch.
@@ -387,10 +390,17 @@ func tanhInPlace(v []float32) {
 
 // gatePre computes pre = (Wx*x + Uh*h) + b with the blocked mat-vec kernel,
 // preserving the reference addition order of the naive gate computation
-// (MatVec + MatVec, EltwiseAdd, EltwiseAdd bias).
+// (MatVec + MatVec, EltwiseAdd, EltwiseAdd bias).  Under a fast numerics
+// tier the products run on the multi-chain mat-vec kernel instead (recurrent
+// gates have no int8 lowering, so both fast tiers take the float path).
 func (s *Scratch) gatePre(pre, tmp []float32, wx, uh, b *tensor.Tensor, x, h []float32, hidden, in, workers int) {
-	tensor.MatVecBiasParallel(pre, wx.Data(), x, nil, hidden, in, workers)
-	tensor.MatVecBiasParallel(tmp, uh.Data(), h, nil, hidden, hidden, workers)
+	if s.Numerics() != NumericsReference {
+		tensor.MatVecFastParallel(pre, wx.Data(), x, nil, hidden, in, workers)
+		tensor.MatVecFastParallel(tmp, uh.Data(), h, nil, hidden, hidden, workers)
+	} else {
+		tensor.MatVecBiasParallel(pre, wx.Data(), x, nil, hidden, in, workers)
+		tensor.MatVecBiasParallel(tmp, uh.Data(), h, nil, hidden, hidden, workers)
+	}
 	bd := b.Data()
 	for i := range pre {
 		pre[i] = (pre[i] + tmp[i]) + bd[i]

@@ -1,0 +1,468 @@
+package nn
+
+import (
+	"fmt"
+
+	"tango/internal/tensor"
+)
+
+// This file implements the opt-in fast-numerics tier of the compute engine.
+// The default engine is bit-exact: it preserves the reference summation
+// order of every kernel.  The fast tier trades that guarantee for
+// throughput under a tolerance-based accuracy contract (validated by golden
+// top-1 tests at the networks layer):
+//
+//   - NumericsFast lowers the heavy layers onto the prepacked FMA/AVX-512
+//     GEMM kernels in package tensor: multiple independent accumulator
+//     chains per output, so sums are reassociated but stay float32.
+//   - NumericsInt8 additionally quantizes convolution and fully-connected
+//     layers to symmetric per-channel int8 weights with per-layer activation
+//     scales, accumulating exactly in int32 and dequantizing at layer exit.
+//     Layers without an int8 lowering (recurrent gates, normalization, ...)
+//     run the NumericsFast float path.
+//
+// Weight panels are packed once per network (see the Packed* containers and
+// the networks.Plan packing); steady-state inference performs no packing or
+// heap allocation.  Results of the fast tier are identical for any worker
+// count — row panels are tile-aligned — but, unlike the reference tier, may
+// differ between batched and single-sample execution (column tails depend
+// on the GEMM width).
+
+// Numerics selects the arithmetic contract of a Scratch.
+type Numerics uint8
+
+const (
+	// NumericsReference is the default bit-exact engine.
+	NumericsReference Numerics = iota
+	// NumericsFast selects the reassociated-float32 FMA/AVX-512 tier.
+	NumericsFast
+	// NumericsInt8 selects the quantized tier (conv/FC layers int8, the
+	// rest as NumericsFast).
+	NumericsInt8
+)
+
+// String returns the canonical flag spelling of the mode.
+func (m Numerics) String() string {
+	switch m {
+	case NumericsFast:
+		return "fast"
+	case NumericsInt8:
+		return "int8"
+	default:
+		return "reference"
+	}
+}
+
+// ParseNumerics parses a mode name as spelled by String, accepting the
+// common aliases "ref" and "fastmath".
+func ParseNumerics(name string) (Numerics, error) {
+	switch name {
+	case "", "reference", "ref":
+		return NumericsReference, nil
+	case "fast", "fastmath":
+		return NumericsFast, nil
+	case "int8":
+		return NumericsInt8, nil
+	}
+	return NumericsReference, fmt.Errorf("nn: unknown numerics mode %q (want reference, fast or int8)", name)
+}
+
+// SetNumerics selects the arithmetic tier for subsequent engine calls.
+func (s *Scratch) SetNumerics(m Numerics) {
+	if s != nil {
+		s.numerics = m
+	}
+}
+
+// Numerics returns the active arithmetic tier (NumericsReference for a nil
+// Scratch or when the direct reference kernels are forced).
+func (s *Scratch) Numerics() Numerics {
+	if s == nil || s.direct {
+		return NumericsReference
+	}
+	return s.numerics
+}
+
+// u8buf returns the quantized-activation staging buffer for the given slot.
+func (s *Scratch) u8buf(slot, n int) []uint8 {
+	if s == nil {
+		return make([]uint8, n)
+	}
+	for len(s.u8bufs) <= slot {
+		s.u8bufs = append(s.u8bufs, nil)
+	}
+	if cap(s.u8bufs[slot]) < n {
+		s.u8bufs[slot] = make([]uint8, n)
+	}
+	return s.u8bufs[slot][:n]
+}
+
+// accbuf returns the int32 accumulator staging buffer of the int8 GEMM.
+func (s *Scratch) accbuf(n int) []int32 {
+	if s == nil {
+		return make([]int32, n)
+	}
+	if cap(s.accb) < n {
+		s.accb = make([]int32, n)
+	}
+	return s.accb[:n]
+}
+
+// ConvPack holds a convolution layer's weights packed for the fast tier:
+// one pack per channel group (fast float panels, int8 panels, or both,
+// depending on the mode it was built for).  Immutable and safe for
+// concurrent use by any number of Scratches.
+type ConvPack struct {
+	f []*tensor.PackedA
+	q []*tensor.PackedInt8
+}
+
+// FCPack holds a fully-connected layer's weights packed for the fast tier.
+type FCPack struct {
+	f *tensor.PackedA
+	q *tensor.PackedInt8
+}
+
+// GatePack holds one recurrent gate's input and recurrent weight matrices
+// packed for the batched fast GEMM (the single-sample fast path reads the
+// raw weights through the multi-chain mat-vec kernel and needs no packing).
+type GatePack struct {
+	wx, uh *tensor.PackedA
+}
+
+// RNNPack holds packed gates of a recurrent cell, in cell order (LSTM:
+// i, f, o, c; GRU: r, z, h).
+type RNNPack struct {
+	gates []GatePack
+}
+
+// PackConv packs conv weights (outC x inC/groups x kh x kw) for the given
+// mode.  Returns nil for NumericsReference.
+func PackConv(weights *tensor.Tensor, p ConvParams, mode Numerics) *ConvPack {
+	if mode == NumericsReference || weights == nil {
+		return nil
+	}
+	groups := p.groups()
+	outCPerGroup := p.OutChannels / groups
+	k := (p.InChannels / groups) * p.KernelH * p.KernelW
+	w := weights.Data()
+	pk := &ConvPack{}
+	for g := 0; g < groups; g++ {
+		block := w[g*outCPerGroup*k : (g+1)*outCPerGroup*k]
+		if mode == NumericsInt8 {
+			pk.q = append(pk.q, tensor.PackInt8(block, outCPerGroup, k))
+		} else {
+			pk.f = append(pk.f, tensor.PackA(block, outCPerGroup, k))
+		}
+	}
+	return pk
+}
+
+// PackFC packs fully-connected weights (outF x inF) for the given mode.
+// Returns nil for NumericsReference.
+func PackFC(weights *tensor.Tensor, outF, inF int, mode Numerics) *FCPack {
+	if mode == NumericsReference || weights == nil {
+		return nil
+	}
+	if mode == NumericsInt8 {
+		return &FCPack{q: tensor.PackInt8(weights.Data(), outF, inF)}
+	}
+	return &FCPack{f: tensor.PackA(weights.Data(), outF, inF)}
+}
+
+// PackLSTM packs the gate matrices of an LSTM cell for the batched fast
+// GEMM.  Int8 mode packs the same float panels: recurrent cells run the
+// NumericsFast path under either fast tier.  Returns nil for
+// NumericsReference.
+func PackLSTM(w *LSTMWeights, mode Numerics) *RNNPack {
+	if mode == NumericsReference || w == nil {
+		return nil
+	}
+	packGate := func(wx, uh *tensor.Tensor) GatePack {
+		return GatePack{
+			wx: tensor.PackA(wx.Data(), w.Hidden, w.Input),
+			uh: tensor.PackA(uh.Data(), w.Hidden, w.Hidden),
+		}
+	}
+	return &RNNPack{gates: []GatePack{
+		packGate(w.Wi, w.Ui), packGate(w.Wf, w.Uf),
+		packGate(w.Wo, w.Uo), packGate(w.Wc, w.Uc),
+	}}
+}
+
+// PackGRU packs the gate matrices of a GRU cell for the batched fast GEMM.
+// Returns nil for NumericsReference.
+func PackGRU(w *GRUWeights, mode Numerics) *RNNPack {
+	if mode == NumericsReference || w == nil {
+		return nil
+	}
+	packGate := func(wx, uh *tensor.Tensor) GatePack {
+		return GatePack{
+			wx: tensor.PackA(wx.Data(), w.Hidden, w.Input),
+			uh: tensor.PackA(uh.Data(), w.Hidden, w.Hidden),
+		}
+	}
+	return &RNNPack{gates: []GatePack{
+		packGate(w.Wr, w.Ur), packGate(w.Wz, w.Uz), packGate(w.Wh, w.Uh),
+	}}
+}
+
+// Conv2DPacked is Conv2D with an optional fast-tier weight pack.  It runs
+// the tier selected by SetNumerics when the matching pack is available and
+// falls back to the bit-exact engine otherwise.
+func (s *Scratch) Conv2DPacked(input, weights, bias *tensor.Tensor, p ConvParams, pk *ConvPack) (*tensor.Tensor, error) {
+	mode := s.Numerics()
+	if mode == NumericsReference || pk == nil {
+		return s.Conv2D(input, weights, bias, p)
+	}
+	if mode == NumericsInt8 && pk.q != nil {
+		return s.conv2DInt8(input, weights, bias, p, pk)
+	}
+	if pk.f != nil {
+		return s.conv2DFast(input, weights, bias, p, pk)
+	}
+	return s.Conv2D(input, weights, bias, p)
+}
+
+// conv2DFast is the single-sample fast convolution: the patch matrix is
+// staged l-major (as in the batched engine) so the prepacked multi-chain
+// GEMM computes each group's CHW output block in place.
+func (s *Scratch) conv2DFast(input, weights, bias *tensor.Tensor, p ConvParams, pk *ConvPack) (*tensor.Tensor, error) {
+	inH, inW, outH, outW, err := checkConvArgs(input, weights, bias, p)
+	if err != nil {
+		return nil, err
+	}
+	out := s.out3(p.OutChannels, outH, outW)
+	groups := p.groups()
+	inCPerGroup := p.InChannels / groups
+	outCPerGroup := p.OutChannels / groups
+	n := outH * outW
+	k := inCPerGroup * p.KernelH * p.KernelW
+	colT := s.buffer(k * n)
+	in := input.Data()
+	o := out.Data()
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.Data()
+	}
+	workers := s.Workers()
+	for g := 0; g < groups; g++ {
+		im2colTBatch(colT, in, 1, input.Len(), inH, inW, g*inCPerGroup, inCPerGroup, p, outH, outW)
+		oc0 := g * outCPerGroup
+		var gb []float32
+		if biasData != nil {
+			gb = biasData[oc0 : oc0+outCPerGroup]
+		}
+		tensor.GemmNNFastParallel(o[oc0*n:(oc0+outCPerGroup)*n], pk.f[g], colT, gb, n, n, workers)
+	}
+	return out, nil
+}
+
+// conv2DInt8 is the single-sample quantized convolution: the l-major patch
+// matrix is quantized per layer (per group for grouped convolutions) and
+// multiplied against the int8 weight panels with exact int32 accumulation.
+func (s *Scratch) conv2DInt8(input, weights, bias *tensor.Tensor, p ConvParams, pk *ConvPack) (*tensor.Tensor, error) {
+	inH, inW, outH, outW, err := checkConvArgs(input, weights, bias, p)
+	if err != nil {
+		return nil, err
+	}
+	out := s.out3(p.OutChannels, outH, outW)
+	groups := p.groups()
+	inCPerGroup := p.InChannels / groups
+	outCPerGroup := p.OutChannels / groups
+	n := outH * outW
+	k := inCPerGroup * p.KernelH * p.KernelW
+	kPad := pk.q[0].KPad()
+	colT := s.buffer(k * n)
+	bp := s.u8buf(0, tensor.Int8PackedLen(kPad, n))
+	acc := s.accbuf(outCPerGroup * n)
+	in := input.Data()
+	o := out.Data()
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.Data()
+	}
+	workers := s.Workers()
+	for g := 0; g < groups; g++ {
+		im2colTBatch(colT, in, 1, input.Len(), inH, inW, g*inCPerGroup, inCPerGroup, p, outH, outW)
+		xs := tensor.PackColsU8(bp, colT, k, n, n, kPad)
+		oc0 := g * outCPerGroup
+		var gb []float32
+		if biasData != nil {
+			gb = biasData[oc0 : oc0+outCPerGroup]
+		}
+		tensor.GemmInt8(o[oc0*n:(oc0+outCPerGroup)*n], pk.q[g], bp, acc, gb, xs, n, workers)
+	}
+	return out, nil
+}
+
+// Conv2DBatchPacked is Conv2DBatch with an optional fast-tier weight pack.
+func (s *Scratch) Conv2DBatchPacked(input, weights, bias *tensor.Tensor, p ConvParams, pk *ConvPack) (*tensor.Tensor, error) {
+	mode := s.Numerics()
+	if mode == NumericsReference || pk == nil || (pk.f == nil && pk.q == nil) {
+		return s.Conv2DBatch(input, weights, bias, p)
+	}
+	nImg, _, inH, inW, err := checkBatchInput("conv", input, p.InChannels)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if weights == nil || weights.Len() != p.WeightCount() {
+		return nil, fmt.Errorf("nn: conv: %w: expects %d weights, got %d",
+			tensor.ErrShape, p.WeightCount(), tensorLen(weights))
+	}
+	if bias != nil && bias.Len() != p.OutChannels {
+		return nil, fmt.Errorf("nn: conv: %w: expects %d biases, got %d",
+			tensor.ErrShape, p.OutChannels, bias.Len())
+	}
+	outH, outW := p.OutputDims(inH, inW)
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: conv output dims %dx%d are not positive for input %dx%d",
+			outH, outW, inH, inW)
+	}
+
+	groups := p.groups()
+	inCPerGroup := p.InChannels / groups
+	outCPerGroup := p.OutChannels / groups
+	n1 := outH * outW
+	nTot := nImg * n1
+	k := inCPerGroup * p.KernelH * p.KernelW
+	out := s.out4(nImg, p.OutChannels, outH, outW)
+
+	colT := s.batchBuf(0, k*nTot)
+	gbuf := s.batchBuf(1, outCPerGroup*nTot)
+	int8Path := mode == NumericsInt8 && pk.q != nil
+	var bp []uint8
+	var acc []int32
+	var kPad int
+	if int8Path {
+		kPad = pk.q[0].KPad()
+		bp = s.u8buf(0, tensor.Int8PackedLen(kPad, nTot))
+		acc = s.accbuf(outCPerGroup * nTot)
+	}
+	in := input.Data()
+	o := out.Data()
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.Data()
+	}
+	sampleStride := input.Len() / nImg
+	outSample := p.OutChannels * n1
+	workers := s.Workers()
+
+	for g := 0; g < groups; g++ {
+		im2colTBatch(colT, in, nImg, sampleStride, inH, inW, g*inCPerGroup, inCPerGroup, p, outH, outW)
+		oc0 := g * outCPerGroup
+		var gb []float32
+		if biasData != nil {
+			gb = biasData[oc0 : oc0+outCPerGroup]
+		}
+		if int8Path {
+			xs := tensor.PackColsU8(bp, colT, k, nTot, nTot, kPad)
+			tensor.GemmInt8(gbuf, pk.q[g], bp, acc, gb, xs, nTot, workers)
+		} else {
+			tensor.GemmNNFastParallel(gbuf, pk.f[g], colT, gb, nTot, nTot, workers)
+		}
+		for ocg := 0; ocg < outCPerGroup; ocg++ {
+			src := gbuf[ocg*nTot : (ocg+1)*nTot]
+			for img := 0; img < nImg; img++ {
+				dst := o[img*outSample+(oc0+ocg)*n1:]
+				copy(dst[:n1], src[img*n1:(img+1)*n1])
+			}
+		}
+	}
+	return out, nil
+}
+
+// FullyConnectedPacked is FullyConnected with an optional fast-tier weight
+// pack.  The fast float path reads the raw weights (a mat-vec is
+// memory-bound, packing buys nothing); the int8 path needs pk.
+func (s *Scratch) FullyConnectedPacked(input, weights, bias *tensor.Tensor, outFeatures int, pk *FCPack) (*tensor.Tensor, error) {
+	mode := s.Numerics()
+	if mode == NumericsReference {
+		return s.FullyConnected(input, weights, bias, outFeatures)
+	}
+	inFeatures, err := checkFullyConnectedArgs(input, weights, bias, outFeatures)
+	if err != nil {
+		return nil, err
+	}
+	out := s.out1(outFeatures)
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.Data()
+	}
+	if mode == NumericsInt8 && pk != nil && pk.q != nil {
+		kPad := pk.q.KPad()
+		xq := s.u8buf(0, kPad)
+		xs := tensor.QuantizeU8(xq[:inFeatures], input.Data())
+		tensor.MatVecInt8(out.Data(), pk.q, xq, biasData, xs, s.Workers())
+		return out, nil
+	}
+	tensor.MatVecFastParallel(out.Data(), weights.Data(), input.Data(), biasData,
+		outFeatures, inFeatures, s.Workers())
+	return out, nil
+}
+
+// FullyConnectedBatchPacked is FullyConnectedBatch with an optional
+// fast-tier weight pack.
+func (s *Scratch) FullyConnectedBatchPacked(input, weights, bias *tensor.Tensor, outFeatures int, pk *FCPack) (*tensor.Tensor, error) {
+	mode := s.Numerics()
+	if mode == NumericsReference || pk == nil || (pk.f == nil && pk.q == nil) {
+		return s.FullyConnectedBatch(input, weights, bias, outFeatures)
+	}
+	if input == nil || input.Rank() < 2 {
+		return nil, fmt.Errorf("nn: fc: %w: batch input must have a leading batch dimension, got %v",
+			tensor.ErrShape, shapeOf(input))
+	}
+	nImg := input.Dim(0)
+	inF := input.Len() / nImg
+	if outFeatures <= 0 {
+		return nil, fmt.Errorf("nn: fc output features must be positive, got %d", outFeatures)
+	}
+	if weights == nil || weights.Len() != outFeatures*inF {
+		return nil, fmt.Errorf("nn: fc expects %d weights (%dx%d), got %d",
+			outFeatures*inF, outFeatures, inF, tensorLen(weights))
+	}
+	if bias != nil && bias.Len() != outFeatures {
+		return nil, fmt.Errorf("nn: fc expects %d biases, got %d", outFeatures, bias.Len())
+	}
+
+	xT := s.batchBuf(0, inF*nImg)
+	transposeToColumns(xT, input.Data(), nImg, inF)
+	yT := s.batchBuf(1, outFeatures*nImg)
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.Data()
+	}
+	if mode == NumericsInt8 && pk.q != nil {
+		kPad := pk.q.KPad()
+		bp := s.u8buf(0, tensor.Int8PackedLen(kPad, nImg))
+		acc := s.accbuf(outFeatures * nImg)
+		xs := tensor.PackColsU8(bp, xT, inF, nImg, nImg, kPad)
+		tensor.GemmInt8(yT, pk.q, bp, acc, biasData, xs, nImg, s.Workers())
+	} else if pk.f != nil {
+		tensor.GemmNNFastParallel(yT, pk.f, xT, biasData, nImg, nImg, s.Workers())
+	} else {
+		tensor.GemmNNParallel(yT, weights.Data(), xT, biasData, outFeatures, nImg, inF, nImg, s.Workers())
+	}
+	out := s.out2(nImg, outFeatures)
+	transposeToRows(out.Data(), yT, nImg, outFeatures)
+	return out, nil
+}
+
+// gatePreBatchFast is gatePreBatch on the prepacked fast GEMM.
+func (s *Scratch) gatePreBatchFast(pre, tmp []float32, g GatePack, b *tensor.Tensor, xT, hT []float32, hidden, n, workers int) {
+	tensor.GemmNNFastParallel(pre, g.wx, xT, nil, n, n, workers)
+	tensor.GemmNNFastParallel(tmp, g.uh, hT, nil, n, n, workers)
+	bd := b.Data()
+	for hr := 0; hr < hidden; hr++ {
+		bv := bd[hr]
+		prow := pre[hr*n : (hr+1)*n]
+		trow := tmp[hr*n : (hr+1)*n]
+		for i := range prow {
+			prow[i] = (prow[i] + trow[i]) + bv
+		}
+	}
+}

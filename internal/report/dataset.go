@@ -29,6 +29,12 @@ type Record struct {
 	// statistics are zero, and the error is carried in-band so a sweep with
 	// one broken cell still yields a dataset covering every other cell.
 	Err string `json:"error,omitempty"`
+
+	// Numerics names the compute-engine numerics tier the cell ran under
+	// ("reference", "fast" or "int8"); empty means reference.  It renders
+	// as a trailing column so downstream consumers keyed on the leading
+	// columns are unaffected.
+	Numerics string `json:"numerics,omitempty"`
 }
 
 // Failed reports whether the record is a partial-sweep error cell.
@@ -68,10 +74,11 @@ func (d *Dataset) Table(id, title string) *Table {
 	t := &Table{
 		ID:    id,
 		Title: title,
-		// The Error column stays last so downstream CSV consumers keyed on
-		// the leading identity/statistics columns are unaffected.
+		// The Error and Numerics columns stay last so downstream CSV
+		// consumers keyed on the leading identity/statistics columns are
+		// unaffected.
 		Columns: []string{"Network", "Target", "Class", "Variant",
-			"Cycles", "Seconds", "Instructions", "Peak (W)", "Avg (W)", "Energy (J)", "L2 miss", "Error"},
+			"Cycles", "Seconds", "Instructions", "Peak (W)", "Avg (W)", "Energy (J)", "L2 miss", "Error", "Numerics"},
 	}
 	for _, r := range d.Records {
 		cycles := "-"
@@ -90,10 +97,14 @@ func (d *Dataset) Table(id, title string) *Table {
 		if r.Err != "" {
 			errCell = r.Err
 		}
+		numerics := r.Numerics
+		if numerics == "" {
+			numerics = "reference"
+		}
 		t.AddRow(r.Network, r.Target, r.Class, r.Variant,
 			cycles, FormatFloat(r.Seconds), instr,
 			FormatFloat(r.PeakWatts), FormatFloat(r.AvgWatts),
-			FormatFloat(r.EnergyJoules), l2, errCell)
+			FormatFloat(r.EnergyJoules), l2, errCell, numerics)
 	}
 	return t
 }

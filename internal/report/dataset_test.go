@@ -82,6 +82,40 @@ func TestDatasetSort(t *testing.T) {
 	}
 }
 
+// TestDatasetNumericsColumn checks the trailing numerics-tier column: an
+// empty field renders as "reference" and the column stays last so consumers
+// keyed on the leading columns are unaffected (same pattern as Err).
+func TestDatasetNumericsColumn(t *testing.T) {
+	d := &Dataset{}
+	d.Add(Record{Network: "AlexNet", Target: "gp102", Class: "GPU", Variant: "default",
+		Seconds: 1e-3, Numerics: "fast"})
+	d.Add(Record{Network: "GRU", Target: "gp102", Class: "GPU", Variant: "default",
+		Seconds: 1e-4})
+	tab := d.Table("sweep", "Sweep")
+	if got := tab.Columns[len(tab.Columns)-1]; got != "Numerics" {
+		t.Fatalf("last column %q, want Numerics", got)
+	}
+	if got := tab.Rows[0][len(tab.Rows[0])-1]; got != "fast" {
+		t.Errorf("fast-tier cell renders %q", got)
+	}
+	if got := tab.Rows[1][len(tab.Rows[1])-1]; got != "reference" {
+		t.Errorf("default cell renders %q, want reference", got)
+	}
+	lines := strings.Split(strings.TrimSpace(d.CSV()), "\n")
+	if !strings.HasSuffix(lines[1], ",fast") || !strings.HasSuffix(lines[2], ",reference") {
+		t.Errorf("CSV rows should end with the numerics tier:\n%s", d.CSV())
+	}
+	enc, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference-tier records omit the field entirely, keeping old datasets
+	// and new ones byte-comparable on unaffected records.
+	if strings.Count(string(enc), "numerics") != 1 {
+		t.Errorf("want exactly one numerics key in JSON:\n%s", enc)
+	}
+}
+
 func TestEmptyDataset(t *testing.T) {
 	var d Dataset
 	if d.Len() != 0 {

@@ -1,0 +1,48 @@
+package tensor
+
+import "testing"
+
+// Fast-tier counterparts of BenchmarkGemmNN: same AlexNet conv2 batch-8
+// geometry so the reference-vs-fast GMAC/s ratio reads directly off the
+// bench output.
+
+func BenchmarkGemmNNPacked(b *testing.B) {
+	m, k, n := 128, 1200, 8*27*27
+	r := NewRNG(3)
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	bias := make([]float32, m)
+	fillRand(r, a)
+	fillRand(r, bb)
+	fillRand(r, bias)
+	pa := PackA(a, m, k)
+	dst := make([]float32, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmNNFast(dst, pa, bb, bias, n, n)
+	}
+	b.ReportMetric(float64(m)*float64(k)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GMAC/s")
+}
+
+func BenchmarkGemmInt8(b *testing.B) {
+	m, k, n := 128, 1200, 8*27*27
+	r := NewRNG(3)
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	bias := make([]float32, m)
+	fillRand(r, a)
+	fillRand(r, bb)
+	fillRand(r, bias)
+	pw := PackInt8(a, m, k)
+	bp := make([]uint8, Int8PackedLen(pw.KPad(), n))
+	acc := make([]int32, m*n)
+	dst := make([]float32, m*n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xScale := PackColsU8(bp, bb, k, n, n, pw.KPad())
+		GemmInt8(dst, pw, bp, acc, bias, xScale, n, 1)
+	}
+	b.ReportMetric(float64(m)*float64(k)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GMAC/s")
+}

@@ -1,0 +1,278 @@
+package tensor
+
+// Fast-numerics GEMM tier: the opt-in counterpart to the bit-exact kernels
+// in gemm.go / gemm_nn.go.  The reference kernels keep one accumulator per
+// output element and separate multiply/add instructions so every blocking
+// and worker count reproduces the scalar summation order bit for bit; that
+// contract caps throughput well below machine peak.  The fast tier trades
+// the bit-exact guarantee for speed: weight panels are packed once into the
+// kernel-native layout, the amd64 microkernels use fused multiply-add with
+// multiple independent accumulator chains, and an AVX-512 variant widens the
+// register tile further.  Results differ from the reference only by
+// float32 rounding (FMA keeps the intermediate product unrounded and wide
+// tiles split the reduction), which callers bound with tolerance-based
+// golden tests rather than bit equality.
+//
+// Tier selection is runtime CPUID/XGETBV detection with a testable override
+// (SetFastTier) that can force any tier at or below the detected one, so CI
+// exercises the AVX-512 -> FMA -> generic ladder on one machine.  The
+// generic tier falls back to the portable order-preserving scalar kernel.
+
+// SIMDTier identifies one rung of the fast-kernel ladder.  Higher tiers are
+// strict supersets of the features below them.
+type SIMDTier int
+
+const (
+	// TierGeneric is the portable Go fallback (also the only tier on
+	// non-amd64 builds); it matches the reference summation order.
+	TierGeneric SIMDTier = iota
+	// TierFMA uses 256-bit fused-multiply-add kernels (requires AVX2+FMA
+	// and OS YMM state support).
+	TierFMA
+	// TierAVX512 uses 512-bit fused-multiply-add kernels (requires
+	// AVX-512 F/DQ/BW/VL and OS ZMM+opmask state support).
+	TierAVX512
+)
+
+func (t SIMDTier) String() string {
+	switch t {
+	case TierFMA:
+		return "fma"
+	case TierAVX512:
+		return "avx512"
+	default:
+		return "generic"
+	}
+}
+
+// fastTier is the active tier consulted by every fast-path entry point.  It
+// starts at the detected maximum and is only mutated by SetFastTier (tests).
+var fastTier = fastTierDetected
+
+// DetectedTier reports the best tier the running CPU and OS support.
+func DetectedTier() SIMDTier { return fastTierDetected }
+
+// FastTier reports the tier the fast kernels currently dispatch to.
+func FastTier() SIMDTier { return fastTier }
+
+// SetFastTier forces the fast kernels onto tier t, clamped to the detected
+// maximum (forcing AVX-512 on a machine without it selects the best
+// available tier instead of faulting).  It returns the tier actually
+// applied.  This is the feature-override hook used by the tier-equivalence
+// tests; production code never calls it.
+func SetFastTier(t SIMDTier) SIMDTier {
+	if t > fastTierDetected {
+		t = fastTierDetected
+	}
+	if t < TierGeneric {
+		t = TierGeneric
+	}
+	fastTier = t
+	return fastTier
+}
+
+// PackedA holds an m x k weight matrix repacked once into the fast kernels'
+// native layout: full nnMR-row panels store their rows depth-interleaved
+// (panel element l*nnMR+r is a[row r][depth l]), so the microkernel's
+// per-depth-step broadcasts read 16 consecutive bytes instead of gathering
+// across four strided rows.  The original row-major slice is retained for
+// remainder rows, narrow column tails and the generic tier.  A PackedA is
+// immutable after PackA and safe for concurrent use.
+type PackedA struct {
+	panels []float32
+	src    []float32
+	m, k   int
+}
+
+// Rows returns m, the number of output rows the packed matrix produces.
+func (p *PackedA) Rows() int { return p.m }
+
+// Cols returns k, the shared (depth) dimension.
+func (p *PackedA) Cols() int { return p.k }
+
+// PackA packs the row-major m x k matrix a for the fast GEMM kernels.  The
+// returned PackedA aliases a (callers must not mutate a afterwards), plus
+// one panel buffer allocated here: packing happens once per weight matrix,
+// keeping the per-inference steady state allocation-free.
+func PackA(a []float32, m, k int) *PackedA {
+	if m <= 0 || k <= 0 {
+		panic("tensor: PackA dims must be positive")
+	}
+	if len(a) < m*k {
+		panic("tensor: PackA buffer too small")
+	}
+	p := &PackedA{src: a[:m*k], m: m, k: k}
+	full := m / nnMR
+	if full == 0 {
+		return p
+	}
+	p.panels = make([]float32, full*nnMR*k)
+	for pi := 0; pi < full; pi++ {
+		base := pi * nnMR * k
+		r := pi * nnMR
+		for l := 0; l < k; l++ {
+			p.panels[base+l*nnMR+0] = a[r*k+l]
+			p.panels[base+l*nnMR+1] = a[(r+1)*k+l]
+			p.panels[base+l*nnMR+2] = a[(r+2)*k+l]
+			p.panels[base+l*nnMR+3] = a[(r+3)*k+l]
+		}
+	}
+	return p
+}
+
+// fastVecCols returns the microkernel column tile width for tier t (0 when
+// the tier has no vector kernel).
+func fastVecCols(t SIMDTier) int {
+	switch t {
+	case TierFMA:
+		return 16
+	case TierAVX512:
+		return 32
+	default:
+		return 0
+	}
+}
+
+// GemmNNFast computes dst = A*B + bias like GemmNN, with A pre-packed and
+// the active fast tier's kernels.  b is k x n row-major with row stride ldb
+// (>= n); dst rows are also ldb apart.  Results agree with GemmNN within
+// float32 rounding, not bit-exactly.
+func GemmNNFast(dst []float32, pa *PackedA, b, bias []float32, n, ldb int) {
+	checkGemmNNArgs(dst, pa.src, b, bias, pa.m, n, pa.k, ldb)
+	gemmNNFastRows(dst, pa, b, bias, n, ldb, 0, pa.m, fastTier)
+}
+
+// GemmNNFastParallel is GemmNNFast with the row dimension split across up
+// to workers goroutines.  Row panels are tile-aligned and each output
+// element is produced by exactly one worker, so — unlike the batch-size-
+// dependent column tails — the result is identical for any worker count.
+func GemmNNFastParallel(dst []float32, pa *PackedA, b, bias []float32, n, ldb, workers int) {
+	checkGemmNNArgs(dst, pa.src, b, bias, pa.m, n, pa.k, ldb)
+	t := fastTier
+	if serialRows(pa.m, int64(pa.m)*int64(n)*int64(pa.k), workers) {
+		gemmNNFastRows(dst, pa, b, bias, n, ldb, 0, pa.m, t)
+		return
+	}
+	forEachRowPanel(pa.m, workers, func(r0, r1 int) {
+		gemmNNFastRows(dst, pa, b, bias, n, ldb, r0, r1, t)
+	})
+}
+
+// gemmNNFastRows runs the blocked fast kernel over output rows [r0, r1),
+// reusing the reference path's panel geometry (nnKC depth slabs, nnNC
+// column panels) so the streamed b block stays L2-resident.  Full 4-row
+// panels with wide column blocks go to the tier's FMA/AVX-512 kernel; on
+// the AVX-512 tier a 16-column FMA block mops up before the scalar tail.
+// Remainder rows and narrow tails use the order-preserving scalar kernel on
+// the retained row-major weights.
+func gemmNNFastRows(dst []float32, pa *PackedA, b, bias []float32, n, ldb, r0, r1 int, t SIMDTier) {
+	k := pa.k
+	for i := r0; i < r1; i++ {
+		row := dst[i*ldb : i*ldb+n]
+		if bias != nil {
+			bi := bias[i]
+			for j := range row {
+				row[j] = bi
+			}
+		} else {
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	vw := fastVecCols(t)
+	for kb := 0; kb < k; kb += nnKC {
+		kc := k - kb
+		if kc > nnKC {
+			kc = nnKC
+		}
+		for jb := 0; jb < n; jb += nnNC {
+			nc := n - jb
+			if nc > nnNC {
+				nc = nnNC
+			}
+			i := r0
+			if vw > 0 {
+				for ; i+nnMR <= r1; i += nnMR {
+					ncVec := nc &^ (vw - 1)
+					ap := pa.panels[(i/nnMR)*nnMR*k+kb*nnMR:]
+					if ncVec > 0 {
+						if t == TierAVX512 {
+							gemmNNAVX512Kernel(dst[i*ldb+jb:], ap, b[kb*ldb+jb:], kc, ncVec, ldb)
+						} else {
+							gemmNNFMAKernel(dst[i*ldb+jb:], ap, b[kb*ldb+jb:], kc, ncVec, ldb)
+						}
+					}
+					if t == TierAVX512 && nc-ncVec >= 16 {
+						gemmNNFMAKernel(dst[i*ldb+jb+ncVec:], ap, b[kb*ldb+jb+ncVec:], kc, 16, ldb)
+						ncVec += 16
+					}
+					if ncVec < nc {
+						gemmNNScalar(dst, pa.src, b, k, ldb, kb, kc, jb+ncVec, nc-ncVec, i, i+nnMR)
+					}
+				}
+			}
+			if i < r1 {
+				gemmNNScalar(dst, pa.src, b, k, ldb, kb, kc, jb, nc, i, r1)
+			}
+		}
+	}
+}
+
+// MatVecFast computes dst = W*x + bias like MatVecBias using the active
+// tier's fused-multiply-add dot kernel with four independent accumulator
+// chains per row.  W streams once from memory in its natural row-major
+// layout (a mat-vec is bandwidth-bound, so panel packing buys nothing
+// here).  Results agree with MatVecBias within float32 rounding.
+func MatVecFast(dst, w, x, bias []float32, rows, cols int) {
+	checkMatVecArgs(dst, w, x, bias, rows, cols)
+	matVecFastRows(dst, w, x, bias, cols, 0, rows, fastTier)
+}
+
+// MatVecFastParallel is MatVecFast with rows split across up to workers
+// goroutines.
+func MatVecFastParallel(dst, w, x, bias []float32, rows, cols, workers int) {
+	checkMatVecArgs(dst, w, x, bias, rows, cols)
+	t := fastTier
+	if serialRows(rows, int64(rows)*int64(cols), workers) {
+		matVecFastRows(dst, w, x, bias, cols, 0, rows, t)
+		return
+	}
+	forEachRowPanel(rows, workers, func(r0, r1 int) {
+		matVecFastRows(dst, w, x, bias, cols, r0, r1, t)
+	})
+}
+
+func matVecFastRows(dst, w, x, bias []float32, cols, r0, r1 int, t SIMDTier) {
+	var nv int
+	avx512 := false
+	switch {
+	// Prefer the ZMM dot only when its 64-wide step covers the row to
+	// within 32 elements; otherwise the FMA variant leaves a shorter
+	// scalar tail (cols&^31 vs cols&^63) and wins on narrow rows like
+	// the 100-wide recurrent gates.
+	case t == TierAVX512 && cols >= 64 && cols%64 < 32:
+		nv, avx512 = cols&^63, true
+	case t >= TierFMA && cols >= 32:
+		nv = cols &^ 31
+	default:
+		matVecRows(dst, w, x, bias, cols, r0, r1)
+		return
+	}
+	for i := r0; i < r1; i++ {
+		row := w[i*cols : i*cols+cols]
+		var s float32
+		if avx512 {
+			s = dotAVX512(row, x, nv)
+		} else {
+			s = dotFMA(row, x, nv)
+		}
+		for l := nv; l < cols; l++ {
+			s += row[l] * x[l]
+		}
+		if bias != nil {
+			s += bias[i]
+		}
+		dst[i] = s
+	}
+}

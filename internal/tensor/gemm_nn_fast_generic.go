@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no fast vector kernels: the detected tier is
+// generic and the fast entry points run the portable order-preserving
+// scalar path.  The stubs below are unreachable (fastVecCols returns 0 for
+// TierGeneric and SetFastTier clamps to the detected maximum) but must
+// exist for the package to compile.
+
+var fastTierDetected = TierGeneric
+
+func gemmNNFMAKernel(dst, ap, b []float32, kc, nc, ldb int) {
+	panic("tensor: FMA kernel called on non-amd64 build")
+}
+
+func gemmNNAVX512Kernel(dst, ap, b []float32, kc, nc, ldb int) {
+	panic("tensor: AVX-512 kernel called on non-amd64 build")
+}
+
+func dotFMA(a, b []float32, n int) float32 {
+	panic("tensor: FMA dot kernel called on non-amd64 build")
+}
+
+func dotAVX512(a, b []float32, n int) float32 {
+	panic("tensor: AVX-512 dot kernel called on non-amd64 build")
+}

@@ -1,0 +1,356 @@
+package tensor
+
+import "math"
+
+// Symmetric int8 quantized kernels: the lowest rung of the fast-numerics
+// tier.  Weights are quantized once per matrix with one scale per output
+// row (per-channel), activations once per layer invocation with a single
+// scale, products accumulate exactly in int32 and results dequantize to
+// float32 at layer exit.
+//
+// Two representation choices serve the AVX2 microkernel while keeping every
+// tier bit-identical in integer space:
+//
+//   - Weights quantize to [-63, 63] instead of the full int8 range: the
+//     VPMADDUBSW step sums two adjacent u8*s8 products into an int16, and
+//     255*63*2 = 32130 is the widest weight range that cannot saturate it.
+//     The lost bit of weight precision is part of the tier's accuracy
+//     contract (validated by the top-1 golden tests).
+//   - Activations are stored offset-binary as u8 = q+128.  The kernel
+//     accumulates sum((q+128)*w) and callers subtract the per-row
+//     compensation 128*sum(w) (precomputed at pack time), recovering
+//     sum(q*w) exactly in integer arithmetic.  The generic fallback
+//     computes the same quantity the same way, so kernel and fallback agree
+//     bit for bit and the tier override never changes int8 results.
+//
+// Depth dimensions are zero-padded to int8KPad: padded weights are zero, so
+// padded positions contribute nothing regardless of the activation bytes.
+
+const (
+	// int8WeightMax is the symmetric weight quantization range (see above).
+	int8WeightMax = 63
+	// int8KPad is the depth padding unit: one full iteration of the widest
+	// int8 kernel, so the vector kernels never need a scalar depth tail.
+	int8KPad = 32
+	// int8NR is the column tile of the int8 GEMM microkernel.
+	int8NR = 8
+)
+
+// PackedInt8 holds an m x k weight matrix quantized and packed once for the
+// int8 kernels: row-major int8 with rows padded to a multiple of int8KPad,
+// one scale and one compensation term per output row.  Immutable after
+// PackInt8 and safe for concurrent use.
+type PackedInt8 struct {
+	wq     []int8
+	scales []float32
+	comp   []int32
+	m, k   int
+	kPad   int
+}
+
+// Rows returns m, the number of output rows.
+func (p *PackedInt8) Rows() int { return p.m }
+
+// Cols returns k, the unpadded depth dimension.
+func (p *PackedInt8) Cols() int { return p.k }
+
+// KPad returns the padded depth stride; activation buffers fed to the int8
+// kernels must be padded to this length.
+func (p *PackedInt8) KPad() int { return p.kPad }
+
+// Scale returns the weight quantization scale of output row i.
+func (p *PackedInt8) Scale(i int) float32 { return p.scales[i] }
+
+// PackInt8 quantizes the row-major m x k float32 matrix a to the packed
+// int8 layout with one symmetric scale per row.
+func PackInt8(a []float32, m, k int) *PackedInt8 {
+	if m <= 0 || k <= 0 {
+		panic("tensor: PackInt8 dims must be positive")
+	}
+	if len(a) < m*k {
+		panic("tensor: PackInt8 buffer too small")
+	}
+	kPad := (k + int8KPad - 1) &^ (int8KPad - 1)
+	p := &PackedInt8{
+		wq:     make([]int8, m*kPad),
+		scales: make([]float32, m),
+		comp:   make([]int32, m),
+		m:      m, k: k, kPad: kPad,
+	}
+	for i := 0; i < m; i++ {
+		row := a[i*k : i*k+k]
+		var maxAbs float32
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+		scale := maxAbs / int8WeightMax
+		if maxAbs == 0 {
+			scale = 1
+		}
+		inv := 1 / scale
+		var sum int32
+		dst := p.wq[i*kPad:]
+		for l, v := range row {
+			q := quantRound(v*inv, int8WeightMax)
+			dst[l] = int8(q)
+			sum += q
+		}
+		p.scales[i] = scale
+		p.comp[i] = 128 * sum
+	}
+	return p
+}
+
+// quantRound rounds v to the nearest integer (half away from zero) clamped
+// to [-limit, limit].
+func quantRound(v float32, limit int32) int32 {
+	if v >= 0 {
+		v += 0.5
+	} else {
+		v -= 0.5
+	}
+	q := int32(v)
+	if q > limit {
+		q = limit
+	}
+	if q < -limit {
+		q = -limit
+	}
+	return q
+}
+
+// QuantizeU8 quantizes src symmetrically to offset-binary u8 (q+128) and
+// returns the activation scale.  dst must have room for len(src) plus any
+// padding the caller needs; padded bytes are left untouched (padded weight
+// positions are zero, so their activation bytes never matter).
+func QuantizeU8(dst []uint8, src []float32) float32 {
+	var maxAbs float32
+	for _, v := range src {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	scale := maxAbs / 127
+	if maxAbs == 0 {
+		scale = 1
+	}
+	inv := 1 / scale
+	for i, v := range src {
+		dst[i] = uint8(quantRound(v*inv, 127) + 128)
+	}
+	return scale
+}
+
+// Int8PackedLen returns the activation buffer size PackColsU8 needs for a
+// kPad x n matrix: column tiles of int8NR are padded up so the kernel can
+// stream whole tiles.
+func Int8PackedLen(kPad, n int) int {
+	return (n + int8NR - 1) / int8NR * int8NR * kPad
+}
+
+// int8BIndex returns the PackColsU8 offset of depth l, column j.
+func int8BIndex(l, j, kPad int) int {
+	return (j/int8NR)*kPad*int8NR + (l/4)*int8NR*4 + (j%int8NR)*4 + l%4
+}
+
+// PackColsU8 quantizes the l-major k x n float32 matrix b (row stride ldb)
+// into the column-tile-major u8 block layout the int8 GEMM kernel consumes:
+// tiles of int8NR columns store their depth-4-interleaved blocks
+// contiguously, so the kernel's activation reads are fully sequential
+// (dst[int8BIndex(l, j, kPad)] = q(b[l][j]) + 128).  Depth rows [k, kPad)
+// and columns [n, tile end) are zeroed for determinism.  dst must hold
+// Int8PackedLen(kPad, n) bytes; kPad must be a multiple of int8KPad
+// covering k.  Returns the activation scale.
+func PackColsU8(dst []uint8, b []float32, k, n, ldb, kPad int) float32 {
+	var maxAbs float32
+	for l := 0; l < k; l++ {
+		row := b[l*ldb : l*ldb+n]
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	scale := maxAbs / 127
+	if maxAbs == 0 {
+		scale = 1
+	}
+	inv := 1 / scale
+	zeroPad8(dst, k, n, kPad)
+	for l := 0; l < k; l++ {
+		row := b[l*ldb : l*ldb+n]
+		base := (l/4)*int8NR*4 + l%4
+		jb := 0
+		for ; jb+int8NR <= n; jb += int8NR {
+			tile := dst[(jb/int8NR)*kPad*int8NR+base:]
+			for t, v := range row[jb : jb+int8NR] {
+				tile[t*4] = uint8(roundHalfAway(v*inv) + 128)
+			}
+		}
+		for j := jb; j < n; j++ {
+			dst[(j/int8NR)*kPad*int8NR+base+(j%int8NR)*4] = uint8(roundHalfAway(row[j]*inv) + 128)
+		}
+	}
+	return scale
+}
+
+// roundHalfAway rounds to the nearest integer, halves away from zero,
+// without the clamp (and the branches) of quantRound.  PackColsU8 inputs
+// satisfy |v*inv| <= 127*(1+ulp), so the result always fits [-127, 127]
+// and matches quantRound(v, 127) bit for bit.
+func roundHalfAway(x float32) int32 {
+	half := math.Float32frombits(0x3f000000 | math.Float32bits(x)&0x80000000)
+	return int32(x + half)
+}
+
+// zeroPad8 zeroes exactly the padded positions of a PackColsU8 buffer: the
+// depth rows [k, kPad) of every column tile plus any ragged columns of the
+// last tile.  Valid positions are all overwritten by the quantize loop, so
+// the buffer need not start out clean.
+func zeroPad8(dst []uint8, k, n, kPad int) {
+	tiles := (n + int8NR - 1) / int8NR
+	kFloor := k &^ 3 // the partial depth block holds pad bytes too
+	for t := 0; t < tiles; t++ {
+		tail := dst[t*kPad*int8NR+kFloor*int8NR : (t+1)*kPad*int8NR]
+		for i := range tail {
+			tail[i] = 0
+		}
+	}
+	if r := n % int8NR; r != 0 {
+		last := dst[(tiles-1)*kPad*int8NR : tiles*kPad*int8NR]
+		for i := range last {
+			last[i] = 0
+		}
+	}
+}
+
+// GemmInt8 computes dst = dequant(Wq * Xq) + bias for the packed int8
+// weight matrix pw (m x k) against the packed u8 activation matrix bp
+// (PackColsU8 layout, kPad x n, quantized with xScale).  acc is the int32
+// accumulator staging buffer (>= m*n); dst is m x n row-major.  bias has
+// one element per row and may be nil.  The integer accumulation is exact,
+// so results are identical across tiers and worker counts.
+func GemmInt8(dst []float32, pw *PackedInt8, bp []uint8, acc []int32, bias []float32, xScale float32, n, workers int) {
+	m, kPad := pw.m, pw.kPad
+	if n <= 0 {
+		panic("tensor: GemmInt8 n must be positive")
+	}
+	if len(dst) < m*n || len(acc) < m*n || len(bp) < Int8PackedLen(kPad, n) {
+		panic("tensor: GemmInt8 buffers too small")
+	}
+	if bias != nil && len(bias) < m {
+		panic("tensor: GemmInt8 bias too short")
+	}
+	vec := int8Vector()
+	if serialRows(m, int64(m)*int64(n)*int64(kPad), workers) {
+		gemmInt8Rows(dst, pw, bp, acc, bias, xScale, n, 0, m, vec)
+		return
+	}
+	forEachRowPanel(m, workers, func(r0, r1 int) {
+		gemmInt8Rows(dst, pw, bp, acc, bias, xScale, n, r0, r1, vec)
+	})
+}
+
+func gemmInt8Rows(dst []float32, pw *PackedInt8, bp []uint8, acc []int32, bias []float32, xScale float32, n, r0, r1 int, vec bool) {
+	kPad := pw.kPad
+	i := r0
+	if vec {
+		ncVec := n &^ (int8NR - 1)
+		for ; i+nnMR <= r1; i += nnMR {
+			if ncVec > 0 {
+				gemmInt8Kernel(acc[i*n:], pw.wq[i*kPad:], bp, kPad/4, ncVec, kPad, n)
+			}
+			if ncVec < n {
+				gemmInt8Scalar(acc, pw.wq, bp, kPad, n, ncVec, n-ncVec, i, i+nnMR)
+			}
+		}
+	}
+	if i < r1 {
+		gemmInt8Scalar(acc, pw.wq, bp, kPad, n, 0, n, i, r1)
+	}
+	for i := r0; i < r1; i++ {
+		f := pw.scales[i] * xScale
+		c := pw.comp[i]
+		var b0 float32
+		if bias != nil {
+			b0 = bias[i]
+		}
+		ai := acc[i*n : i*n+n]
+		di := dst[i*n : i*n+n]
+		for j, v := range ai {
+			di[j] = float32(v-c)*f + b0
+		}
+	}
+}
+
+// gemmInt8Scalar is the portable kernel: identical integer results to the
+// vector kernel (sum of w * offset-binary activation bytes).
+func gemmInt8Scalar(acc []int32, wq []int8, bp []uint8, kPad, n, jb, nc, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		row := wq[i*kPad : i*kPad+kPad]
+		for j := jb; j < jb+nc; j++ {
+			tile := bp[(j/int8NR)*kPad*int8NR+(j%int8NR)*4:]
+			var s int32
+			for l := 0; l < kPad; l += 4 {
+				base := l * int8NR
+				s += int32(row[l])*int32(tile[base]) +
+					int32(row[l+1])*int32(tile[base+1]) +
+					int32(row[l+2])*int32(tile[base+2]) +
+					int32(row[l+3])*int32(tile[base+3])
+			}
+			acc[i*n+j] = s
+		}
+	}
+}
+
+// MatVecInt8 computes dst = dequant(Wq * xq) + bias for a quantized vector
+// xq (QuantizeU8 offset-binary layout padded to pw.KPad() bytes, scale
+// xScale).  Identical integer results across tiers and worker counts.
+func MatVecInt8(dst []float32, pw *PackedInt8, xq []uint8, bias []float32, xScale float32, workers int) {
+	m, kPad := pw.m, pw.kPad
+	if len(dst) < m || len(xq) < kPad {
+		panic("tensor: MatVecInt8 buffers too small")
+	}
+	if bias != nil && len(bias) < m {
+		panic("tensor: MatVecInt8 bias too short")
+	}
+	vec := int8Vector()
+	if serialRows(m, int64(m)*int64(kPad), workers) {
+		matVecInt8Rows(dst, pw, xq, bias, xScale, 0, m, vec)
+		return
+	}
+	forEachRowPanel(m, workers, func(r0, r1 int) {
+		matVecInt8Rows(dst, pw, xq, bias, xScale, r0, r1, vec)
+	})
+}
+
+func matVecInt8Rows(dst []float32, pw *PackedInt8, xq []uint8, bias []float32, xScale float32, r0, r1 int, vec bool) {
+	kPad := pw.kPad
+	for i := r0; i < r1; i++ {
+		row := pw.wq[i*kPad : i*kPad+kPad]
+		var s int32
+		if vec {
+			s = dotInt8Kernel(row, xq, kPad)
+		} else {
+			for l, wv := range row {
+				s += int32(wv) * int32(xq[l])
+			}
+		}
+		v := float32(s-pw.comp[i]) * pw.scales[i] * xScale
+		if bias != nil {
+			v += bias[i]
+		}
+		dst[i] = v
+	}
+}

@@ -1,0 +1,26 @@
+package tensor
+
+// amd64 wiring for the int8 kernels (int8_amd64.s).  The kernels need AVX2
+// (VPMADDUBSW/VPMADDWD); the FMA tier implies AVX2, so the int8 vector path
+// follows the same override ladder as the float fast kernels — forcing
+// TierGeneric exercises the portable fallback, which is bit-identical in
+// integer space.
+
+// gemmInt8Kernel computes acc[r][j] = sum_l w[r][l]*bp(l, j) for r in
+// [0,4), j in [0,nc), over kc4*4 depth steps: w rows are ldw bytes apart
+// (signed weights), bp is the PackColsU8 depth-4-interleaved offset-binary
+// activation block, and acc rows are n int32s apart.  nc must be a positive
+// multiple of 8; kc4 positive.  acc is overwritten, not accumulated.
+//
+//go:noescape
+func gemmInt8Kernel(acc []int32, w []int8, bp []uint8, kc4, nc, ldw, n int)
+
+// dotInt8Kernel returns sum_l w[l]*x[l] for signed weights against
+// offset-binary activations; n must be a positive multiple of 32.
+//
+//go:noescape
+func dotInt8Kernel(w []int8, x []uint8, n int) int32
+
+// int8Vector reports whether the int8 vector kernels are usable under the
+// active tier.
+func int8Vector() bool { return fastTier >= TierFMA }

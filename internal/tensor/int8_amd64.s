@@ -1,0 +1,120 @@
+// AVX2 int8 microkernels (see int8.go): u8 offset-binary activations
+// against s8 weights via VPMADDUBSW + VPMADDWD, accumulating exactly in
+// int32.  Weight quantization is capped at ±63, which keeps the paired
+// VPMADDUBSW products inside int16 (255*63*2 = 32130 < 32767), so the
+// kernels never saturate and match the portable fallback bit for bit.
+
+#include "textflag.h"
+
+// func gemmInt8Kernel(acc []int32, w []int8, bp []uint8, kc4, nc, ldw, n int)
+//
+// 4x8 int32 tile over kc4 four-deep blocks: acc[r][j] = sum of
+// w[r][l]*bp(l, j).  w rows are ldw bytes apart; bp is the PackColsU8
+// column-tile-major activation block — each 8-column tile stores its kc4
+// 32-byte depth blocks contiguously, so the kernel streams bp strictly
+// sequentially across the whole call; acc rows are n int32s apart.  nc must
+// be a positive multiple of 8.  Callers pre-offset the slice bases.
+TEXT ·gemmInt8Kernel(SB), NOSPLIT, $0-104
+	MOVQ acc_base+0(FP), DI
+	MOVQ w_base+24(FP), SI
+	MOVQ bp_base+48(FP), BX
+	MOVQ kc4+72(FP), CX
+	MOVQ nc+80(FP), R8
+	MOVQ ldw+88(FP), R9
+	MOVQ n+96(FP), R10
+	SHLQ $2, R10             // acc row stride == bp depth-block stride, bytes
+
+	// Y14 = sixteen int16 ones for the VPMADDWD pair reduction.
+	VPCMPEQW Y14, Y14, Y14
+	VPSRLW   $15, Y14, Y14
+
+	// w row pointers (advance via the shared depth offset in SI below).
+	MOVQ SI, R12             // w0
+	LEAQ (R12)(R9*1), R13    // w1
+	LEAQ (R13)(R9*1), R14    // w2
+	LEAQ (R14)(R9*1), R15    // w3
+
+	XORQ AX, AX              // output column index
+	MOVQ BX, DX              // bp streams sequentially across column tiles
+
+i8col:
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+
+	XORQ SI, SI              // depth-block byte offset into the w rows
+	MOVQ CX, R11             // depth-block counter
+
+i8k:
+	VMOVDQU      (DX), Y8    // 8 columns x 4 depth steps of u8 activations
+	ADDQ         $32, DX     // next depth block of this tile
+	VPBROADCASTD (R12)(SI*1), Y9
+	VPMADDUBSW   Y9, Y8, Y10
+	VPMADDWD     Y14, Y10, Y10
+	VPADDD       Y10, Y0, Y0
+	VPBROADCASTD (R13)(SI*1), Y9
+	VPMADDUBSW   Y9, Y8, Y10
+	VPMADDWD     Y14, Y10, Y10
+	VPADDD       Y10, Y1, Y1
+	VPBROADCASTD (R14)(SI*1), Y9
+	VPMADDUBSW   Y9, Y8, Y10
+	VPMADDWD     Y14, Y10, Y10
+	VPADDD       Y10, Y2, Y2
+	VPBROADCASTD (R15)(SI*1), Y9
+	VPMADDUBSW   Y9, Y8, Y10
+	VPMADDWD     Y14, Y10, Y10
+	VPADDD       Y10, Y3, Y3
+	ADDQ $4, SI
+	DECQ R11
+	JNE  i8k
+
+	// ldw in R9 is dead after the row-pointer setup; reuse it for stores.
+	LEAQ (DI)(AX*4), R9
+	VMOVDQU Y0, (R9)
+	ADDQ R10, R9
+	VMOVDQU Y1, (R9)
+	ADDQ R10, R9
+	VMOVDQU Y2, (R9)
+	ADDQ R10, R9
+	VMOVDQU Y3, (R9)
+
+	ADDQ $8, AX              // next 8-column block
+	CMPQ AX, R8
+	JLT  i8col
+
+	VZEROUPPER
+	RET
+
+// func dotInt8Kernel(w []int8, x []uint8, n int) int32
+//
+// Contiguous s8 x offset-binary-u8 dot product; n must be a positive
+// multiple of 32.
+TEXT ·dotInt8Kernel(SB), NOSPLIT, $0-60
+	MOVQ w_base+0(FP), SI
+	MOVQ x_base+24(FP), DX
+	MOVQ n+48(FP), CX
+
+	VPCMPEQW Y14, Y14, Y14
+	VPSRLW   $15, Y14, Y14
+	VPXOR    Y0, Y0, Y0
+
+i8dot:
+	VMOVDQU    (DX), Y8      // activations (unsigned)
+	VMOVDQU    (SI), Y9      // weights (signed)
+	VPMADDUBSW Y9, Y8, Y10
+	VPMADDWD   Y14, Y10, Y10
+	VPADDD     Y10, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DX
+	SUBQ $32, CX
+	JNE  i8dot
+
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPHADDD      X0, X0, X0
+	VPHADDD      X0, X0, X0
+	VZEROUPPER
+	MOVQ X0, AX
+	MOVL AX, ret+56(FP)
+	RET

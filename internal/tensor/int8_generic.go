@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the portable int8 fallback, which produces the same
+// int32 accumulations as the vector kernels bit for bit.
+
+func int8Vector() bool { return false }
+
+func gemmInt8Kernel(acc []int32, w []int8, bp []uint8, kc4, nc, ldw, n int) {
+	panic("tensor: int8 kernel called on non-amd64 build")
+}
+
+func dotInt8Kernel(w []int8, x []uint8, n int) int32 {
+	panic("tensor: int8 dot kernel called on non-amd64 build")
+}

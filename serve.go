@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tango/internal/networks"
+	"tango/internal/nn"
 	"tango/internal/resilience"
 	"tango/internal/serve"
 )
@@ -52,6 +53,12 @@ type ServerConfig struct {
 	// BreakerCooldown is how long an open breaker waits before letting a
 	// probe request test recovery.  <=0 selects the resilience default (2s).
 	BreakerCooldown time.Duration
+	// Numerics selects the compute-engine numerics tier for every served
+	// benchmark: "" or "reference" (default, bit-exact), "fast"
+	// (WithFastMath) or "int8" (WithInt8).  Under a fast tier, served
+	// results preserve each request's top-1 class but are no longer
+	// bit-identical to single-sample Classify / Forecast.
+	Numerics string
 }
 
 // Server coalesces concurrent inference requests into batched engine runs.
@@ -107,6 +114,23 @@ func NewServer(benchmarks []string, cfg ServerConfig) (*Server, error) {
 	var opts []SimOption
 	if cfg.Parallelism != 0 {
 		opts = append(opts, WithParallelism(cfg.Parallelism))
+	}
+	if cfg.Numerics != "" {
+		// An explicit config pins the tier even when TANGO_NUMERICS is
+		// set; an empty Numerics leaves the environment default in
+		// effect (resolved per run by nativeSettings).
+		mode, err := nn.ParseNumerics(cfg.Numerics)
+		if err != nil {
+			return nil, fmt.Errorf("tango: NewServer: %w", err)
+		}
+		switch mode {
+		case nn.NumericsFast:
+			opts = append(opts, WithFastMath())
+		case nn.NumericsInt8:
+			opts = append(opts, WithInt8())
+		default:
+			opts = append(opts, WithReferenceNumerics())
+		}
 	}
 	s := &Server{cfg: cfg, models: make(map[string]*serverModel, len(benchmarks))}
 	for _, name := range benchmarks {

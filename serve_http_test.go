@@ -95,6 +95,12 @@ func TestHTTPClassify(t *testing.T) {
 				errs[i] = fmt.Errorf("class %d, want %d", got.Class, want.Class)
 				return
 			}
+			if tol := envProbTol(t); tol > 0 {
+				if re := maxRelErr(got.Probabilities, want.Probabilities); re > tol {
+					errs[i] = fmt.Errorf("relative error %.3g exceeds %.3g", re, tol)
+				}
+				return
+			}
 			for j := range got.Probabilities {
 				if math.Float32bits(got.Probabilities[j]) != math.Float32bits(want.Probabilities[j]) {
 					errs[i] = fmt.Errorf("prob %d: served %v, local %v", j, got.Probabilities[j], want.Probabilities[j])
@@ -149,9 +155,7 @@ func TestHTTPForecast(t *testing.T) {
 	if err := json.Unmarshal(data, &got); err != nil {
 		t.Fatal(err)
 	}
-	if math.Float64bits(got.Prediction) != math.Float64bits(want) {
-		t.Fatalf("prediction %v, want %v (not bit-identical)", got.Prediction, want)
-	}
+	sameForecast(t, "HTTP forecast", got.Prediction, want)
 }
 
 // TestHTTPBadRequests covers the 4xx mapping: empty body and wrong-shape

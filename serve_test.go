@@ -3,7 +3,7 @@ package tango_test
 import (
 	"context"
 	"errors"
-	"math"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -71,12 +71,7 @@ func TestServerClassifyBitExact(t *testing.T) {
 		if got[i].Class != want[i].Class {
 			t.Fatalf("request %d: class %d, want %d", i, got[i].Class, want[i].Class)
 		}
-		for j := range got[i].Probabilities {
-			if math.Float32bits(got[i].Probabilities[j]) != math.Float32bits(want[i].Probabilities[j]) {
-				t.Fatalf("request %d prob %d: served %v, local %v (not bit-identical)",
-					i, j, got[i].Probabilities[j], want[i].Probabilities[j])
-			}
-		}
+		sameProbs(t, fmt.Sprintf("request %d", i), got[i].Probabilities, want[i].Probabilities)
 	}
 
 	st := srv.Stats()
@@ -131,9 +126,7 @@ func TestServerForecastBitExact(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("request %d: %v", i, errs[i])
 		}
-		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
-			t.Fatalf("request %d: served %v, local %v (not bit-identical)", i, got[i], want[i])
-		}
+		sameForecast(t, fmt.Sprintf("request %d", i), got[i], want[i])
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"tango/internal/device"
 	"tango/internal/gpusim"
 	"tango/internal/networks"
+	"tango/internal/nn"
 	"tango/internal/par"
 	"tango/internal/power"
 	"tango/internal/profiler"
@@ -27,6 +28,8 @@ type simSettings struct {
 	scheduler   sched.Kind
 	sampling    gpusim.Sampling
 	parallelism int
+	numerics    nn.Numerics
+	numericsSet bool
 }
 
 // SimOption configures Simulate.
@@ -92,6 +95,47 @@ func WithParallelism(n int) SimOption {
 			n = runtime.GOMAXPROCS(0)
 		}
 		s.parallelism = n
+		return nil
+	}
+}
+
+// WithFastMath selects the fast-numerics inference tier for native runs:
+// weights are packed once per benchmark into kernel-native panel layout and
+// convolutions / fully-connected layers run FMA multi-accumulator kernels
+// (AVX-512 where the CPU supports it).  Outputs are no longer bit-identical
+// to the default tier — they agree within a small relative error
+// (~1e-3 worst case) and preserve the top-1 class on every built-in network.
+// Simulation (Simulate / Sweep) always models the reference numerics and is
+// unaffected.  The TANGO_NUMERICS environment variable ("fast", "int8",
+// "reference") selects a default tier for runs that pass no numerics option.
+func WithFastMath() SimOption {
+	return func(s *simSettings) error {
+		s.numerics = nn.NumericsFast
+		s.numericsSet = true
+		return nil
+	}
+}
+
+// WithInt8 selects the int8 quantized inference tier for native runs:
+// convolution and fully-connected weights are quantized symmetrically per
+// output channel at pack time, activations per layer, with exact int32
+// accumulation.  The top-1 class is preserved on every built-in network but
+// output probabilities carry quantization error (a few percent); recurrent
+// gates have no int8 lowering and use the fast float tier instead.
+func WithInt8() SimOption {
+	return func(s *simSettings) error {
+		s.numerics = nn.NumericsInt8
+		s.numericsSet = true
+		return nil
+	}
+}
+
+// WithReferenceNumerics forces the default bit-exact tier, overriding a
+// TANGO_NUMERICS environment default.
+func WithReferenceNumerics() SimOption {
+	return func(s *simSettings) error {
+		s.numerics = nn.NumericsReference
+		s.numericsSet = true
 		return nil
 	}
 }
@@ -226,6 +270,13 @@ type SweepConfig struct {
 	// context still aborts (it is the caller giving up, not a cell
 	// failing).
 	Partial bool
+	// Numerics annotates every record with the compute-engine numerics
+	// tier the characterized deployment runs under: "" or "reference"
+	// (default), "fast" or "int8".  The simulated statistics themselves
+	// always model the reference kernels; the column keys the dataset so
+	// downstream tooling can join it against fast-tier throughput
+	// measurements without ambiguity.
+	Numerics string
 }
 
 // sweepVariants expands the config's L1/scheduler dimensions into the variant
@@ -332,6 +383,14 @@ func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	numerics, err := nn.ParseNumerics(cfg.Numerics)
+	if err != nil {
+		return nil, fmt.Errorf("tango: sweep: %w", err)
+	}
+	numericsCol := ""
+	if numerics != nn.NumericsReference {
+		numericsCol = numerics.String()
+	}
 
 	type sweepCell struct {
 		t target.Target
@@ -379,11 +438,12 @@ func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 				return fmt.Errorf("tango: sweep %s on %s (%s): %w", c.n, c.t.Name(), key, runErr)
 			}
 			records[i] = report.Record{
-				Network: c.n,
-				Target:  c.t.Name(),
-				Class:   c.t.Class().String(),
-				Variant: key,
-				Err:     runErr.Error(),
+				Network:  c.n,
+				Target:   c.t.Name(),
+				Class:    c.t.Class().String(),
+				Variant:  key,
+				Err:      runErr.Error(),
+				Numerics: numericsCol,
 			}
 			return nil
 		}
@@ -399,6 +459,7 @@ func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 			AvgWatts:     rs.AvgWatts,
 			EnergyJoules: rs.EnergyJoules,
 			L2MissRatio:  rs.L2MissRatio,
+			Numerics:     numericsCol,
 		}
 		return nil
 	})
