@@ -7,7 +7,7 @@
 //   - every request came back 2xx,
 //   - every response is bit-identical to a local single-sample Classify of
 //     the same input (batching must never change numerics),
-//   - /metrics reports zero queue-full rejections, and
+//   - /v1/stats reports zero queue-full rejections, and
 //   - the mean formed batch size exceeds -min-mean-batch (i.e. dynamic
 //     batching actually engaged under the concurrent load).
 //
@@ -93,7 +93,7 @@ func main() {
 	requests := flag.Int("requests", 96, "total requests to fire (steady profile)")
 	concurrency := flag.Int("concurrency", 16, "concurrent client goroutines")
 	seedBase := flag.Uint64("seed", 1, "first sample seed; request i uses seed+i")
-	minMeanBatch := flag.Float64("min-mean-batch", 1.0, "fail unless /metrics mean_batch_size exceeds this (steady profile)")
+	minMeanBatch := flag.Float64("min-mean-batch", 1.0, "fail unless /v1/stats mean_batch_size exceeds this (steady profile)")
 	verify := flag.Bool("verify", true, "bit-compare every 200 response against a local Classify")
 	readyTimeout := flag.Duration("ready-timeout", 60*time.Second, "max wait for /healthz")
 	profile := flag.String("profile", "steady", "load profile: steady, ramp, spike, drain or chaos")
@@ -208,7 +208,7 @@ func runSteady(baseURL, benchmark string, requests, concurrency int, seedBase ui
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	m, err := fetchMetrics(client, baseURL+"/metrics")
+	m, err := fetchMetrics(client, baseURL+"/v1/stats")
 	if err != nil {
 		log.Fatalf("tango-loadtest: %v", err)
 	}
@@ -361,7 +361,7 @@ func runTimed(profile, baseURL, benchmark string, concurrency int, seedBase uint
 
 	// Snapshot server metrics while the server is still up (best-effort:
 	// the drain profile has already taken it down).
-	if m, err := fetchMetrics(client, baseURL+"/metrics"); err == nil {
+	if m, err := fetchMetrics(client, baseURL+"/v1/stats"); err == nil {
 		fmt.Printf("server metrics: %d requests, %d batches (mean %.2f), %d bisections, %d isolated, %d shed\n",
 			m.Requests, m.Batches, m.MeanBatchSize, sumBisections(m), sumIsolated(m), m.Shed)
 	}
@@ -696,9 +696,10 @@ func errorsAs(err error, target **statusError) bool {
 	return false
 }
 
-// fetchMetrics reads the server's stats snapshot from /metrics, decoding
-// into the server's own exported type so the CI assertions stay type-linked
-// to the JSON shape tango-serve actually emits.
+// fetchMetrics reads the server's stats snapshot from GET /v1/stats (the
+// JSON surface; /metrics is Prometheus text), decoding into the server's own
+// exported type so the CI assertions stay type-linked to the JSON shape
+// tango-serve actually emits.
 func fetchMetrics(client *http.Client, url string) (*tango.ServerStats, error) {
 	resp, err := client.Get(url)
 	if err != nil {

@@ -9,8 +9,9 @@
 //
 //	POST /v1/classify  {"benchmark":"CifarNet","image":[...]} or {"benchmark":...,"seed":N}
 //	POST /v1/forecast  {"benchmark":"LSTM","history":[...]}   or {"benchmark":...,"seed":N}
-//	GET  /healthz
-//	GET  /metrics
+//	GET  /v1/stats     JSON stats snapshot
+//	GET  /healthz      tri-state health
+//	GET  /metrics      Prometheus text exposition
 //
 // Concurrent requests to the same benchmark are coalesced into batched
 // engine runs (up to -max-batch per batch, waiting at most -max-delay-us for
@@ -19,6 +20,13 @@
 // fast-numerics tiers instead: top-1 classes are preserved but outputs agree
 // only within a tolerance.  A full queue (-queue-depth) rejects with HTTP
 // 429 instead of queuing unboundedly.
+//
+// -slo-ms sets a per-request p99 latency target and turns the fixed batch
+// window into an adaptive one (grown under queue pressure, shrunk when the
+// observed p99 nears the SLO).  -model-budget-mb bounds total resident
+// engine bytes, loading models on demand and evicting idle ones LRU-first.
+// -debug-addr starts a second listener exposing /debug/pprof/* (kept off
+// the serving port so profiling is never publicly reachable by default).
 //
 // Chaos testing: -faults/-fault-seed (or the TANGO_FAULTS/TANGO_FAULT_SEED
 // environment variables) enable the deterministic fault-injection plan, and
@@ -35,6 +43,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +70,50 @@ type shutdownRecord struct {
 	InFlight  int64  `json:"in_flight"`
 	Rejected  uint64 `json:"rejected"`
 	Batches   uint64 `json:"batches"`
+
+	// Models holds the per-benchmark breakdown, keyed by name.  Models that
+	// saw no traffic at all are suppressed rather than emitted as all-zero
+	// rows: a ten-model server that only served one benchmark reports one
+	// row, not nine rows of zeros with empty histograms.
+	Models map[string]modelRecord `json:"models,omitempty"`
+}
+
+// modelRecord is one served benchmark's slice of the shutdown record.
+type modelRecord struct {
+	Submitted     uint64   `json:"submitted"`
+	Completed     uint64   `json:"completed"`
+	Batches       uint64   `json:"batches"`
+	MeanBatchSize float64  `json:"mean_batch_size"`
+	BatchSizeHist []uint64 `json:"batch_size_hist,omitempty"`
+	Rejected      uint64   `json:"rejected,omitempty"`
+	Shed          uint64   `json:"shed,omitempty"`
+	Evictions     uint64   `json:"evictions,omitempty"`
+}
+
+// modelRows builds the per-benchmark breakdown, suppressing rows for models
+// that never saw a request (submitted, rejected and shed all zero).
+func modelRows(st tango.ServerStats) map[string]modelRecord {
+	rows := make(map[string]modelRecord)
+	for name, b := range st.Benchmarks {
+		shed := b.ShedLoad + b.ShedBreaker
+		if b.Submitted == 0 && b.RejectedQueueFull == 0 && shed == 0 {
+			continue
+		}
+		rows[name] = modelRecord{
+			Submitted:     b.Submitted,
+			Completed:     b.Completed,
+			Batches:       b.Batches,
+			MeanBatchSize: b.MeanBatchSize,
+			BatchSizeHist: b.BatchSizeHist,
+			Rejected:      b.RejectedQueueFull,
+			Shed:          shed,
+			Evictions:     b.Evictions,
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows
 }
 
 // exit emits the shutdown record and terminates with its exit code.  srv
@@ -74,6 +127,7 @@ func exit(rec shutdownRecord, srv *tango.Server, atTrigger *tango.ServerStats, s
 		rec.InFlight = st.InFlight
 		rec.Rejected = st.RejectedQueueFull + st.Shed
 		rec.Batches = st.Batches
+		rec.Models = modelRows(st)
 		if atTrigger != nil {
 			rec.Drained = st.Completed - atTrigger.Completed
 		}
@@ -104,6 +158,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault-injection plan")
 	fastmath := flag.Bool("fastmath", false, "serve with the fast-numerics tier (packed weights, FMA/AVX-512 kernels; top-1 preserved, not bit-exact)")
 	int8 := flag.Bool("int8", false, "serve with the int8 quantized tier")
+	sloMS := flag.Float64("slo-ms", 0, "per-request p99 latency SLO in milliseconds; >0 enables adaptive batching (window tuned between 0 and min(max-delay, SLO/2))")
+	modelBudgetMB := flag.Int64("model-budget-mb", 0, "resident model-engine byte budget in MiB; >0 loads models on demand and evicts idle ones LRU-first")
+	onDemand := flag.Bool("on-demand", false, "defer each model's engine load to its first request instead of startup")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address exposing /debug/pprof/* (empty = disabled)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -138,6 +196,17 @@ func main() {
 		numerics = "int8"
 	}
 
+	var serveOpts []tango.ServeOption
+	if *sloMS > 0 {
+		serveOpts = append(serveOpts, tango.WithSLO(time.Duration(*sloMS*float64(time.Millisecond))))
+	}
+	if *modelBudgetMB > 0 {
+		serveOpts = append(serveOpts, tango.WithModelBudget(*modelBudgetMB<<20))
+	}
+	if *onDemand {
+		serveOpts = append(serveOpts, tango.WithOnDemandLoading())
+	}
+
 	log.Printf("loading %s ...", strings.Join(names, ", "))
 	srv, err := tango.NewServer(names, tango.ServerConfig{
 		MaxBatch:       *maxBatch,
@@ -146,9 +215,26 @@ func main() {
 		Parallelism:    *parallel,
 		RequestTimeout: *requestTimeout,
 		Numerics:       numerics,
-	})
+	}, serveOpts...)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	// The pprof surface rides the stdlib DefaultServeMux (registered by the
+	// net/http/pprof import) on its own listener, so profiling is opt-in
+	// and never exposed on the serving address.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail("debug listener: %v", err)
+		}
+		go func() {
+			dsrv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("tango-serve: debug listener: %v", err)
+			}
+		}()
+		log.Printf("pprof on %s/debug/pprof/", dln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -169,8 +255,12 @@ func main() {
 	if tier == "" {
 		tier = "reference"
 	}
-	log.Printf("serving %s on %s (max-batch %d, max-delay %dus, queue-depth %d, numerics %s)",
-		strings.Join(names, ", "), ln.Addr(), *maxBatch, *maxDelayUS, *queueDepth, tier)
+	batching := fmt.Sprintf("max-delay %dus", *maxDelayUS)
+	if *sloMS > 0 {
+		batching = fmt.Sprintf("adaptive, p99 SLO %gms", *sloMS)
+	}
+	log.Printf("serving %s on %s (max-batch %d, %s, queue-depth %d, numerics %s)",
+		strings.Join(names, ", "), ln.Addr(), *maxBatch, batching, *queueDepth, tier)
 
 	select {
 	case err := <-errCh:

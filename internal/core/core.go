@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tango/internal/gpusim"
 	"tango/internal/kernel"
@@ -29,13 +30,19 @@ type Benchmark struct {
 	Kernels []*kernel.Kernel
 
 	// planOnce resolves the weight plan for the native compute engine on
-	// first use; the plan is immutable and shared by all runs.
-	planOnce sync.Once
-	plan     *networks.Plan
-	planErr  error
+	// first use; the plan is immutable and shared by all runs.  planReady
+	// lets accounting observe whether the plan exists without building it.
+	planOnce  sync.Once
+	plan      *networks.Plan
+	planErr   error
+	planReady atomic.Bool
 	// scratch pools per-goroutine compute engine state so steady-state
 	// inference reuses its buffers.
 	scratch sync.Pool
+	// scratchHW tracks the largest single-scratch footprint ever released
+	// back to the pool: the high-water mark of the compute engine's
+	// per-goroutine working set, reported through MemStats.
+	scratchHW atomic.Int64
 }
 
 // Name returns the benchmark name.
@@ -155,6 +162,7 @@ func (b *Benchmark) Plan() (*networks.Plan, error) {
 	b.planOnce.Do(func() {
 		b.plan = nil
 		b.plan, b.planErr = b.Network.NewPlan(b.Weights)
+		b.planReady.Store(true)
 	})
 	return b.plan, b.planErr
 }
@@ -197,8 +205,48 @@ func (b *Benchmark) PrepareNumerics(mode nn.Numerics) error {
 // ReleaseScratch returns a scratch to the benchmark's pool.
 func (b *Benchmark) ReleaseScratch(s *nn.Scratch) {
 	if s != nil {
+		if n := s.Bytes(); n > b.scratchHW.Load() {
+			// Racy max is fine: a lost update is one release's worth of
+			// under-reporting, corrected by the next release at that size.
+			b.scratchHW.Store(n)
+		}
 		b.scratch.Put(s)
 	}
+}
+
+// MemStats is a benchmark's resident-memory breakdown, the accounting
+// surface behind per-model memory budgets and the resident-bytes series on
+// /metrics.
+type MemStats struct {
+	// WeightBytes is the synthesized parameter footprint.
+	WeightBytes int64
+	// PackedBytes is the fast-tier weight panels built so far.
+	PackedBytes int64
+	// ScratchBytes is the high-water footprint of one pooled compute
+	// scratch (arena + staging buffers).
+	ScratchBytes int64
+}
+
+// Total returns the benchmark's total resident estimate.
+func (m MemStats) Total() int64 { return m.WeightBytes + m.PackedBytes + m.ScratchBytes }
+
+// MemStats reports the benchmark's current resident-memory breakdown.  The
+// packed-panel term only counts tiers already packed; the scratch term is
+// the per-goroutine high-water mark, so multi-worker servers see at least
+// this much per concurrently running batch.
+func (b *Benchmark) MemStats() MemStats {
+	m := MemStats{ScratchBytes: b.scratchHW.Load()}
+	if b.Weights != nil {
+		m.WeightBytes = b.Weights.TotalBytes()
+	}
+	// Only an already-built plan contributes packs; don't force a build
+	// just to report zero.
+	if b.planReady.Load() {
+		if p, err := b.Plan(); err == nil && p != nil {
+			m.PackedBytes = p.PackedBytes()
+		}
+	}
+	return m
 }
 
 // RunInference executes the CNN natively and returns the classification.

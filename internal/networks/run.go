@@ -3,6 +3,7 @@ package networks
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tango/internal/nn"
 	"tango/internal/tensor"
@@ -45,8 +46,8 @@ type Plan struct {
 
 	fastOnce  sync.Once
 	int8Once  sync.Once
-	fastPacks *planPacks
-	int8Packs *planPacks
+	fastPacks atomic.Pointer[planPacks]
+	int8Packs atomic.Pointer[planPacks]
 }
 
 // planPacks holds one numerics mode's prepacked weight panels, indexed like
@@ -86,9 +87,9 @@ func (pp *planPacks) rnnAt(li int) *nn.RNNPack {
 func (p *Plan) Pack(mode nn.Numerics) {
 	switch mode {
 	case nn.NumericsFast:
-		p.fastOnce.Do(func() { p.fastPacks = p.buildPacks(mode) })
+		p.fastOnce.Do(func() { p.fastPacks.Store(p.buildPacks(mode)) })
 	case nn.NumericsInt8:
-		p.int8Once.Do(func() { p.int8Packs = p.buildPacks(mode) })
+		p.int8Once.Do(func() { p.int8Packs.Store(p.buildPacks(mode)) })
 	}
 }
 
@@ -97,9 +98,9 @@ func (p *Plan) packsFor(mode nn.Numerics) *planPacks {
 	p.Pack(mode)
 	switch mode {
 	case nn.NumericsFast:
-		return p.fastPacks
+		return p.fastPacks.Load()
 	case nn.NumericsInt8:
-		return p.int8Packs
+		return p.int8Packs.Load()
 	}
 	return nil
 }
@@ -179,6 +180,22 @@ func (n *Network) NewPlan(w Weights) (*Plan, error) {
 
 // Network returns the plan's network.
 func (p *Plan) Network() *Network { return p.net }
+
+// PackedBytes returns the storage held by the fast-tier weight panels built
+// so far (zero until a fast or int8 run packs them).  The raw weight
+// tensors the packs alias are accounted by the weight set, not here.
+func (p *Plan) PackedBytes() int64 {
+	var n int64
+	for _, pp := range []*planPacks{p.fastPacks.Load(), p.int8Packs.Load()} {
+		if pp == nil {
+			continue
+		}
+		for li := range p.layers {
+			n += pp.conv[li].Bytes() + pp.fc[li].Bytes() + pp.rnn[li].Bytes()
+		}
+	}
+	return n
+}
 
 // Run executes a CNN natively on the given CHW input and returns the
 // per-layer outputs.  A non-nil Scratch supplies the compute engine's

@@ -87,6 +87,27 @@ func (s *Scratch) ArenaBytes() int64 {
 	return s.arena.Bytes()
 }
 
+// Bytes reports the Scratch's total resident footprint: the output arena
+// plus every reusable staging buffer (im2col, recurrent gate vectors, batch
+// buffers, int8 activation and accumulator buffers).  It is the
+// memory-accounting surface behind per-model resident-bytes reporting.
+func (s *Scratch) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	n := s.arena.Bytes() + int64(cap(s.col))*4 + int64(cap(s.accb))*4
+	for _, v := range s.vecs {
+		n += int64(cap(v)) * 4
+	}
+	for _, v := range s.bbufs {
+		n += int64(cap(v)) * 4
+	}
+	for _, v := range s.u8bufs {
+		n += int64(cap(v))
+	}
+	return n
+}
+
 // out1 returns a rank-1 output tensor (arena-backed when s is non-nil).
 func (s *Scratch) out1(n int) *tensor.Tensor {
 	if s == nil {

@@ -136,6 +136,41 @@ type RNNPack struct {
 	gates []GatePack
 }
 
+// Bytes returns the storage held by the pack's panel buffers.
+func (pk *ConvPack) Bytes() int64 {
+	if pk == nil {
+		return 0
+	}
+	var n int64
+	for _, p := range pk.f {
+		n += p.Bytes()
+	}
+	for _, p := range pk.q {
+		n += p.Bytes()
+	}
+	return n
+}
+
+// Bytes returns the storage held by the pack's panel buffers.
+func (pk *FCPack) Bytes() int64 {
+	if pk == nil {
+		return 0
+	}
+	return pk.f.Bytes() + pk.q.Bytes()
+}
+
+// Bytes returns the storage held by the pack's panel buffers.
+func (pk *RNNPack) Bytes() int64 {
+	if pk == nil {
+		return 0
+	}
+	var n int64
+	for _, g := range pk.gates {
+		n += g.wx.Bytes() + g.uh.Bytes()
+	}
+	return n
+}
+
 // PackConv packs conv weights (outC x inC/groups x kh x kw) for the given
 // mode.  Returns nil for NumericsReference.
 func PackConv(weights *tensor.Tensor, p ConvParams, mode Numerics) *ConvPack {

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tango/internal/resilience"
@@ -51,6 +52,12 @@ type Config struct {
 	// QueueDepth is the bounded queue capacity; submissions beyond it are
 	// rejected with ErrQueueFull.  Values below 1 use DefaultQueueDepth.
 	QueueDepth int
+	// SLO, when positive, turns the fixed MaxDelay window into an adaptive
+	// one: a per-batcher Controller tunes the window between zero and
+	// min(MaxDelay, SLO/2) from observed queue depth and p99 latency so the
+	// batcher meets the per-request p99 target at light load and still
+	// fills batches under pressure.  Zero keeps the static MaxDelay window.
+	SLO time.Duration
 }
 
 // Policy defaults, used when the corresponding Config field is unset.
@@ -71,6 +78,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.MaxDelay < 0 {
 		c.MaxDelay = 0
+	}
+	if c.SLO < 0 {
+		c.SLO = 0
 	}
 	return c
 }
@@ -99,6 +109,17 @@ type Batcher[In, Out any] struct {
 	run   func([]In) ([]Out, error)
 	stats collector
 
+	// delay is the batch window the dispatcher honours, in nanoseconds.
+	// Static batchers pin it to cfg.MaxDelay; adaptive ones (cfg.SLO > 0)
+	// have the controller retune it after every flush.  It is atomic only
+	// so Stats/Delay can read it from other goroutines.
+	delay atomic.Int64
+	// ctl and ctlHist belong to the dispatcher goroutine alone: the
+	// controller's state is unsynchronized, and ctlHist is its reusable
+	// histogram-snapshot buffer.
+	ctl     *Controller
+	ctlHist []uint64
+
 	// mu guards closed and orders Do's channel send against Close's
 	// close(reqs): submissions hold it shared, Close exclusively.
 	mu     sync.RWMutex
@@ -121,6 +142,17 @@ func NewBatcher[In, Out any](cfg Config, run func([]In) ([]Out, error)) *Batcher
 		done: make(chan struct{}),
 	}
 	b.stats.init(cfg.MaxBatch)
+	if cfg.SLO > 0 {
+		b.ctl = NewController(ControllerConfig{
+			SLO:      cfg.SLO,
+			MaxBatch: cfg.MaxBatch,
+			MaxDelay: cfg.MaxDelay,
+		})
+		b.ctlHist = make([]uint64, len(LatencyBuckets)+1)
+		b.delay.Store(int64(b.ctl.Delay()))
+	} else {
+		b.delay.Store(int64(cfg.MaxDelay))
+	}
 	go b.dispatch()
 	return b
 }
@@ -136,6 +168,10 @@ func (b *Batcher[In, Out]) QueueLen() int { return len(b.reqs) }
 
 // QueueCap returns the bounded queue's capacity.
 func (b *Batcher[In, Out]) QueueCap() int { return cap(b.reqs) }
+
+// Delay returns the batch window currently in effect: cfg.MaxDelay for a
+// static batcher, the adaptive controller's live window otherwise.
+func (b *Batcher[In, Out]) Delay() time.Duration { return time.Duration(b.delay.Load()) }
 
 // Do submits one request and blocks until its batch has run or ctx is done.
 // A nil ctx is treated as context.Background().  It returns ErrQueueFull
@@ -209,7 +245,11 @@ func (b *Batcher[In, Out]) Close() {
 }
 
 // Stats returns a point-in-time snapshot of the batcher's counters.
-func (b *Batcher[In, Out]) Stats() Stats { return b.stats.snapshot() }
+func (b *Batcher[In, Out]) Stats() Stats {
+	s := b.stats.snapshot()
+	s.CurrentDelay = b.Delay()
+	return s
+}
 
 // dispatch is the single scheduler goroutine: it blocks for the first
 // request, greedily absorbs whatever else is already queued, then waits out
@@ -224,7 +264,7 @@ func (b *Batcher[In, Out]) dispatch() {
 			return
 		}
 		batch = append(batch[:0], first)
-		deadline := first.enq.Add(b.cfg.MaxDelay)
+		deadline := first.enq.Add(b.Delay())
 	fill:
 		for len(batch) < b.cfg.MaxBatch {
 			// Take already-queued requests without waiting.
@@ -365,5 +405,11 @@ func (b *Batcher[In, Out]) flush(batch []request[In, Out]) {
 	b.stats.finishBatch(len(live), err != nil, lats)
 	for i, r := range live {
 		r.done <- results[i]
+	}
+	if b.ctl != nil {
+		n := b.stats.latencyCum(b.ctlHist)
+		if d, changed := b.ctl.Observe(time.Now(), len(b.reqs), b.ctlHist, n); changed {
+			b.delay.Store(int64(d))
+		}
 	}
 }

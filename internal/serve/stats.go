@@ -46,6 +46,74 @@ type Stats struct {
 	LatencyP99 time.Duration
 	// LatencySamples is the number of samples currently in the window.
 	LatencySamples int
+	// LatencyHist counts every completed request's end-to-end latency by
+	// bucket (upper bounds in LatencyBuckets plus a final +Inf slot).
+	// Unlike the percentile window it is cumulative over the batcher's
+	// lifetime, so Prometheus-style scrapes and the adaptive controller
+	// can both recover rate-windowed percentiles from deltas.
+	LatencyHist []uint64
+	// LatencySum is the cumulative end-to-end latency across all completed
+	// requests (the histogram's _sum series).
+	LatencySum time.Duration
+	// CurrentDelay is the batch window in effect when the snapshot was
+	// taken: the configured MaxDelay for static batchers, the controller's
+	// live window for adaptive ones.
+	CurrentDelay time.Duration
+}
+
+// Merge returns the element-wise sum of two snapshots.  It is how a model
+// lifecycle folds an evicted engine's final counters into its successor's
+// live ones: counters and histograms add; the percentile window cannot be
+// merged, so the snapshot with samples wins (preferring b, the live side).
+func Merge(a, b Stats) Stats {
+	m := Stats{
+		Submitted:         a.Submitted + b.Submitted,
+		Completed:         a.Completed + b.Completed,
+		Canceled:          a.Canceled + b.Canceled,
+		RejectedQueueFull: a.RejectedQueueFull + b.RejectedQueueFull,
+		RejectedClosed:    a.RejectedClosed + b.RejectedClosed,
+		Batches:           a.Batches + b.Batches,
+		BatchErrors:       a.BatchErrors + b.BatchErrors,
+		Bisections:        a.Bisections + b.Bisections,
+		Isolated:          a.Isolated + b.Isolated,
+		BatchSizeHist:     sumHist(a.BatchSizeHist, b.BatchSizeHist),
+		LatencyHist:       sumHist(a.LatencyHist, b.LatencyHist),
+		LatencySum:        a.LatencySum + b.LatencySum,
+		LatencyP50:        a.LatencyP50,
+		LatencyP99:        a.LatencyP99,
+		LatencySamples:    a.LatencySamples,
+		CurrentDelay:      b.CurrentDelay,
+	}
+	if b.LatencySamples > 0 {
+		m.LatencyP50, m.LatencyP99, m.LatencySamples = b.LatencyP50, b.LatencyP99, b.LatencySamples
+	}
+	if m.Batches > 0 {
+		// finishBatch advances Completed and the batched-request count in
+		// lockstep, so Completed doubles as the batched total here.
+		m.MeanBatchSize = float64(m.Completed) / float64(m.Batches)
+	}
+	return m
+}
+
+// sumHist adds two bucket-count slices, sized to the longer.
+func sumHist(a, b []uint64) []uint64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if i < len(a) {
+			out[i] += a[i]
+		}
+		if i < len(b) {
+			out[i] += b[i]
+		}
+	}
+	return out
 }
 
 // collector accumulates counters under one mutex.  The hot paths take the
@@ -67,11 +135,14 @@ type collector struct {
 	lat               []time.Duration
 	latNext           int
 	latCount          int
+	latHist           []uint64
+	latSum            time.Duration
 }
 
 func (c *collector) init(maxBatch int) {
 	c.hist = make([]uint64, maxBatch)
 	c.lat = make([]time.Duration, latencyWindow)
+	c.latHist = make([]uint64, len(LatencyBuckets)+1)
 }
 
 func (c *collector) submit() {
@@ -135,8 +206,25 @@ func (c *collector) finishBatch(size int, failed bool, lats []time.Duration) {
 		if c.latCount < len(c.lat) {
 			c.latCount++
 		}
+		c.latHist[latencyBucket(d)]++
+		c.latSum += d
 	}
 	c.mu.Unlock()
+}
+
+// latencyCum copies the cumulative latency histogram into dst (which must be
+// len(LatencyBuckets)+1) and returns the total sample count.  It exists for
+// the adaptive controller, which diffs successive snapshots; reusing the
+// caller's buffer keeps the dispatcher loop allocation-free.
+func (c *collector) latencyCum(dst []uint64) uint64 {
+	c.mu.Lock()
+	copy(dst, c.latHist)
+	var n uint64
+	for _, v := range c.latHist {
+		n += v
+	}
+	c.mu.Unlock()
+	return n
 }
 
 func (c *collector) snapshot() Stats {
@@ -152,6 +240,8 @@ func (c *collector) snapshot() Stats {
 		Bisections:        c.bisections,
 		Isolated:          c.isolated,
 		BatchSizeHist:     append([]uint64(nil), c.hist...),
+		LatencyHist:       append([]uint64(nil), c.latHist...),
+		LatencySum:        c.latSum,
 		LatencySamples:    c.latCount,
 	}
 	if c.batches > 0 {

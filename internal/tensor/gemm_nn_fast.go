@@ -90,6 +90,16 @@ func (p *PackedA) Rows() int { return p.m }
 // Cols returns k, the shared (depth) dimension.
 func (p *PackedA) Cols() int { return p.k }
 
+// Bytes returns the storage the pack itself holds: the interleaved panel
+// buffer.  The retained src slice aliases the caller's weight matrix and is
+// accounted there, not here.
+func (p *PackedA) Bytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(len(p.panels)) * 4
+}
+
 // PackA packs the row-major m x k matrix a for the fast GEMM kernels.  The
 // returned PackedA aliases a (callers must not mutate a afterwards), plus
 // one panel buffer allocated here: packing happens once per weight matrix,

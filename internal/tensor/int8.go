@@ -61,6 +61,15 @@ func (p *PackedInt8) KPad() int { return p.kPad }
 // Scale returns the weight quantization scale of output row i.
 func (p *PackedInt8) Scale(i int) float32 { return p.scales[i] }
 
+// Bytes returns the storage held by the quantized pack: int8 rows plus the
+// per-row scale and compensation vectors.
+func (p *PackedInt8) Bytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(len(p.wq)) + int64(len(p.scales))*4 + int64(len(p.comp))*4
+}
+
 // PackInt8 quantizes the row-major m x k float32 matrix a to the packed
 // int8 layout with one symmetric scale per row.
 func PackInt8(a []float32, m, k int) *PackedInt8 {

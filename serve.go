@@ -2,7 +2,9 @@ package tango
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,10 +19,19 @@ import (
 // independent Classify / Forecast requests are coalesced into ClassifyBatch /
 // ForecastBatch calls and the batched engine is what runs under load.  The
 // cmd/tango-serve binary wraps a Server in an HTTP frontend (see Handler).
+//
+// Each served benchmark separates cheap identity (name, kind, input shape —
+// resolved at construction from the network registry) from its expensive
+// engine (synthesized weights, resolved plan, prewarmed scratch, running
+// batcher).  The engine loads eagerly by default, on demand under
+// WithOnDemandLoading, and is evicted in LRU order when a WithModelBudget
+// byte budget is exceeded — serving counters survive eviction and reload.
 
 // ServerConfig sets the batching policy of a Server.  The zero value is a
 // usable default (batches of up to 16, greedy flush, queue depth 256,
-// single-worker engine).
+// single-worker engine).  ServerConfig is the compatibility configuration
+// surface: it lowers onto the equivalent ServeOptions (see
+// ServerConfig.options), and options passed to NewServer apply after it.
 type ServerConfig struct {
 	// MaxBatch is the largest batch formed per benchmark; a forming batch
 	// is flushed as soon as it reaches MaxBatch requests.  <1 selects the
@@ -29,6 +40,7 @@ type ServerConfig struct {
 	// MaxDelay bounds how long the oldest queued request waits for the
 	// batch to fill before being flushed anyway.  Zero flushes as soon as
 	// the queue is momentarily empty (greedy batching, no added latency).
+	// Under TargetP99 it becomes the adaptive window's ceiling instead.
 	MaxDelay time.Duration
 	// QueueDepth is the per-benchmark bounded queue capacity; requests
 	// beyond it are rejected immediately with ErrQueueFull.  <1 selects
@@ -59,32 +71,58 @@ type ServerConfig struct {
 	// results preserve each request's top-1 class but are no longer
 	// bit-identical to single-sample Classify / Forecast.
 	Numerics string
+	// TargetP99 is the per-request p99 latency SLO; non-zero enables
+	// adaptive batching exactly as WithSLO.
+	TargetP99 time.Duration
+	// ModelBudgetBytes caps total resident engine bytes exactly as
+	// WithModelBudget (implies on-demand loading).  Zero means unlimited.
+	ModelBudgetBytes int64
+	// OnDemand defers engine loads to first request, as
+	// WithOnDemandLoading.
+	OnDemand bool
 }
 
 // Server coalesces concurrent inference requests into batched engine runs.
 // Create one with NewServer, embed it directly (Classify / Forecast) or
 // mount its Handler on an HTTP server, and Close it to drain.
 //
-// Results are bit-identical to calling Benchmark.Classify / Forecast on the
-// same inputs: batching changes scheduling, never numerics.
+// Under the default ("reference") numerics tier, results are bit-identical
+// to calling Benchmark.Classify / Forecast on the same inputs: batching
+// changes scheduling, never numerics.
 type Server struct {
-	cfg    ServerConfig
-	models map[string]*serverModel
-	order  []string
+	opts     serveOptions
+	batchCfg serve.Config
+	simOpts  []SimOption
+	models   map[string]*serverModel
+	order    []string
+	// lifeMu serializes engine load and evict transitions across all
+	// models, so budget accounting sees a consistent resident set.
+	lifeMu sync.Mutex
 	// draining flips once Close begins; /healthz reports it so load
 	// balancers stop routing here while queued work finishes.
 	draining atomic.Bool
 }
 
-// serverModel is one served benchmark: the loaded workload plus its
-// request batcher (classify for CNNs, forecast for RNNs), circuit breaker
-// and admission counters.
+// serverModel is one served benchmark: its registry identity (always
+// present) plus a loadable engine and the admission state — circuit breaker,
+// in-flight and shed counters — that outlives engine evictions.
 type serverModel struct {
-	name     string
-	bench    *Benchmark
-	inputLen int
-	classify *serve.Batcher[[]float32, BatchClassification]
-	forecast *serve.Batcher[[]float64, float64]
+	name       string
+	kind       networks.Kind
+	inputShape []int
+	inputLen   int
+
+	// eng is the loaded engine, nil while cold.  Load/evict transitions
+	// are serialized by Server.lifeMu; readers take the pointer lock-free.
+	eng atomic.Pointer[modelEngine]
+	// statsMu guards baseStats, the merged counters of evicted engines.
+	statsMu   sync.Mutex
+	baseStats serve.Stats
+	// lastUsed is the unix-nano admission timestamp driving LRU eviction.
+	lastUsed  atomic.Int64
+	loads     atomic.Uint64
+	evictions atomic.Uint64
+
 	// breaker trips after consecutive engine failures so a broken backend
 	// fails fast (ErrDegraded) instead of queueing doomed work.
 	breaker *resilience.Breaker
@@ -96,101 +134,259 @@ type serverModel struct {
 	shedBreaker atomic.Uint64
 }
 
-// NewServer loads the named benchmarks and starts one dynamic-batching
-// scheduler per benchmark.  Each benchmark is prewarmed (weight plan
-// resolved, scratch pools grown) so the first request is served at
-// steady-state speed.  The caller must Close the server to stop the
+// modelEngine is the expensive, evictable half of a served benchmark: the
+// loaded workload and its running request batcher (classify for CNNs,
+// forecast for RNNs).
+type modelEngine struct {
+	bench    *Benchmark
+	classify *serve.Batcher[[]float32, BatchClassification]
+	forecast *serve.Batcher[[]float64, float64]
+}
+
+func (e *modelEngine) close() {
+	if e.classify != nil {
+		e.classify.Close()
+	}
+	if e.forecast != nil {
+		e.forecast.Close()
+	}
+}
+
+func (e *modelEngine) stats() serve.Stats {
+	if e.classify != nil {
+		return e.classify.Stats()
+	}
+	return e.forecast.Stats()
+}
+
+func (e *modelEngine) queue() (int, int) {
+	if e.classify != nil {
+		return e.classify.QueueLen(), e.classify.QueueCap()
+	}
+	return e.forecast.QueueLen(), e.forecast.QueueCap()
+}
+
+// NewServer validates and registers the named benchmarks and starts one
+// dynamic-batching scheduler per benchmark.  Configuration is the lowered
+// ServerConfig plus any ServeOptions, applied in that order.  By default
+// every engine loads eagerly — weight plan resolved, scratch pools grown, so
+// the first request is served at steady-state speed; under on-demand loading
+// (or a model budget) construction only validates names and kinds and the
+// first request pays the load.  The caller must Close the server to stop the
 // scheduler goroutines.
-func NewServer(benchmarks []string, cfg ServerConfig) (*Server, error) {
+func NewServer(benchmarks []string, cfg ServerConfig, options ...ServeOption) (*Server, error) {
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("tango: NewServer needs at least one benchmark")
 	}
-	scfg := serve.Config{
-		MaxBatch:   cfg.MaxBatch,
-		MaxDelay:   cfg.MaxDelay,
-		QueueDepth: cfg.QueueDepth,
+	var o serveOptions
+	for _, opt := range cfg.options() {
+		opt(&o)
 	}
-	effMaxBatch := scfg.WithDefaults().MaxBatch
-	var opts []SimOption
-	if cfg.Parallelism != 0 {
-		opts = append(opts, WithParallelism(cfg.Parallelism))
+	for _, opt := range options {
+		opt(&o)
 	}
-	if cfg.Numerics != "" {
+	if o.modelBudget > 0 {
+		o.onDemand = true
+	}
+	var simOpts []SimOption
+	if o.parallelism != 0 {
+		simOpts = append(simOpts, WithParallelism(o.parallelism))
+	}
+	if o.numerics != "" {
 		// An explicit config pins the tier even when TANGO_NUMERICS is
-		// set; an empty Numerics leaves the environment default in
-		// effect (resolved per run by nativeSettings).
-		mode, err := nn.ParseNumerics(cfg.Numerics)
+		// set; an empty tier leaves the environment default in effect
+		// (resolved per run by nativeSettings).
+		mode, err := nn.ParseNumerics(o.numerics)
 		if err != nil {
 			return nil, fmt.Errorf("tango: NewServer: %w", err)
 		}
 		switch mode {
 		case nn.NumericsFast:
-			opts = append(opts, WithFastMath())
+			simOpts = append(simOpts, WithFastMath())
 		case nn.NumericsInt8:
-			opts = append(opts, WithInt8())
+			simOpts = append(simOpts, WithInt8())
 		default:
-			opts = append(opts, WithReferenceNumerics())
+			simOpts = append(simOpts, WithReferenceNumerics())
 		}
 	}
-	s := &Server{cfg: cfg, models: make(map[string]*serverModel, len(benchmarks))}
+	s := &Server{
+		opts: o,
+		batchCfg: serve.Config{
+			MaxBatch:   o.maxBatch,
+			MaxDelay:   o.maxDelay,
+			QueueDepth: o.queueDepth,
+			SLO:        o.slo,
+		}.WithDefaults(),
+		simOpts: simOpts,
+		models:  make(map[string]*serverModel, len(benchmarks)),
+	}
 	for _, name := range benchmarks {
 		if _, ok := s.models[name]; ok {
 			continue
 		}
-		b, err := LoadBenchmark(name)
+		// Identity comes from the registry, not a loaded benchmark:
+		// construction validates every name and kind without synthesizing
+		// weights, so on-demand servers still fail fast on a bad name.
+		net, err := networks.New(name)
 		if err != nil {
 			s.close()
-			return nil, err
+			return nil, fmt.Errorf("tango: %w", err)
 		}
 		m := &serverModel{
-			name:  name,
-			bench: b,
+			name:       name,
+			kind:       net.Kind,
+			inputShape: net.InputShape,
 			breaker: resilience.NewBreaker(resilience.BreakerConfig{
-				Threshold: cfg.BreakerThreshold,
-				Cooldown:  cfg.BreakerCooldown,
+				Threshold: o.breakerThreshold,
+				Cooldown:  o.breakerCooldown,
 			}),
 		}
-		switch b.inner.Kind() {
-		case networks.KindCNN:
-			m.inputLen = 1
-			for _, d := range b.inner.Network.InputShape {
-				m.inputLen *= d
-			}
-			// Prewarm: resolve the plan and grow the scratch to the
-			// configured batch geometry outside any request latency.
-			if _, err := b.ClassifySampleBatch(0, effMaxBatch, opts...); err != nil {
-				s.close()
-				return nil, fmt.Errorf("tango: prewarm %s: %w", name, err)
-			}
-			m.classify = serve.NewBatcher(scfg, func(images [][]float32) ([]BatchClassification, error) {
-				return b.ClassifyBatch(images, opts...)
-			})
-		case networks.KindRNN:
-			// Prewarm the batched recurrent path at full batch width.
-			history, err := b.SampleHistory(0)
-			if err != nil {
-				s.close()
-				return nil, fmt.Errorf("tango: prewarm %s: %w", name, err)
-			}
-			warm := make([][]float64, effMaxBatch)
-			for i := range warm {
-				warm[i] = history
-			}
-			if _, err := b.ForecastBatch(warm, opts...); err != nil {
-				s.close()
-				return nil, fmt.Errorf("tango: prewarm %s: %w", name, err)
-			}
-			m.forecast = serve.NewBatcher(scfg, func(histories [][]float64) ([]float64, error) {
-				return forecastGrouped(b, histories, opts)
-			})
+		switch net.Kind {
+		case networks.KindCNN, networks.KindRNN:
 		default:
 			s.close()
-			return nil, fmt.Errorf("tango: %s has unsupported kind %s", name, b.Kind())
+			return nil, fmt.Errorf("tango: %s has unsupported kind %s", name, net.Kind)
+		}
+		m.inputLen = 1
+		for _, d := range net.InputShape {
+			m.inputLen *= d
 		}
 		s.models[name] = m
 		s.order = append(s.order, name)
 	}
+	if !o.onDemand {
+		for _, name := range s.order {
+			if _, err := s.engine(s.models[name]); err != nil {
+				s.close()
+				return nil, err
+			}
+		}
+	}
 	return s, nil
+}
+
+// engine returns the model's loaded engine, loading it first if cold.
+func (s *Server) engine(m *serverModel) (*modelEngine, error) {
+	if e := m.eng.Load(); e != nil {
+		return e, nil
+	}
+	return s.loadEngine(m)
+}
+
+// loadEngine performs the cold-start load of one model under the lifecycle
+// lock: benchmark load, batch-geometry prewarm, batcher start, then budget
+// enforcement (which may evict other idle models).
+func (s *Server) loadEngine(m *serverModel) (*modelEngine, error) {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if e := m.eng.Load(); e != nil {
+		return e, nil
+	}
+	if s.draining.Load() {
+		return nil, fmt.Errorf("tango: %s: %w", m.name, ErrServerClosed)
+	}
+	b, err := LoadBenchmark(m.name)
+	if err != nil {
+		return nil, err
+	}
+	e := &modelEngine{bench: b}
+	effMaxBatch := s.batchCfg.MaxBatch
+	opts := s.simOpts
+	switch m.kind {
+	case networks.KindCNN:
+		// Prewarm: resolve the plan and grow the scratch to the
+		// configured batch geometry outside any request latency.
+		if _, err := b.ClassifySampleBatch(0, effMaxBatch, opts...); err != nil {
+			return nil, fmt.Errorf("tango: prewarm %s: %w", m.name, err)
+		}
+		e.classify = serve.NewBatcher(s.batchCfg, func(images [][]float32) ([]BatchClassification, error) {
+			return b.ClassifyBatch(images, opts...)
+		})
+	default:
+		// Prewarm the batched recurrent path at full batch width.
+		history, err := b.SampleHistory(0)
+		if err != nil {
+			return nil, fmt.Errorf("tango: prewarm %s: %w", m.name, err)
+		}
+		warm := make([][]float64, effMaxBatch)
+		for i := range warm {
+			warm[i] = history
+		}
+		if _, err := b.ForecastBatch(warm, opts...); err != nil {
+			return nil, fmt.Errorf("tango: prewarm %s: %w", m.name, err)
+		}
+		e.forecast = serve.NewBatcher(s.batchCfg, func(histories [][]float64) ([]float64, error) {
+			return forecastGrouped(b, histories, opts)
+		})
+	}
+	m.eng.Store(e)
+	m.loads.Add(1)
+	s.enforceBudgetLocked(m)
+	return e, nil
+}
+
+// enforceBudgetLocked evicts idle engines in least-recently-used order until
+// the resident set fits the byte budget.  The just-loaded model (keep) and
+// any model with in-flight or queued work are never evicted; if only active
+// models remain, the budget is allowed to overshoot rather than stall
+// serving.  Caller holds lifeMu.
+func (s *Server) enforceBudgetLocked(keep *serverModel) {
+	if s.opts.modelBudget <= 0 {
+		return
+	}
+	for s.residentBytesLocked() > s.opts.modelBudget {
+		var victim *serverModel
+		for _, name := range s.order {
+			m := s.models[name]
+			if m == keep || m.eng.Load() == nil {
+				continue
+			}
+			if m.inFlight.Load() != 0 {
+				continue
+			}
+			if q, _ := m.eng.Load().queue(); q != 0 {
+				continue
+			}
+			if victim == nil || m.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = m
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.evictLocked(victim)
+	}
+}
+
+// evictLocked unloads one idle model: the engine pointer clears first (new
+// requests re-load instead of racing the teardown), the batcher drains, and
+// its final counters fold into the model's base stats so lifetime totals
+// survive the eviction.  Caller holds lifeMu.
+func (s *Server) evictLocked(m *serverModel) {
+	e := m.eng.Load()
+	if e == nil {
+		return
+	}
+	m.eng.Store(nil)
+	e.close()
+	st := e.stats()
+	m.statsMu.Lock()
+	m.baseStats = serve.Merge(m.baseStats, st)
+	m.statsMu.Unlock()
+	m.evictions.Add(1)
+}
+
+// residentBytesLocked sums resident engine bytes.  Caller holds lifeMu (or
+// tolerates a racy snapshot, as Stats does).
+func (s *Server) residentBytesLocked() int64 {
+	var total int64
+	for _, name := range s.order {
+		m := s.models[name]
+		if e := m.eng.Load(); e != nil {
+			total += e.bench.MemStats().Total()
+		}
+	}
+	return total
 }
 
 // forecastGrouped runs a formed forecast batch.  ForecastBatch requires
@@ -239,11 +435,11 @@ func (s *Server) Benchmarks() []string { return append([]string(nil), s.order...
 // same wrapped ErrShape.
 func (m *serverModel) errWrongKind(benchmark string) error {
 	use := "Classify (/v1/classify)"
-	if m.classify == nil {
+	if m.kind != networks.KindCNN {
 		use = "Forecast (/v1/forecast)"
 	}
 	return fmt.Errorf("tango: %s is a %s benchmark; %w: use %s",
-		benchmark, m.bench.Kind(), ErrShape, use)
+		benchmark, m.kind, ErrShape, use)
 }
 
 // sampleImage resolves the deterministic sample image for a seed-based
@@ -253,10 +449,14 @@ func (s *Server) sampleImage(benchmark string, seed uint64) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.classify == nil {
+	if m.kind != networks.KindCNN {
 		return nil, m.errWrongKind(benchmark)
 	}
-	img, _, err := m.bench.SampleImage(seed)
+	e, err := s.engine(m)
+	if err != nil {
+		return nil, err
+	}
+	img, _, err := e.bench.SampleImage(seed)
 	return img, err
 }
 
@@ -267,10 +467,14 @@ func (s *Server) sampleHistory(benchmark string, seed uint64) ([]float64, error)
 	if err != nil {
 		return nil, err
 	}
-	if m.forecast == nil {
+	if m.kind != networks.KindRNN {
 		return nil, m.errWrongKind(benchmark)
 	}
-	return m.bench.SampleHistory(seed)
+	e, err := s.engine(m)
+	if err != nil {
+		return nil, err
+	}
+	return e.bench.SampleHistory(seed)
 }
 
 // model resolves a served benchmark by name.
@@ -282,32 +486,49 @@ func (s *Server) model(name string) (*serverModel, error) {
 	return m, nil
 }
 
+// submitRetries bounds how often a request re-loads and re-submits after
+// losing the race with an engine eviction (the batcher closed between the
+// pointer read and the enqueue).
+const submitRetries = 3
+
 // Classify submits one image to a served CNN benchmark and blocks until its
 // batch has run or ctx is done.  The image must be a flat CHW float32 slice
 // of the benchmark's input shape; wrong lengths are rejected up front with a
 // wrapped ErrShape so one bad request never poisons a batch.  Under load,
-// concurrent calls share batched engine runs; the result is bit-identical
-// to Benchmark.Classify on the same image.  The image slice is retained
-// until its batch runs: callers must not mutate it before Classify returns.
+// concurrent calls share batched engine runs; under the default numerics
+// tier the result is bit-identical to Benchmark.Classify on the same image.
+// A cold (on-demand or evicted) model loads transparently.  The image slice
+// is retained until its batch runs: callers must not mutate it before
+// Classify returns.
 func (s *Server) Classify(ctx context.Context, benchmark string, image []float32) (BatchClassification, error) {
 	m, err := s.model(benchmark)
 	if err != nil {
 		return BatchClassification{}, err
 	}
-	if m.classify == nil {
+	if m.kind != networks.KindCNN {
 		return BatchClassification{}, m.errWrongKind(benchmark)
 	}
 	if len(image) != m.inputLen {
 		return BatchClassification{}, fmt.Errorf("tango: %s: %w: image has %d elements, want %d (input shape %v)",
-			benchmark, ErrShape, len(image), m.inputLen, m.bench.inner.Network.InputShape)
+			benchmark, ErrShape, len(image), m.inputLen, m.inputShape)
 	}
 	if err := s.admit(ctx, m); err != nil {
 		return BatchClassification{}, err
 	}
-	ctx, cancel := resilience.WithBudget(ctx, s.cfg.RequestTimeout)
+	ctx, cancel := resilience.WithBudget(ctx, s.opts.requestTimeout)
 	defer cancel()
+	m.touch()
 	m.inFlight.Add(1)
-	res, err := m.classify.Do(ctx, image)
+	var res BatchClassification
+	for attempt := 0; ; attempt++ {
+		var e *modelEngine
+		if e, err = s.engine(m); err != nil {
+			break
+		}
+		if res, err = e.classify.Do(ctx, image); !s.retrySubmit(err, attempt) {
+			break
+		}
+	}
 	m.inFlight.Add(-1)
 	m.recordOutcome(err)
 	return res, err
@@ -316,15 +537,17 @@ func (s *Server) Classify(ctx context.Context, benchmark string, image []float32
 // Forecast submits one history of scalar observations to a served RNN
 // benchmark and blocks until its batch has run or ctx is done.  Histories of
 // different lengths may be submitted concurrently; the scheduler groups
-// equal lengths per engine call.  The result is bit-identical to
-// Benchmark.Forecast on the same history.  The history slice is retained
-// until its batch runs: callers must not mutate it before Forecast returns.
+// equal lengths per engine call.  Under the default numerics tier the result
+// is bit-identical to Benchmark.Forecast on the same history.  A cold
+// (on-demand or evicted) model loads transparently.  The history slice is
+// retained until its batch runs: callers must not mutate it before Forecast
+// returns.
 func (s *Server) Forecast(ctx context.Context, benchmark string, history []float64) (float64, error) {
 	m, err := s.model(benchmark)
 	if err != nil {
 		return 0, err
 	}
-	if m.forecast == nil {
+	if m.kind != networks.KindRNN {
 		return 0, m.errWrongKind(benchmark)
 	}
 	if len(history) == 0 {
@@ -333,14 +556,34 @@ func (s *Server) Forecast(ctx context.Context, benchmark string, history []float
 	if err := s.admit(ctx, m); err != nil {
 		return 0, err
 	}
-	ctx, cancel := resilience.WithBudget(ctx, s.cfg.RequestTimeout)
+	ctx, cancel := resilience.WithBudget(ctx, s.opts.requestTimeout)
 	defer cancel()
+	m.touch()
 	m.inFlight.Add(1)
-	pred, err := m.forecast.Do(ctx, history)
+	var pred float64
+	for attempt := 0; ; attempt++ {
+		var e *modelEngine
+		if e, err = s.engine(m); err != nil {
+			break
+		}
+		if pred, err = e.forecast.Do(ctx, history); !s.retrySubmit(err, attempt) {
+			break
+		}
+	}
 	m.inFlight.Add(-1)
 	m.recordOutcome(err)
 	return pred, err
 }
+
+// retrySubmit reports whether a failed submission should re-load the engine
+// and try again: only when the batcher was closed under the request by an
+// eviction (not a server drain), and only a bounded number of times.
+func (s *Server) retrySubmit(err error, attempt int) bool {
+	return errors.Is(err, serve.ErrClosed) && !s.draining.Load() && attempt < submitRetries
+}
+
+// touch stamps the model's LRU clock.
+func (m *serverModel) touch() { m.lastUsed.Store(time.Now().UnixNano()) }
 
 // Close stops accepting requests, serves everything already queued
 // (graceful drain), and stops the scheduler goroutines.  It is idempotent.
@@ -349,20 +592,47 @@ func (s *Server) Close() { s.close() }
 
 func (s *Server) close() {
 	s.draining.Store(true)
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	for _, name := range s.order {
-		m := s.models[name]
-		if m.classify != nil {
-			m.classify.Close()
-		}
-		if m.forecast != nil {
-			m.forecast.Close()
+		if e := s.models[name].eng.Load(); e != nil {
+			e.close()
 		}
 	}
 }
 
+// MemStats is a benchmark's resident-memory breakdown, the accounting unit
+// behind WithModelBudget and the per-model byte series on /metrics.
+type MemStats struct {
+	// WeightBytes is the synthesized parameter footprint.
+	WeightBytes int64 `json:"weight_bytes"`
+	// PackedBytes is the fast-tier weight panels built so far (zero under
+	// the reference tier).
+	PackedBytes int64 `json:"packed_bytes"`
+	// ScratchBytes is the high-water footprint of one pooled compute
+	// scratch (arena plus staging buffers); multi-worker engines resident
+	// several scratches peak at a multiple of this.
+	ScratchBytes int64 `json:"scratch_bytes"`
+}
+
+// Total returns the total resident estimate.
+func (m MemStats) Total() int64 { return m.WeightBytes + m.PackedBytes + m.ScratchBytes }
+
+// MemStats reports the benchmark's current resident-memory breakdown.
+func (b *Benchmark) MemStats() MemStats {
+	ms := b.inner.MemStats()
+	return MemStats{
+		WeightBytes:  ms.WeightBytes,
+		PackedBytes:  ms.PackedBytes,
+		ScratchBytes: ms.ScratchBytes,
+	}
+}
+
 // BenchmarkServeStats is the per-benchmark slice of a Server stats snapshot.
-// Latencies are end-to-end (queue wait + batch compute) percentiles over a
-// recent window.
+// Latencies are end-to-end (queue wait + batch compute); the percentile pair
+// is over a recent window, the histogram is cumulative since load (bucket
+// upper bounds in LatencyBucketsMicros, final slot +Inf).  Counters span the
+// model's lifetime: they survive engine eviction and reload.
 type BenchmarkServeStats struct {
 	Benchmark         string   `json:"benchmark"`
 	Kind              string   `json:"kind"`
@@ -378,15 +648,31 @@ type BenchmarkServeStats struct {
 	ShedLoad          uint64   `json:"shed_load"`
 	ShedBreaker       uint64   `json:"shed_breaker"`
 	InFlight          int64    `json:"in_flight"`
+	QueueLen          int      `json:"queue_len"`
+	QueueCap          int      `json:"queue_cap"`
 	BreakerState      string   `json:"breaker_state"`
 	MeanBatchSize     float64  `json:"mean_batch_size"`
 	BatchSizeHist     []uint64 `json:"batch_size_hist"`
 	LatencyP50Micros  float64  `json:"latency_p50_us"`
 	LatencyP99Micros  float64  `json:"latency_p99_us"`
+	LatencyHist       []uint64 `json:"latency_hist"`
+	LatencySumMicros  float64  `json:"latency_sum_us"`
+	// BatchWindowMicros is the batch window currently in effect: the fixed
+	// MaxDelay, or the adaptive controller's live window under an SLO.
+	BatchWindowMicros float64 `json:"batch_window_us"`
+	// Resident reports whether the model's engine is currently loaded;
+	// the byte fields break down its footprint (zero while cold).
+	Resident      bool   `json:"resident"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	WeightBytes   int64  `json:"weight_bytes"`
+	PackedBytes   int64  `json:"packed_bytes"`
+	ScratchBytes  int64  `json:"scratch_bytes"`
+	Loads         uint64 `json:"loads"`
+	Evictions     uint64 `json:"evictions"`
 }
 
-// ServerStats is a point-in-time snapshot of a Server's counters, as
-// served by GET /metrics.
+// ServerStats is a point-in-time snapshot of a Server's counters, served as
+// JSON by GET /v1/stats and rendered as Prometheus text by GET /metrics.
 type ServerStats struct {
 	// Aggregates over every served benchmark.
 	Requests          uint64  `json:"requests"`
@@ -397,22 +683,60 @@ type ServerStats struct {
 	Batches           uint64  `json:"batches"`
 	MeanBatchSize     float64 `json:"mean_batch_size"`
 
+	// Engine-level configuration and footprint.
+	NumericsTier     string  `json:"numerics_tier"`
+	TargetP99Micros  float64 `json:"target_p99_us,omitempty"`
+	ModelBudgetBytes int64   `json:"model_budget_bytes,omitempty"`
+	ResidentModels   int     `json:"resident_models"`
+	ResidentBytes    int64   `json:"resident_bytes"`
+
 	Benchmarks map[string]BenchmarkServeStats `json:"benchmarks"`
 }
 
+// LatencyBucketsMicros returns the request-latency histogram bucket upper
+// bounds in microseconds; BenchmarkServeStats.LatencyHist has one count per
+// bound plus a final +Inf slot.
+func LatencyBucketsMicros() []float64 {
+	out := make([]float64, len(serve.LatencyBuckets))
+	for i, d := range serve.LatencyBuckets {
+		out[i] = float64(d) / float64(time.Microsecond)
+	}
+	return out
+}
+
+// batcherStats returns the model's lifetime scheduler stats: the live
+// engine's snapshot (when resident) merged onto the counters carried over
+// from evicted engines.
+func (m *serverModel) batcherStats() serve.Stats {
+	m.statsMu.Lock()
+	base := m.baseStats
+	m.statsMu.Unlock()
+	if e := m.eng.Load(); e != nil {
+		return serve.Merge(base, e.stats())
+	}
+	return serve.Merge(base, serve.Stats{})
+}
+
 // Stats snapshots the server's counters: request totals, rejections,
-// batches formed, batch-size histograms and latency percentiles.
+// batches formed, batch-size and latency histograms, latency percentiles,
+// adaptive batch windows and per-model residency.
 func (s *Server) Stats() ServerStats {
-	out := ServerStats{Benchmarks: make(map[string]BenchmarkServeStats, len(s.models))}
+	out := ServerStats{
+		NumericsTier:     s.numericsTier(),
+		TargetP99Micros:  float64(s.opts.slo) / float64(time.Microsecond),
+		ModelBudgetBytes: s.opts.modelBudget,
+		Benchmarks:       make(map[string]BenchmarkServeStats, len(s.models)),
+	}
 	var batchedRequests uint64
 	for _, name := range s.order {
 		m := s.models[name]
 		st := m.batcherStats()
 		shedLoad, shedBreaker := m.shedLoad.Load(), m.shedBreaker.Load()
 		inFlight := m.inFlight.Load()
+		q, c := s.queueState(m)
 		bs := BenchmarkServeStats{
 			Benchmark:         name,
-			Kind:              m.bench.Kind(),
+			Kind:              m.kind.String(),
 			Submitted:         st.Submitted,
 			Completed:         st.Completed,
 			Canceled:          st.Canceled,
@@ -425,11 +749,28 @@ func (s *Server) Stats() ServerStats {
 			ShedLoad:          shedLoad,
 			ShedBreaker:       shedBreaker,
 			InFlight:          inFlight,
+			QueueLen:          q,
+			QueueCap:          c,
 			BreakerState:      m.breaker.State().String(),
 			MeanBatchSize:     st.MeanBatchSize,
 			BatchSizeHist:     st.BatchSizeHist,
 			LatencyP50Micros:  float64(st.LatencyP50) / float64(time.Microsecond),
 			LatencyP99Micros:  float64(st.LatencyP99) / float64(time.Microsecond),
+			LatencyHist:       st.LatencyHist,
+			LatencySumMicros:  float64(st.LatencySum) / float64(time.Microsecond),
+			BatchWindowMicros: float64(st.CurrentDelay) / float64(time.Microsecond),
+			Loads:             m.loads.Load(),
+			Evictions:         m.evictions.Load(),
+		}
+		if e := m.eng.Load(); e != nil {
+			ms := e.bench.MemStats()
+			bs.Resident = true
+			bs.WeightBytes = ms.WeightBytes
+			bs.PackedBytes = ms.PackedBytes
+			bs.ScratchBytes = ms.ScratchBytes
+			bs.ResidentBytes = ms.Total()
+			out.ResidentModels++
+			out.ResidentBytes += bs.ResidentBytes
 		}
 		out.Benchmarks[name] = bs
 		out.Requests += st.Submitted
@@ -446,4 +787,22 @@ func (s *Server) Stats() ServerStats {
 		out.MeanBatchSize = float64(batchedRequests) / float64(out.Batches)
 	}
 	return out
+}
+
+// numericsTier reports the serving numerics tier: the configured tier, or
+// "reference" when unset (the engine's default absent TANGO_NUMERICS).
+func (s *Server) numericsTier() string {
+	if s.opts.numerics != "" {
+		return s.opts.numerics
+	}
+	return nn.NumericsReference.String()
+}
+
+// queueState returns the model's request-queue length and capacity; a cold
+// model has an empty queue at the configured capacity.
+func (s *Server) queueState(m *serverModel) (int, int) {
+	if e := m.eng.Load(); e != nil {
+		return e.queue()
+	}
+	return 0, s.batchCfg.QueueDepth
 }

@@ -8,15 +8,23 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // This file is the HTTP frontend of the serving subsystem (stdlib net/http
-// only).  Handler exposes a Server over four endpoints:
+// only).  Handler exposes a Server over five endpoints:
 //
 //	POST /v1/classify  {"benchmark":"CifarNet","image":[...]}   -> {"class":..,"probabilities":[...]}
 //	POST /v1/forecast  {"benchmark":"LSTM","history":[...]}     -> {"prediction":..}
+//	GET  /v1/stats                                              -> ServerStats JSON
 //	GET  /healthz                                               -> HealthReport JSON
-//	GET  /metrics                                               -> ServerStats JSON
+//	GET  /metrics                                               -> Prometheus text exposition
+//
+// GET /metrics serves the Prometheus text format (version 0.0.4) for
+// scrapers.  The JSON stats blob it served before the v1 surface lives at
+// GET /v1/stats; for one release, /metrics with an Accept header naming
+// application/json still answers the old JSON body so existing collectors
+// keep working while they migrate (deprecated — scrape /v1/stats instead).
 //
 // Classify requests may pass {"seed":N} instead of an image and forecast
 // requests {"seed":N} instead of a history to use the benchmark's
@@ -80,6 +88,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("POST /v1/forecast", s.handleForecast)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -168,8 +177,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, rep)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// One-release compatibility shim: the pre-v1 API served the JSON stats
+	// blob here.  An explicit JSON Accept keeps old collectors working;
+	// everything else (including Prometheus scrapers, whose Accept names
+	// the exposition formats) gets the text format.
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.Stats())
+		return
+	}
+	w.Header().Set("Content-Type", prometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, s.metricsText())
 }
 
 // writeJSON writes v as a JSON response.

@@ -8,6 +8,10 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -208,8 +212,10 @@ func TestHTTPBadRequests(t *testing.T) {
 	}
 }
 
-// TestHTTPHealthAndMetrics checks the operational endpoints.
-func TestHTTPHealthAndMetrics(t *testing.T) {
+// TestHTTPHealthAndStats checks the operational JSON endpoints: /healthz and
+// the v1 stats blob at /v1/stats, plus the one-release JSON shim on /metrics
+// for pre-v1 collectors that send Accept: application/json.
+func TestHTTPHealthAndStats(t *testing.T) {
 	_, ts := newHTTPServer(t)
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -234,19 +240,235 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	if _, data := postJSON(t, ts.URL+"/v1/forecast", `{"benchmark":"LSTM","seed":7}`); len(data) == 0 {
 		t.Fatal("forecast returned empty body")
 	}
-	mresp, err := http.Get(ts.URL + "/metrics")
+	for _, ep := range []struct {
+		name, path, accept string
+	}{
+		{"v1 stats", "/v1/stats", ""},
+		{"metrics JSON shim", "/metrics", "application/json"},
+	} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+ep.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep.accept != "" {
+			req.Header.Set("Accept", ep.accept)
+		}
+		mresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats tango.ServerStats
+		err = json.NewDecoder(mresp.Body).Decode(&stats)
+		mresp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", ep.name, err)
+		}
+		if stats.Requests == 0 || stats.Batches == 0 {
+			t.Fatalf("%s shows no traffic: %+v", ep.name, stats)
+		}
+		if _, ok := stats.Benchmarks["LSTM"]; !ok {
+			t.Fatalf("%s missing LSTM: %+v", ep.name, stats)
+		}
+		lstm := stats.Benchmarks["LSTM"]
+		if !lstm.Resident || lstm.ResidentBytes <= 0 || lstm.WeightBytes <= 0 {
+			t.Fatalf("%s: LSTM memory accounting empty: %+v", ep.name, lstm)
+		}
+		var histTotal uint64
+		for _, c := range lstm.LatencyHist {
+			histTotal += c
+		}
+		if histTotal != lstm.Completed {
+			t.Fatalf("%s: latency histogram holds %d samples, want %d", ep.name, histTotal, lstm.Completed)
+		}
+	}
+}
+
+// promFamilies parses Prometheus text exposition the way a scraper does:
+// HELP/TYPE headers declare families, sample lines carry name{labels} value.
+// It fails the test on any malformed line, undeclared sample, or
+// non-cumulative histogram, and returns sample values keyed by
+// "name{labels}".
+func promFamilies(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = make(map[string]string)
+	samples = make(map[string]float64)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|[+]Inf|NaN)$`)
+	helpRe := regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) (.+)$`)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			mm := helpRe.FindStringSubmatch(line)
+			if mm == nil {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			if mm[1] == "TYPE" {
+				switch mm[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("unknown TYPE %q in %q", mm[3], line)
+				}
+				types[mm[2]] = mm[3]
+			}
+			continue
+		}
+		mm := sampleRe.FindStringSubmatch(line)
+		if mm == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(mm[1], "_bucket"), "_sum"), "_count")
+		if _, ok := types[mm[1]]; !ok {
+			if _, ok := types[base]; !ok {
+				t.Fatalf("sample %q has no TYPE declaration", mm[1])
+			}
+		}
+		v, err := strconv.ParseFloat(mm[3], 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value %q", line, mm[3])
+		}
+		if v < 0 && types[base] == "counter" {
+			t.Fatalf("negative counter: %q", line)
+		}
+		samples[mm[1]+mm[2]] = v
+	}
+	return types, samples
+}
+
+// TestHTTPPrometheusMetrics drives traffic, scrapes GET /metrics, and
+// verifies the exposition parses scrape-shaped: declared families, valid
+// sample lines, nonzero request counters and a consistent latency histogram.
+func TestHTTPPrometheusMetrics(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	for i := 0; i < 4; i++ {
+		if status, data := postJSON(t, ts.URL+"/v1/forecast", `{"benchmark":"LSTM","seed":3}`); status != http.StatusOK {
+			t.Fatalf("forecast: %d %s", status, data)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer mresp.Body.Close()
-	var stats tango.ServerStats
-	if err := json.NewDecoder(mresp.Body).Decode(&stats); err != nil {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Requests == 0 || stats.Batches == 0 {
-		t.Fatalf("metrics show no traffic: %+v", stats)
+	types, samples := promFamilies(t, string(body))
+
+	if types["tango_requests_total"] != "counter" {
+		t.Fatalf("tango_requests_total type = %q", types["tango_requests_total"])
 	}
-	if _, ok := stats.Benchmarks["LSTM"]; !ok {
-		t.Fatalf("metrics missing LSTM: %+v", stats)
+	if types["tango_request_latency_seconds"] != "histogram" {
+		t.Fatalf("latency type = %q", types["tango_request_latency_seconds"])
+	}
+	if v := samples[`tango_requests_total{benchmark="LSTM"}`]; v < 4 {
+		t.Fatalf("LSTM requests_total = %v, want >= 4", v)
+	}
+	if v := samples[`tango_model_resident_bytes{benchmark="LSTM"}`]; v <= 0 {
+		t.Fatalf("LSTM resident bytes = %v, want > 0", v)
+	}
+	if v := samples["go_goroutines"]; v <= 0 {
+		t.Fatalf("go_goroutines = %v", v)
+	}
+
+	// Histogram invariants: buckets cumulative, +Inf equals _count.
+	var prev float64
+	for _, q := range []string{"0.00025", "0.0005", "0.001", "0.0025", "0.005", "0.01", "0.025", "0.05", "0.1", "0.25", "0.5", "1", "2.5", "5", "+Inf"} {
+		key := `tango_request_latency_seconds_bucket{benchmark="LSTM",le="` + q + `"}`
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket %s", key)
+		}
+		if v < prev {
+			t.Fatalf("bucket le=%s count %v below previous %v (not cumulative)", q, v, prev)
+		}
+		prev = v
+	}
+	if c := samples[`tango_request_latency_seconds_count{benchmark="LSTM"}`]; c != prev {
+		t.Fatalf("_count %v != +Inf bucket %v", c, prev)
+	}
+	if c := samples[`tango_request_latency_seconds_count{benchmark="LSTM"}`]; c < 4 {
+		t.Fatalf("latency count %v, want >= 4", c)
+	}
+}
+
+// TestPrometheusGolden pins the exposition bytes for a handcrafted snapshot:
+// stable family order, sorted benchmark rows, HELP/TYPE headers and label
+// escaping must not drift, because scrape configs and recording rules depend
+// on exact series names.
+func TestPrometheusGolden(t *testing.T) {
+	hist := make([]uint64, 15)
+	hist[3] = 90 // 90 requests <= 2.5ms
+	hist[7] = 9  // 9 requests <= 50ms
+	hist[14] = 1 // one in +Inf
+	st := tango.ServerStats{
+		Requests:         100,
+		Completed:        100,
+		Shed:             3,
+		InFlight:         1,
+		Batches:          25,
+		MeanBatchSize:    4,
+		NumericsTier:     "fast",
+		TargetP99Micros:  50_000,
+		ModelBudgetBytes: 1 << 30,
+		ResidentModels:   1,
+		ResidentBytes:    123456,
+		Benchmarks: map[string]tango.BenchmarkServeStats{
+			`weird"name\with`: {
+				Benchmark: `weird"name\with`, Kind: "RNN",
+				BreakerState: "open",
+			},
+			"CifarNet": {
+				Benchmark: "CifarNet", Kind: "CNN",
+				Submitted: 100, Completed: 100, Canceled: 2,
+				RejectedQueueFull: 5, RejectedClosed: 1,
+				Batches: 25, BatchErrors: 1, Bisections: 2, Isolated: 1,
+				ShedLoad: 2, ShedBreaker: 1,
+				InFlight: 1, QueueLen: 3, QueueCap: 64,
+				BreakerState: "closed", MeanBatchSize: 4,
+				BatchSizeHist:    []uint64{5, 10, 0, 10},
+				LatencyP50Micros: 1800, LatencyP99Micros: 42000,
+				LatencyHist:       hist,
+				LatencySumMicros:  750_000,
+				BatchWindowMicros: 1500,
+				Resident:          true,
+				ResidentBytes:     123456, WeightBytes: 100000,
+				PackedBytes: 20000, ScratchBytes: 3456,
+				Loads: 2, Evictions: 1,
+			},
+		},
+	}
+	got := st.PrometheusText()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from %s (regenerate with UPDATE_GOLDEN=1 if intended)\n--- got ---\n%s", golden, got)
+	}
+
+	// The golden text itself must parse scrape-shaped, with the escaped
+	// label round-tripping.
+	types, samples := promFamilies(t, got)
+	if len(types) == 0 {
+		t.Fatal("no families parsed from golden")
+	}
+	if v := samples[`tango_requests_total{benchmark="weird\"name\\with"}`]; v != 0 {
+		t.Fatalf("escaped-label sample = %v, want 0", v)
+	}
+	if v := samples[`tango_breaker_state{benchmark="weird\"name\\with"}`]; v != 2 {
+		t.Fatalf("escaped-label breaker state = %v, want 2 (open)", v)
+	}
+	if v := samples[`tango_batch_size_sum{benchmark="CifarNet"}`]; v != 65 {
+		t.Fatalf("batch size sum = %v, want 65", v)
 	}
 }

@@ -1,0 +1,138 @@
+package tango_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tango"
+)
+
+// TestServerOnDemandLoading checks that WithOnDemandLoading defers engine
+// loads to first use: construction validates names without loading, the
+// first request loads exactly its model, and untouched models stay cold.
+func TestServerOnDemandLoading(t *testing.T) {
+	srv, err := tango.NewServer([]string{"GRU", "LSTM"}, tango.ServerConfig{},
+		tango.WithOnDemandLoading(), tango.WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	st := srv.Stats()
+	if st.ResidentModels != 0 {
+		t.Fatalf("cold server has %d resident models, want 0", st.ResidentModels)
+	}
+	for name, b := range st.Benchmarks {
+		if b.Resident || b.Loads != 0 {
+			t.Fatalf("%s loaded before any request: %+v", name, b)
+		}
+	}
+
+	history := []float64{0.4, 0.5, 0.6}
+	if _, err := srv.Forecast(context.Background(), "GRU", history); err != nil {
+		t.Fatal(err)
+	}
+	st = srv.Stats()
+	if g := st.Benchmarks["GRU"]; !g.Resident || g.Loads != 1 || g.ResidentBytes <= 0 {
+		t.Fatalf("GRU after first request: %+v", g)
+	}
+	if l := st.Benchmarks["LSTM"]; l.Resident || l.Loads != 0 {
+		t.Fatalf("LSTM loaded without a request: %+v", l)
+	}
+	if st.ResidentModels != 1 || st.ResidentBytes != st.Benchmarks["GRU"].ResidentBytes {
+		t.Fatalf("server residency: %+v", st)
+	}
+
+	// Unknown names still fail fast at construction, before any load.
+	if _, err := tango.NewServer([]string{"NoSuchNet"}, tango.ServerConfig{}, tango.WithOnDemandLoading()); err == nil {
+		t.Fatal("NewServer accepted an unknown benchmark under on-demand loading")
+	}
+}
+
+// TestServerModelBudgetEviction checks the LRU lifecycle: a budget too small
+// for two engines evicts the least-recently-used idle model when the second
+// loads, the evicted model's counters survive, and its next request reloads
+// it transparently.
+func TestServerModelBudgetEviction(t *testing.T) {
+	// A 1-byte budget forces every load over budget, so loading any second
+	// model must evict the idle first one.
+	srv, err := tango.NewServer([]string{"GRU", "LSTM"}, tango.ServerConfig{},
+		tango.WithModelBudget(1), tango.WithMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	history := []float64{0.4, 0.5, 0.6}
+	if _, err := srv.Forecast(ctx, "GRU", history); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); !st.Benchmarks["GRU"].Resident {
+		t.Fatalf("GRU not resident after request: %+v", st.Benchmarks["GRU"])
+	}
+
+	if _, err := srv.Forecast(ctx, "LSTM", history); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if g := st.Benchmarks["GRU"]; g.Resident || g.Evictions != 1 {
+		t.Fatalf("GRU should be evicted by LSTM load: %+v", g)
+	}
+	if l := st.Benchmarks["LSTM"]; !l.Resident {
+		t.Fatalf("LSTM not resident: %+v", l)
+	}
+	// Lifetime counters survive the eviction.
+	if g := st.Benchmarks["GRU"]; g.Submitted != 1 || g.Completed != 1 {
+		t.Fatalf("GRU counters lost across eviction: %+v", g)
+	}
+
+	// The evicted model reloads transparently on its next request, evicting
+	// LSTM in turn, and its counters keep accumulating.
+	if _, err := srv.Forecast(ctx, "GRU", history); err != nil {
+		t.Fatalf("request to evicted model: %v", err)
+	}
+	st = srv.Stats()
+	g := st.Benchmarks["GRU"]
+	if !g.Resident || g.Loads != 2 || g.Submitted != 2 || g.Completed != 2 {
+		t.Fatalf("GRU after reload: %+v", g)
+	}
+	if l := st.Benchmarks["LSTM"]; l.Resident || l.Evictions != 1 {
+		t.Fatalf("LSTM should be evicted by GRU reload: %+v", l)
+	}
+	if st.ResidentModels != 1 {
+		t.Fatalf("resident models = %d, want 1", st.ResidentModels)
+	}
+}
+
+// TestServeOptionsLowering checks that the ServerConfig compatibility struct
+// and explicit ServeOptions configure the same server, with options applied
+// after the struct winning.
+func TestServeOptionsLowering(t *testing.T) {
+	srv, err := tango.NewServer([]string{"GRU"}, tango.ServerConfig{
+		MaxBatch:  2,
+		TargetP99: time.Second,
+		Numerics:  "reference",
+	}, tango.WithMaxBatch(4), tango.WithQueueDepth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	st := srv.Stats()
+	if st.NumericsTier != "reference" {
+		t.Fatalf("numerics tier = %q", st.NumericsTier)
+	}
+	if st.TargetP99Micros != 1e6 {
+		t.Fatalf("target p99 = %v us, want 1e6", st.TargetP99Micros)
+	}
+	if got := st.Benchmarks["GRU"].QueueCap; got != 8 {
+		t.Fatalf("queue cap = %d, want 8 (option should override)", got)
+	}
+	if _, err := srv.Forecast(context.Background(), "GRU", []float64{0.1, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if hist := srv.Stats().Benchmarks["GRU"].BatchSizeHist; len(hist) != 4 {
+		t.Fatalf("batch hist len %d, want MaxBatch 4 from option", len(hist))
+	}
+}

@@ -1,0 +1,151 @@
+package tango
+
+import "time"
+
+// This file is the v1 serving configuration surface: functional ServeOptions
+// mirroring the engine's SimOption pattern.  NewServer accepts either style —
+// the ServerConfig struct remains as a compatibility surface that lowers onto
+// the equivalent options (see ServerConfig.options), and explicit options
+// applied after it win.
+
+// serveOptions is the resolved server configuration every ServeOption edits.
+type serveOptions struct {
+	maxBatch         int
+	maxDelay         time.Duration
+	queueDepth       int
+	parallelism      int
+	requestTimeout   time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	numerics         string
+	slo              time.Duration
+	modelBudget      int64
+	onDemand         bool
+}
+
+// ServeOption configures a Server at construction.  Options compose left to
+// right: later options override earlier ones, and every option applies after
+// the ServerConfig compatibility struct has been lowered.
+type ServeOption func(*serveOptions)
+
+// WithMaxBatch bounds the largest batch formed per benchmark; a forming
+// batch is flushed as soon as it reaches n requests.  n < 1 keeps the
+// default (16).
+func WithMaxBatch(n int) ServeOption {
+	return func(o *serveOptions) { o.maxBatch = n }
+}
+
+// WithMaxDelay bounds how long the oldest queued request waits for its batch
+// to fill before being flushed anyway.  Zero flushes greedily.  Under
+// WithSLO the delay becomes the adaptive window's ceiling instead of a fixed
+// wait (and is further capped at half the SLO).
+func WithMaxDelay(d time.Duration) ServeOption {
+	return func(o *serveOptions) { o.maxDelay = d }
+}
+
+// WithQueueDepth sets the per-benchmark bounded queue capacity; requests
+// beyond it are rejected immediately with ErrQueueFull.  n < 1 keeps the
+// default (256).
+func WithQueueDepth(n int) ServeOption {
+	return func(o *serveOptions) { o.queueDepth = n }
+}
+
+// WithServeParallelism sets the compute-engine worker count used for batch
+// runs, exactly as the engine-level WithParallelism: 0 keeps the
+// single-worker engine, negative selects one worker per CPU.
+func WithServeParallelism(n int) ServeOption {
+	return func(o *serveOptions) { o.parallelism = n }
+}
+
+// WithRequestTimeout bounds each request's end-to-end time (queue wait +
+// batch compute) with a context deadline; requests whose caller context
+// carries a tighter deadline keep the tighter one.  Zero means no
+// server-imposed deadline.
+func WithRequestTimeout(d time.Duration) ServeOption {
+	return func(o *serveOptions) { o.requestTimeout = d }
+}
+
+// WithBreaker sets the per-benchmark circuit breaker policy: threshold
+// consecutive engine failures trip the breaker open (requests then fail fast
+// with ErrDegraded) and cooldown is how long it waits before a probe request
+// tests recovery.  Non-positive values keep the resilience defaults (5, 2s).
+func WithBreaker(threshold int, cooldown time.Duration) ServeOption {
+	return func(o *serveOptions) {
+		o.breakerThreshold = threshold
+		o.breakerCooldown = cooldown
+	}
+}
+
+// WithNumericsTier selects the compute-engine numerics tier for every served
+// benchmark: "" or "reference" (default, bit-exact), "fast" or "int8".
+// Under a fast tier, served results preserve each request's top-1 class but
+// are no longer bit-identical to single-sample Classify / Forecast.
+func WithNumericsTier(tier string) ServeOption {
+	return func(o *serveOptions) { o.numerics = tier }
+}
+
+// WithSLO sets a per-request p99 latency target and switches every
+// benchmark's batcher from a fixed batch window to an adaptive one: a
+// per-model controller tunes the window between zero and
+// min(MaxDelay, SLO/2) from observed queue depth and p99 latency, so light
+// load is served at single-sample latency while pressure still fills
+// batches.  Zero disables adaptation and keeps the static MaxDelay window.
+func WithSLO(targetP99 time.Duration) ServeOption {
+	return func(o *serveOptions) { o.slo = targetP99 }
+}
+
+// WithModelBudget caps the total resident bytes (weights + packed panels +
+// scratch high-water) of loaded model engines.  Exceeding the budget evicts
+// idle engines in least-recently-used order; an evicted model reloads
+// transparently on its next request, with its serving counters carried
+// across the eviction.  A budget implies WithOnDemandLoading.  Zero means
+// unlimited (every model stays resident).
+func WithModelBudget(bytes int64) ServeOption {
+	return func(o *serveOptions) { o.modelBudget = bytes }
+}
+
+// WithOnDemandLoading defers each benchmark's engine load (weight synthesis,
+// plan resolution, prewarm) to its first request instead of NewServer.
+// Construction still validates every benchmark name and kind up front, so an
+// unknown model fails fast; only the expensive load is lazy.
+func WithOnDemandLoading() ServeOption {
+	return func(o *serveOptions) { o.onDemand = true }
+}
+
+// options lowers the compatibility struct onto the equivalent functional
+// options.  Zero-valued fields lower to nothing, so a zero ServerConfig is
+// exactly the default option set.
+func (c ServerConfig) options() []ServeOption {
+	var opts []ServeOption
+	if c.MaxBatch != 0 {
+		opts = append(opts, WithMaxBatch(c.MaxBatch))
+	}
+	if c.MaxDelay != 0 {
+		opts = append(opts, WithMaxDelay(c.MaxDelay))
+	}
+	if c.QueueDepth != 0 {
+		opts = append(opts, WithQueueDepth(c.QueueDepth))
+	}
+	if c.Parallelism != 0 {
+		opts = append(opts, WithServeParallelism(c.Parallelism))
+	}
+	if c.RequestTimeout != 0 {
+		opts = append(opts, WithRequestTimeout(c.RequestTimeout))
+	}
+	if c.BreakerThreshold != 0 || c.BreakerCooldown != 0 {
+		opts = append(opts, WithBreaker(c.BreakerThreshold, c.BreakerCooldown))
+	}
+	if c.Numerics != "" {
+		opts = append(opts, WithNumericsTier(c.Numerics))
+	}
+	if c.TargetP99 != 0 {
+		opts = append(opts, WithSLO(c.TargetP99))
+	}
+	if c.ModelBudgetBytes != 0 {
+		opts = append(opts, WithModelBudget(c.ModelBudgetBytes))
+	}
+	if c.OnDemand {
+		opts = append(opts, WithOnDemandLoading())
+	}
+	return opts
+}

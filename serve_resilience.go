@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"tango/internal/resilience"
-	"tango/internal/serve"
 )
 
 // This file is the serving stack's resilience layer: priority-classed
@@ -107,7 +106,7 @@ func (s *Server) admit(ctx context.Context, m *serverModel) error {
 		return fmt.Errorf("tango: %s: %w", m.name, ErrDegraded)
 	}
 	// Past here the caller owns a breaker slot; release it on rejection.
-	q, c := m.queue()
+	q, c := s.queueState(m)
 	occ := float64(q) / float64(c)
 	shedAt := 1.1 // high priority: only the hard queue-full bound sheds
 	switch PriorityFromContext(ctx) {
@@ -179,6 +178,9 @@ type ModelHealth struct {
 	QueueCap  int     `json:"queue_cap"`
 	InFlight  int64   `json:"in_flight"`
 	Occupancy float64 `json:"occupancy"`
+	// Resident reports whether the model's engine is loaded; a cold model
+	// is healthy — it loads on first request.
+	Resident bool `json:"resident"`
 }
 
 // HealthReport is the GET /healthz body: overall status, the reasons a
@@ -203,12 +205,13 @@ func (s *Server) Health() HealthReport {
 	}
 	for _, name := range s.order {
 		m := s.models[name]
-		q, c := m.queue()
+		q, c := s.queueState(m)
 		mh := ModelHealth{
 			Breaker:  m.breaker.State().String(),
 			QueueLen: q,
 			QueueCap: c,
 			InFlight: m.inFlight.Load(),
+			Resident: m.eng.Load() != nil,
 		}
 		if c > 0 {
 			mh.Occupancy = float64(q) / float64(c)
@@ -235,19 +238,3 @@ func (s *Server) Health() HealthReport {
 // rejections, sized to the default breaker cooldown so clients that honor
 // it return roughly when the server is ready to probe recovery.
 const RetryAfter = 1 * time.Second
-
-// queue returns the model's request-queue length and capacity.
-func (m *serverModel) queue() (int, int) {
-	if m.classify != nil {
-		return m.classify.QueueLen(), m.classify.QueueCap()
-	}
-	return m.forecast.QueueLen(), m.forecast.QueueCap()
-}
-
-// batcherStats returns the model's scheduler stats snapshot.
-func (m *serverModel) batcherStats() serve.Stats {
-	if m.classify != nil {
-		return m.classify.Stats()
-	}
-	return m.forecast.Stats()
-}
