@@ -1,6 +1,7 @@
 // Command tango-char regenerates a single table or figure of the paper's
 // evaluation section, or runs a multi-device characterization sweep across
-// the registered accelerator targets.
+// the registered accelerator targets — locally, against a persistent run
+// cache, or sharded across worker processes.
 //
 // Usage:
 //
@@ -10,16 +11,32 @@
 //	tango-char -targets gp102,tx1,pynq -fast            # multi-device sweep
 //	tango-char -targets gp102 -l1 0,64,256 -format json # L1 sweep as JSON
 //	tango-char -list                     # list experiments and targets
+//
+// Distributed sweeps and the persistent cache:
+//
+//	tango-char -worker -addr :9101       # serve sweep cells over HTTP
+//	tango-char -targets gp102 -workers localhost:9101,localhost:9102 -fast
+//	tango-char -targets gp102 -cache-dir ~/.cache/tango -fast   # warm across runs
+//
+// The TANGO_CACHE_DIR environment variable attaches the persistent cache
+// to every mode without a flag.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"tango"
 	"tango/internal/cli"
+	"tango/internal/coord"
 )
 
 func main() {
@@ -34,8 +51,20 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "worker goroutines for the simulation matrix (0 = one per CPU)")
 		format     = flag.String("format", "table", "output format: table, csv or json")
 		csv        = flag.Bool("csv", false, "emit CSV (deprecated alias for -format csv)")
+		worker     = flag.Bool("worker", false, "worker mode: serve sweep cells over HTTP (see -addr)")
+		addr       = flag.String("addr", ":9101", "worker mode: HTTP listen address")
+		workers    = flag.String("workers", "", "sweep mode: comma-separated worker addresses to shard cells across")
+		cacheDir   = flag.String("cache-dir", os.Getenv("TANGO_CACHE_DIR"), "persistent run-cache directory (default $TANGO_CACHE_DIR)")
+		cacheStats = flag.Bool("cache-stats", false, "sweep mode: print run-cache counters to stderr after the sweep")
 	)
 	flag.Parse()
+
+	if *worker {
+		if err := runWorker(*addr, *cacheDir, cli.Workers(*parallel)); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *csv {
 		*format = "csv"
@@ -69,18 +98,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ds, err := tango.Sweep(tango.SweepConfig{
+		var stats tango.CacheStats
+		cfg := tango.SweepConfig{
 			Networks:     names,
 			Targets:      cli.SplitList(*targets),
 			L1SizesKB:    l1kb,
 			Schedulers:   cli.SplitList(*schedulers),
 			FastSampling: *fast,
 			Parallelism:  cli.Workers(*parallel),
-		})
+			Workers:      cli.SplitList(*workers),
+			CacheDir:     *cacheDir,
+		}
+		if *cacheStats {
+			cfg.CacheStats = &stats
+		}
+		ds, err := tango.Sweep(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		emitDataset(ds, *format)
+		if *cacheStats {
+			fmt.Fprintf(os.Stderr,
+				"cache: computes=%d disk_hits=%d disk_misses=%d disk_writes=%d disk_errors=%d mem_hits=%d mem_misses=%d\n",
+				stats.Computes, stats.DiskHits, stats.DiskMisses, stats.DiskWrites, stats.DiskErrors,
+				stats.RunHits, stats.RunMisses)
+		}
 		return
 	}
 
@@ -134,6 +176,36 @@ func emitDataset(ds *tango.Dataset, format string) {
 	default:
 		fmt.Print(ds.Table("sweep", "Characterization sweep").String())
 	}
+}
+
+// runWorker serves sweep cells over HTTP until SIGINT/SIGTERM, then
+// drains the cell queue and exits cleanly.
+func runWorker(addr, cacheDir string, parallelism int) error {
+	w := coord.NewWorker(coord.WorkerConfig{
+		Parallelism: parallelism,
+		CacheDir:    cacheDir,
+	})
+	srv := &http.Server{Addr: addr, Handler: w}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "tango-char: worker listening on %s (POST %s)\n", addr, coord.CellPath)
+		errc <- srv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "tango-char: worker shutting down (%s)\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	w.Close()
+	return nil
 }
 
 func fatal(err error) {

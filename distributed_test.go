@@ -1,0 +1,163 @@
+package tango
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tango/internal/coord"
+	"tango/internal/target"
+)
+
+// TestSweepWarmDiskByteIdentical is the persistent-cache acceptance test:
+// a cold sweep against a cache directory populates it, and an identical
+// sweep over a fresh store (the cross-process case — SweepConfig.CacheDir
+// always gets a private store with an empty memory tier) reproduces the
+// table and CSV byte-for-byte while executing zero simulator runs.
+func TestSweepWarmDiskByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := SweepConfig{
+		Networks:     []string{"GRU"},
+		Targets:      []string{"gp102", "pynq"},
+		FastSampling: true,
+		CacheDir:     dir,
+	}
+
+	var cold CacheStats
+	cfg.CacheStats = &cold
+	ds1, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Computes != int64(len(ds1.Records)) {
+		t.Fatalf("cold sweep computed %d cells for %d records", cold.Computes, len(ds1.Records))
+	}
+	if cold.DiskWrites != cold.Computes {
+		t.Fatalf("cold sweep wrote %d records for %d computes", cold.DiskWrites, cold.Computes)
+	}
+
+	var warm CacheStats
+	cfg.CacheStats = &warm
+	ds2, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Computes != 0 {
+		t.Fatalf("warm sweep executed %d simulator runs, want 0", warm.Computes)
+	}
+	if warm.DiskHits != int64(len(ds2.Records)) {
+		t.Fatalf("warm sweep hit disk %d times for %d records", warm.DiskHits, len(ds2.Records))
+	}
+	if csv1, csv2 := ds1.CSV(), ds2.CSV(); csv1 != csv2 {
+		t.Fatalf("warm CSV differs from cold CSV:\n%s\nvs\n%s", csv1, csv2)
+	}
+	tbl1 := ds1.Table("sweep", "t").String()
+	tbl2 := ds2.Table("sweep", "t").String()
+	if tbl1 != tbl2 {
+		t.Fatalf("warm table differs from cold table:\n%s\nvs\n%s", tbl1, tbl2)
+	}
+}
+
+// startWorkers launches n coord workers, each with its own isolated store
+// (so the cells demonstrably run worker-side), and returns their URLs.
+func startWorkers(t *testing.T, n int) ([]string, []*coord.Worker) {
+	t.Helper()
+	addrs := make([]string, n)
+	ws := make([]*coord.Worker, n)
+	for i := 0; i < n; i++ {
+		w := coord.NewWorker(coord.WorkerConfig{
+			Store:       target.NewStore(),
+			Parallelism: 2,
+		})
+		srv := httptest.NewServer(w)
+		t.Cleanup(func() { srv.Close(); w.Close() })
+		addrs[i] = srv.URL
+		ws[i] = w
+	}
+	return addrs, ws
+}
+
+// TestSweepDistributedByteIdentical is the sharding acceptance test: a
+// 2-worker coordinator sweep merges to exactly the dataset a
+// single-process sweep of the same cells produces.
+func TestSweepDistributedByteIdentical(t *testing.T) {
+	cfg := SweepConfig{
+		Networks:     []string{"GRU", "CifarNet"},
+		Targets:      []string{"gp102"},
+		FastSampling: true,
+	}
+	local, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, workers := startWorkers(t, 2)
+	dcfg := cfg
+	dcfg.Workers = addrs
+	dcfg.CacheDir = t.TempDir() // private cold store: every cell must travel
+	var stats CacheStats
+	dcfg.CacheStats = &stats
+	dist, err := Sweep(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := dist.CSV(), local.CSV(); got != want {
+		t.Fatalf("distributed CSV differs from single-process CSV:\n%s\nvs\n%s", got, want)
+	}
+	if !reflect.DeepEqual(dist.Records, local.Records) {
+		t.Fatalf("distributed records differ:\n%+v\nvs\n%+v", dist.Records, local.Records)
+	}
+	if stats.Computes != 0 {
+		t.Fatalf("coordinator computed %d cells locally, want 0 (healthy workers)", stats.Computes)
+	}
+	var remote int64
+	for _, w := range workers {
+		remote += w.Store().Stats().Computes
+	}
+	if remote != int64(len(dist.Records)) {
+		t.Fatalf("workers computed %d cells for %d records", remote, len(dist.Records))
+	}
+	for i, w := range workers {
+		if w.Store().Stats().Computes == 0 {
+			t.Fatalf("worker %d got no cells; sharding is not spreading work", i)
+		}
+	}
+}
+
+// TestSweepDistributedFallsBackToLocal: a sweep pointed at a dead worker
+// still produces the full, correct dataset by computing the failed cells
+// locally.
+func TestSweepDistributedFallsBackToLocal(t *testing.T) {
+	cfg := SweepConfig{
+		Networks:     []string{"GRU"},
+		Targets:      []string{"gp102"},
+		FastSampling: true,
+	}
+	local, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dcfg := cfg
+	dcfg.Workers = []string{"127.0.0.1:1"} // nothing listens here
+	dcfg.CacheDir = t.TempDir()
+	var stats CacheStats
+	dcfg.CacheStats = &stats
+	dist, err := Sweep(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dist.CSV(), local.CSV(); got != want {
+		t.Fatalf("fallback CSV differs from single-process CSV:\n%s\nvs\n%s", got, want)
+	}
+	if stats.Computes != int64(len(dist.Records)) {
+		t.Fatalf("dead-worker sweep computed %d cells locally for %d records", stats.Computes, len(dist.Records))
+	}
+	for _, r := range dist.Records {
+		if r.Err != "" || !strings.EqualFold(r.Network, "GRU") {
+			t.Fatalf("fallback record carries an error or wrong identity: %+v", r)
+		}
+	}
+}

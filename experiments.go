@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"tango/internal/bench"
+	"tango/internal/distcache"
 	"tango/internal/gpusim"
 	"tango/internal/report"
 	"tango/internal/target"
@@ -72,6 +73,23 @@ func WithIsolatedCache() ExperimentOption {
 	return func(s *experimentSettings) { s.opts.Store = target.NewStore() }
 }
 
+// WithDiskCache gives the session a private run store backed by a
+// persistent on-disk cache at dir: runs computed in one process are
+// replayed from disk in the next, so warm sessions skip the simulator
+// entirely.  Cache failures are soft — an unopenable directory leaves
+// the store memory-only, and a corrupt or stale record is recomputed,
+// never trusted.  The TANGO_CACHE_DIR environment variable attaches the
+// same cache to the default process-wide store instead.
+func WithDiskCache(dir string) ExperimentOption {
+	return func(s *experimentSettings) {
+		st := target.NewStore()
+		if d, err := distcache.Open(dir); err == nil {
+			st.SetDisk(d)
+		}
+		s.opts.Store = st
+	}
+}
+
 // ExperimentSession caches simulation results across experiments so a full
 // report run simulates each configuration once.
 type ExperimentSession struct {
@@ -80,6 +98,7 @@ type ExperimentSession struct {
 
 // NewExperimentSession creates a session for running multiple experiments.
 func NewExperimentSession(opts ...ExperimentOption) *ExperimentSession {
+	attachEnvDiskCache()
 	var s experimentSettings
 	for _, opt := range opts {
 		opt(&s)

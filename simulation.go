@@ -3,11 +3,15 @@ package tango
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"tango/internal/coord"
 	"tango/internal/device"
+	"tango/internal/distcache"
 	"tango/internal/gpusim"
 	"tango/internal/networks"
 	"tango/internal/nn"
@@ -277,6 +281,47 @@ type SweepConfig struct {
 	// downstream tooling can join it against fast-tier throughput
 	// measurements without ambiguity.
 	Numerics string
+	// Workers distributes the sweep: each entry is a tango-char worker
+	// address (host:port or http:// URL) and cells are sharded across them
+	// round-robin by cell index.  A cell whose worker fails — unreachable,
+	// circuit breaker open, queue full, mismatched build — is computed
+	// locally instead, so worker failures degrade throughput, never the
+	// dataset.  Remote results flow through the same run cache as local
+	// ones and the merged dataset is byte-identical to a single-process
+	// sweep of the same cells.  Empty runs everything locally.
+	Workers []string
+	// CacheDir attaches a persistent on-disk run cache: the sweep uses a
+	// private store (empty in-memory tier) over the directory, so a cold
+	// sweep populates it and an identical sweep in a fresh process — or
+	// with the same CacheDir in this one — replays from disk without
+	// running the simulator.  Empty uses the process-wide in-memory store
+	// (plus TANGO_CACHE_DIR if set).
+	CacheDir string
+	// CacheStats, when non-nil, receives a snapshot of the backing store's
+	// cache counters after the sweep — Computes says how many cells
+	// actually ran a simulator backend (zero for a fully warm sweep).
+	CacheStats *CacheStats
+}
+
+// CacheStats is a snapshot of a run store's cache traffic; see
+// SweepConfig.CacheStats.
+type CacheStats = target.StoreStats
+
+// envCacheOnce attaches TANGO_CACHE_DIR to the process-wide store the
+// first time a sweep or experiment session runs.  Failures are soft: an
+// unopenable directory leaves the store memory-only.
+var envCacheOnce sync.Once
+
+func attachEnvDiskCache() {
+	envCacheOnce.Do(func() {
+		dir := os.Getenv("TANGO_CACHE_DIR")
+		if dir == "" {
+			return
+		}
+		if d, err := distcache.Open(dir); err == nil {
+			target.Shared().SetDisk(d)
+		}
+	})
 }
 
 // sweepVariants expands the config's L1/scheduler dimensions into the variant
@@ -411,7 +456,31 @@ func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 		}
 	}
 
+	attachEnvDiskCache()
 	store := sweepStore()
+	if cfg.CacheDir != "" {
+		// A private store over the directory: the empty memory tier means
+		// every cell consults the disk, which is exactly the fresh-process
+		// warm-sweep semantics the cache exists for.
+		d, derr := distcache.Open(cfg.CacheDir)
+		if derr != nil {
+			return nil, fmt.Errorf("tango: sweep cache: %w", derr)
+		}
+		store = target.NewStore()
+		store.SetDisk(d)
+	}
+	var pool *coord.Pool
+	if len(cfg.Workers) > 0 {
+		pool, err = coord.NewPool(cfg.Workers, coord.PoolConfig{})
+		if err != nil {
+			return nil, fmt.Errorf("tango: sweep: %w", err)
+		}
+		if cfg.Parallelism <= 1 {
+			// Cells spend their time waiting on remote workers; give the
+			// dispatcher enough concurrency to keep every worker busy.
+			cfg.Parallelism = 2 * pool.Len()
+		}
+	}
 	records := make([]report.Record, len(cells))
 	backoff := resilience.Backoff{Attempts: cfg.CellRetries + 1}
 	err = par.ForEachCtx(ctx, cfg.Parallelism, len(cells), func(i int) error {
@@ -424,8 +493,23 @@ func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 		runErr := resilience.Retry(ctx, backoff, func(ctx context.Context) error {
 			cellCtx, cancel := resilience.WithBudget(ctx, cfg.CellTimeout)
 			defer cancel()
+			var compute target.ComputeFunc
+			if pool != nil {
+				compute = func(tr *target.Trace) (*target.RunStats, error) {
+					rs, ferr := pool.Fetch(cellCtx, i, c.t, c.n, c.v, tr)
+					if ferr == nil {
+						return rs, nil
+					}
+					if cellCtx.Err() != nil {
+						return nil, ferr
+					}
+					// The worker failed this cell; compute it here so a
+					// dead worker costs throughput, not the dataset.
+					return store.ComputeCell(tr, c.t, c.v)
+				}
+			}
 			var err error
-			rs, err = store.RunCtx(cellCtx, c.t, c.n, c.v)
+			rs, err = store.RunVia(cellCtx, c.t, c.n, c.v, compute)
 			return err
 		})
 		if runErr != nil {
@@ -463,6 +547,9 @@ func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 		}
 		return nil
 	})
+	if cfg.CacheStats != nil {
+		*cfg.CacheStats = store.Stats()
+	}
 	if err != nil {
 		return nil, err
 	}
