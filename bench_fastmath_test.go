@@ -44,33 +44,90 @@ func BenchmarkClassifyAlexNetInt8(b *testing.B) {
 	benchmarkClassifyOpts(b, "AlexNet", tango.WithInt8())
 }
 
-// BenchmarkClassifyAlexNetBatch8FastMath is the fast-tier counterpart of
-// BenchmarkClassifyAlexNetBatch8.
-func BenchmarkClassifyAlexNetBatch8FastMath(b *testing.B) {
+// alexNetBatch8 loads AlexNet and synthesizes the 8-image batch the
+// batched benchmarks and the speedup guard share.
+func alexNetBatch8(tb testing.TB) (*tango.Benchmark, [][]float32) {
+	tb.Helper()
 	bm, err := tango.LoadBenchmark("AlexNet")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	const n = 8
-	images := make([][]float32, n)
+	images := make([][]float32, 8)
 	for i := range images {
 		img, _, err := bm.SampleImage(uint64(i + 1))
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		images[i] = img
 	}
-	if _, err := bm.ClassifyBatch(images, tango.WithFastMath()); err != nil {
+	return bm, images
+}
+
+// benchmarkClassifyBatch8 measures batched classification under the given
+// inference options; the fused staging path makes this the fast tier's
+// highest-throughput entry point.
+func benchmarkClassifyBatch8(b *testing.B, opts ...tango.SimOption) {
+	bm, images := alexNetBatch8(b)
+	if _, err := bm.ClassifyBatch(images, opts...); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bm.ClassifyBatch(images, tango.WithFastMath()); err != nil {
+		if _, err := bm.ClassifyBatch(images, opts...); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+	b.ReportMetric(float64(len(images))*float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+// BenchmarkClassifyAlexNetBatch8FastMath is the fast-tier counterpart of
+// BenchmarkClassifyAlexNetBatch8.
+func BenchmarkClassifyAlexNetBatch8FastMath(b *testing.B) {
+	benchmarkClassifyBatch8(b, tango.WithFastMath())
+}
+
+// BenchmarkClassifyAlexNetBatch8Int8 measures the fused batched int8 tier
+// (per-image activation scales, per-panel quantization).
+func BenchmarkClassifyAlexNetBatch8Int8(b *testing.B) {
+	benchmarkClassifyBatch8(b, tango.WithInt8())
+}
+
+// TestFastMathBatchSpeedupAlexNet is the fused batched path's acceptance
+// check: batch-8 AlexNet classification with WithFastMath must sustain at
+// least 2x the throughput of the bit-exact reference batch path on the
+// same machine.  Skipped under -short (it times full batched runs).
+func TestFastMathBatchSpeedupAlexNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	bm, images := alexNetBatch8(t)
+	timeRuns := func(opts ...tango.SimOption) time.Duration {
+		// Warm once (plan resolution, weight packing, arena growth).
+		if _, err := bm.ClassifyBatch(images, opts...); err != nil {
+			t.Fatal(err)
+		}
+		const runs = 3
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			if _, err := bm.ClassifyBatch(images, opts...); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	ref := timeRuns(tango.WithReferenceNumerics())
+	fast := timeRuns(tango.WithFastMath())
+	speedup := float64(ref) / float64(fast)
+	t.Logf("AlexNet batch 8: reference %v, fastmath %v (%.2fx)", ref, fast, speedup)
+	if speedup < 2 {
+		t.Fatalf("batched fast-math speedup %.2fx below the required 2x (reference %v, fast %v)",
+			speedup, ref, fast)
+	}
 }
 
 // TestFastMathSpeedupAlexNet is the fast tier's headline acceptance check:

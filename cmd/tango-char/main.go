@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -55,12 +56,13 @@ func main() {
 		addr       = flag.String("addr", ":9101", "worker mode: HTTP listen address")
 		workers    = flag.String("workers", "", "sweep mode: comma-separated worker addresses to shard cells across")
 		cacheDir   = flag.String("cache-dir", os.Getenv("TANGO_CACHE_DIR"), "persistent run-cache directory (default $TANGO_CACHE_DIR)")
+		cacheMaxMB = flag.Int("cache-max-mb", envInt("TANGO_CACHE_MAX_MB"), "bound the run-cache directory to this many MiB, evicting the oldest records (0 = unbounded, default $TANGO_CACHE_MAX_MB)")
 		cacheStats = flag.Bool("cache-stats", false, "sweep mode: print run-cache counters to stderr after the sweep")
 	)
 	flag.Parse()
 
 	if *worker {
-		if err := runWorker(*addr, *cacheDir, cli.Workers(*parallel)); err != nil {
+		if err := runWorker(*addr, *cacheDir, *cacheMaxMB, cli.Workers(*parallel)); err != nil {
 			fatal(err)
 		}
 		return
@@ -108,6 +110,7 @@ func main() {
 			Parallelism:  cli.Workers(*parallel),
 			Workers:      cli.SplitList(*workers),
 			CacheDir:     *cacheDir,
+			CacheMaxMB:   *cacheMaxMB,
 		}
 		if *cacheStats {
 			cfg.CacheStats = &stats
@@ -119,9 +122,9 @@ func main() {
 		emitDataset(ds, *format)
 		if *cacheStats {
 			fmt.Fprintf(os.Stderr,
-				"cache: computes=%d disk_hits=%d disk_misses=%d disk_writes=%d disk_errors=%d mem_hits=%d mem_misses=%d\n",
+				"cache: computes=%d disk_hits=%d disk_misses=%d disk_writes=%d disk_errors=%d disk_evictions=%d mem_hits=%d mem_misses=%d\n",
 				stats.Computes, stats.DiskHits, stats.DiskMisses, stats.DiskWrites, stats.DiskErrors,
-				stats.RunHits, stats.RunMisses)
+				stats.DiskEvictions, stats.RunHits, stats.RunMisses)
 		}
 		return
 	}
@@ -180,10 +183,11 @@ func emitDataset(ds *tango.Dataset, format string) {
 
 // runWorker serves sweep cells over HTTP until SIGINT/SIGTERM, then
 // drains the cell queue and exits cleanly.
-func runWorker(addr, cacheDir string, parallelism int) error {
+func runWorker(addr, cacheDir string, cacheMaxMB, parallelism int) error {
 	w := coord.NewWorker(coord.WorkerConfig{
 		Parallelism: parallelism,
 		CacheDir:    cacheDir,
+		CacheMaxMB:  cacheMaxMB,
 	})
 	srv := &http.Server{Addr: addr, Handler: w}
 	errc := make(chan error, 1)
@@ -206,6 +210,16 @@ func runWorker(addr, cacheDir string, parallelism int) error {
 	}
 	w.Close()
 	return nil
+}
+
+// envInt parses an integer environment variable, returning 0 when unset or
+// malformed.
+func envInt(name string) int {
+	n, err := strconv.Atoi(os.Getenv(name))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 func fatal(err error) {

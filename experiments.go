@@ -81,9 +81,20 @@ func WithIsolatedCache() ExperimentOption {
 // never trusted.  The TANGO_CACHE_DIR environment variable attaches the
 // same cache to the default process-wide store instead.
 func WithDiskCache(dir string) ExperimentOption {
+	return WithDiskCacheLimit(dir, 0)
+}
+
+// WithDiskCacheLimit is WithDiskCache with a size bound: the disk tier is
+// kept at or under maxMB MiB by evicting the oldest records (by file
+// modification time) whenever a write pushes it past the bound.  maxMB <= 0
+// leaves the tier unbounded.
+func WithDiskCacheLimit(dir string, maxMB int) ExperimentOption {
 	return func(s *experimentSettings) {
 		st := target.NewStore()
 		if d, err := distcache.Open(dir); err == nil {
+			if maxMB > 0 {
+				d.SetMaxBytes(int64(maxMB) << 20)
+			}
 			st.SetDisk(d)
 		}
 		s.opts.Store = st

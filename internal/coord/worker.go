@@ -57,6 +57,10 @@ type WorkerConfig struct {
 	// CacheDir, when non-empty, attaches a persistent disk cache to the
 	// worker's store (best effort: an unopenable directory is ignored).
 	CacheDir string
+	// CacheMaxMB bounds the disk cache's size in MiB; 0 leaves it
+	// unbounded.  Old records are evicted oldest-first once the bound is
+	// exceeded.
+	CacheMaxMB int
 }
 
 // NewWorker starts a worker with the given policy.  Callers must Close it
@@ -73,6 +77,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 	if cfg.CacheDir != "" {
 		if d, err := distcache.Open(cfg.CacheDir); err == nil {
+			if cfg.CacheMaxMB > 0 {
+				d.SetMaxBytes(int64(cfg.CacheMaxMB) << 20)
+			}
 			cfg.Store.SetDisk(d)
 		}
 	}

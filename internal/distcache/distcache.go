@@ -26,8 +26,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"tango/internal/cache"
@@ -52,6 +56,8 @@ type Stats struct {
 	// Writes counts successful Store calls; Errors counts failed ones plus
 	// records rejected on the read path for reasons other than absence.
 	Writes, Errors int64
+	// Evictions counts records removed by the disk-tier size bound.
+	Evictions int64
 }
 
 // Cache is one on-disk cache directory.  All methods are safe for
@@ -59,7 +65,16 @@ type Stats struct {
 type Cache struct {
 	dir string
 
-	hits, misses, writes, errs atomic.Int64
+	// maxBytes bounds the total size of record files (0 = unbounded) and
+	// usage tracks it approximately: seeded by one directory scan, advanced
+	// by Store, and re-measured exactly on every eviction pass (so drift
+	// from overwrites or concurrent processes is self-correcting).
+	maxBytes atomic.Int64
+	usage    atomic.Int64
+	seeded   atomic.Bool
+	evictMu  sync.Mutex
+
+	hits, misses, writes, errs, evictions atomic.Int64
 }
 
 // Open returns a cache rooted at dir, creating the directory if needed.
@@ -76,13 +91,35 @@ func Open(dir string) (*Cache, error) {
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
+// SetMaxBytes bounds the total size of the cache's record files; 0 (the
+// default) leaves the disk tier unbounded.  When a Store pushes the cache
+// over the bound, the oldest records by modification time are deleted
+// until usage drops to 90% of the bound, so steady-state sweeps churn the
+// tail instead of evicting on every write.  An existing over-bound
+// directory is trimmed on the next Store.
+func (c *Cache) SetMaxBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	c.maxBytes.Store(n)
+}
+
+// MaxBytes returns the configured disk-tier bound (0 = unbounded).
+func (c *Cache) MaxBytes() int64 { return c.maxBytes.Load() }
+
+// EvictionCount returns the number of records removed by the size bound.
+// target.Store discovers it through an optional interface so StoreStats
+// can report disk evictions without depending on this package.
+func (c *Cache) EvictionCount() int64 { return c.evictions.Load() }
+
 // Stats returns a snapshot of the cache's traffic counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:   c.hits.Load(),
-		Misses: c.misses.Load(),
-		Writes: c.writes.Load(),
-		Errors: c.errs.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Writes:    c.writes.Load(),
+		Errors:    c.errs.Load(),
+		Evictions: c.evictions.Load(),
 	}
 }
 
@@ -146,7 +183,88 @@ func (c *Cache) Store(key string, rs *target.RunStats) error {
 		return fmt.Errorf("distcache: %w", werr)
 	}
 	c.writes.Add(1)
+	c.noteWrite(int64(len(data)))
 	return nil
+}
+
+// noteWrite advances the usage estimate and runs an eviction pass when the
+// bound is exceeded.  The estimate ignores overwrites (the replaced file's
+// size stays counted until the next pass re-measures), which only makes
+// eviction run sooner, never later.
+func (c *Cache) noteWrite(n int64) {
+	max := c.maxBytes.Load()
+	if max <= 0 {
+		return
+	}
+	if !c.seeded.Load() {
+		c.evictMu.Lock()
+		if !c.seeded.Load() {
+			_, total := c.scanRecords()
+			c.usage.Store(total)
+			c.seeded.Store(true)
+		}
+		c.evictMu.Unlock()
+	}
+	if c.usage.Add(n) > max {
+		c.evict(max)
+	}
+}
+
+// recordFile is one on-disk record seen by an eviction scan.
+type recordFile struct {
+	path  string
+	size  int64
+	mtime int64
+}
+
+// scanRecords walks the shard directories and returns every record file
+// with its size and modification time, plus the total size.  Temporary
+// files mid-rename are skipped; they are transient and tiny.
+func (c *Cache) scanRecords() ([]recordFile, int64) {
+	var files []recordFile
+	var total int64
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		files = append(files, recordFile{path: path, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		total += info.Size()
+		return nil
+	})
+	return files, total
+}
+
+// evict deletes the oldest records until usage is at most 90% of max.  One
+// pass runs at a time; concurrent writers that arrive while a pass holds
+// the lock re-check the freshly measured usage and return.
+func (c *Cache) evict(max int64) {
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	files, total := c.scanRecords()
+	c.usage.Store(total)
+	target := max - max/10
+	if total <= max {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= target {
+			break
+		}
+		if err := os.Remove(f.path); err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				c.errs.Add(1)
+			}
+			continue
+		}
+		total -= f.size
+		c.evictions.Add(1)
+	}
+	c.usage.Store(total)
 }
 
 // record is the on-disk / on-wire schema.  The header pins everything a

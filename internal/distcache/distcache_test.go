@@ -2,12 +2,14 @@ package distcache
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"tango/internal/cache"
 	"tango/internal/device"
@@ -319,5 +321,96 @@ func TestConcurrentSharedDirectory(t *testing.T) {
 	}
 	if len(files) != 1 || strings.HasPrefix(files[0], ".tmp-") {
 		t.Fatalf("cache dir should hold exactly the record, got %v", files)
+	}
+}
+
+// TestEvictOldestFirst: with a byte bound set, Store trims the oldest
+// records (by modification time) down to 90% of the bound, never touching
+// the newest ones, and counts each removal.
+func TestEvictOldestFirst(t *testing.T) {
+	tr := testTrace(t)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := gpuStats(tr)
+	key := func(i int) string { return fmt.Sprintf("fake-gpu\x00GRU\x00cfg-%d", i) }
+	base := time.Now().Add(-time.Hour)
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := c.Store(key(i), rs); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct, ascending mtimes: filesystem timestamp granularity
+		// must not blur the age order the test asserts on.
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(c.Path(key(i)), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := os.Stat(c.Path(key(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := info.Size()
+
+	// Bound to 4 records: the next store (record 7, newest) must trim the
+	// total to <= 90% of the bound, deleting the oldest records only.
+	c.SetMaxBytes(4 * size)
+	if err := c.Store(key(n), rs); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Stats()
+	if stats.Evictions < 3 {
+		t.Fatalf("expected at least 3 evictions, got %d", stats.Evictions)
+	}
+	_, total := c.scanRecords()
+	if total > 4*size {
+		t.Fatalf("cache still holds %d bytes, bound %d", total, 4*size)
+	}
+	if _, ok := c.Load(key(n), tr); !ok {
+		t.Fatal("newest record was evicted")
+	}
+	if _, ok := c.Load(key(0), tr); ok {
+		t.Fatal("oldest record survived eviction")
+	}
+	// Survivors must be a suffix of the age order: no newer record may be
+	// evicted while an older one remains.
+	oldestSurvivor := n
+	for i := 1; i < n; i++ {
+		if _, err := os.Stat(c.Path(key(i))); err == nil {
+			oldestSurvivor = i
+			break
+		}
+	}
+	for i := oldestSurvivor; i < n; i++ {
+		if _, err := os.Stat(c.Path(key(i))); err != nil {
+			t.Fatalf("record %d evicted while older record %d survived", i, oldestSurvivor)
+		}
+	}
+}
+
+// TestNoEvictionUnbounded: the default (and an explicit zero bound) never
+// evicts.
+func TestNoEvictionUnbounded(t *testing.T) {
+	tr := testTrace(t)
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(0)
+	rs := gpuStats(tr)
+	for i := 0; i < 5; i++ {
+		if err := c.Store(fmt.Sprintf("fake-gpu\x00GRU\x00u-%d", i), rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted %d records", st.Evictions)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Load(fmt.Sprintf("fake-gpu\x00GRU\x00u-%d", i), tr); !ok {
+			t.Fatalf("record %d missing from unbounded cache", i)
+		}
 	}
 }

@@ -194,6 +194,150 @@ func TestFastMathSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// runBatchGolden runs a plan's batched path with nImg samples (sequences
+// for RNNs) under the given scratch.
+func runBatchGolden(t *testing.T, p *networks.Plan, s *nn.Scratch, nImg int) *networks.BatchResult {
+	t.Helper()
+	n := p.Network()
+	var res *networks.BatchResult
+	var err error
+	if n.Kind == networks.KindRNN {
+		steps := n.SeqLen
+		if steps <= 0 {
+			steps = 2
+		}
+		seq := tensor.New(steps, nImg, n.InputShape[0])
+		seq.FillUniform(tensor.NewRNG(uint64(31+nImg)), 0, 1)
+		res, err = p.RunSequenceBatch(seq, s)
+	} else {
+		shape := append([]int{nImg}, n.InputShape...)
+		batch := tensor.New(shape...)
+		batch.FillUniform(tensor.NewRNG(uint64(31+nImg)), 0, 1)
+		res, err = p.RunBatch(batch, s)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFusedBatchGoldenAllNetworks is the fused batched path's accuracy
+// contract across the whole suite: for every network, batch size (including
+// ragged sequence batches for the forecast RNNs) and worker count, the
+// fast tier must stay within 1e-3 relative error of the batched reference
+// and the int8 tier within 0.25, with every sample's top-1 class preserved
+// on the CNNs.  Heavy networks skip under -short like the single-sample
+// goldens; batch 8 runs only on the light CNNs to keep the suite quick.
+func TestFusedBatchGoldenAllNetworks(t *testing.T) {
+	modes := []struct {
+		mode nn.Numerics
+		tol  float64
+	}{
+		{nn.NumericsFast, 1e-3},
+		{nn.NumericsInt8, 0.25},
+	}
+	for _, name := range networks.Names() {
+		if testing.Short() && (name == "ResNet" || name == "VGGNet") {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			p := buildPlan(t, name)
+			isRNN := p.Network().Kind == networks.KindRNN
+			batches := []int{1, 3}
+			if isRNN {
+				batches = append(batches, 5) // ragged forecast batch
+			} else if name == "CifarNet" || name == "SqueezeNet" {
+				batches = append(batches, 8)
+			}
+			for _, nImg := range batches {
+				ref := runBatchGolden(t, p, nn.NewScratch(), nImg)
+				refOut := append([]float32(nil), ref.Output.Data()...)
+				refPreds := append([]int(nil), ref.PredictedClasses...)
+				for _, m := range modes {
+					for _, workers := range []int{1, 3} {
+						s := numericsScratch(m.mode)
+						s.SetWorkers(workers)
+						got := runBatchGolden(t, p, s, nImg)
+						if re := relErr(got.Output.Data(), refOut); re > m.tol {
+							t.Fatalf("%v batch %d workers %d: relative error %.3g exceeds %.3g",
+								m.mode, nImg, workers, re, m.tol)
+						}
+						if !isRNN {
+							for i, want := range refPreds {
+								if got.PredictedClasses[i] != want {
+									t.Fatalf("%v batch %d workers %d: sample %d top-1 %d, reference %d",
+										m.mode, nImg, workers, i, got.PredictedClasses[i], want)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFusedBatchWorkerDeterminism: the fused batched path's panel grid is
+// fixed per image, so the output bytes must not depend on the worker
+// fan-out — fast tier because each element is produced by exactly one
+// panel's FMA chain, int8 because integer accumulation is exact.
+func TestFusedBatchWorkerDeterminism(t *testing.T) {
+	for _, mode := range []nn.Numerics{nn.NumericsFast, nn.NumericsInt8} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := buildPlan(t, "CifarNet")
+			shape := append([]int{3}, p.Network().InputShape...)
+			batch := tensor.New(shape...)
+			batch.FillUniform(tensor.NewRNG(41), 0, 1)
+			base, err := p.RunBatch(batch, numericsScratch(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseOut := append([]float32(nil), base.Output.Data()...)
+			for _, workers := range []int{2, 5} {
+				s := numericsScratch(mode)
+				s.SetWorkers(workers)
+				got, err := p.RunBatch(batch, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range baseOut {
+					if math.Float32bits(got.Output.Data()[i]) != math.Float32bits(baseOut[i]) {
+						t.Fatalf("workers=%d: element %d differs: %v vs %v",
+							workers, i, got.Output.Data()[i], baseOut[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFastMathBatchSteadyStateAllocs: the fused batched path must also
+// reach a near-zero-alloc steady state — no staged colT buffer, panels and
+// quantization scratch reused from the arena, so repeat batched inference
+// stays within 2 allocations per run (the BatchResult object).
+func TestFastMathBatchSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []nn.Numerics{nn.NumericsFast, nn.NumericsInt8} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := buildPlan(t, "CifarNet")
+			s := numericsScratch(mode)
+			shape := append([]int{3}, p.Network().InputShape...)
+			batch := tensor.New(shape...)
+			batch.FillUniform(tensor.NewRNG(43), 0, 1)
+			if _, err := p.RunBatch(batch, s); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := p.RunBatch(batch, s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Fatalf("steady-state batched fast inference allocates %.0f/run, want <= 2", allocs)
+			}
+		})
+	}
+}
+
 // TestFastMathBatchSequence checks the batched fast recurrent path against
 // the reference within tolerance.
 func TestFastMathBatchSequence(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"tango/internal/par"
 	"tango/internal/tensor"
 )
 
@@ -130,7 +131,7 @@ func (s *Scratch) Conv2DBatch(input, weights, bias *tensor.Tensor, p ConvParams)
 
 	for g := 0; g < groups; g++ {
 		icBase := g * inCPerGroup
-		im2colTBatch(colT, in, nImg, sampleStride, inH, inW, icBase, inCPerGroup, p, outH, outW)
+		im2colTBatchPar(colT, in, nImg, sampleStride, inH, inW, icBase, inCPerGroup, p, outH, outW, workers)
 		oc0 := g * outCPerGroup
 		var gb []float32
 		if biasData != nil {
@@ -157,58 +158,63 @@ func (s *Scratch) Conv2DBatch(input, weights, bias *tensor.Tensor, p ConvParams)
 // zero.  The l-major layout keeps eight neighbouring output pixels
 // contiguous for the vector GEMM kernel.
 func im2colTBatch(colT, in []float32, nImg, sampleStride, inH, inW, icBase, icCount int, p ConvParams, outH, outW int) {
+	im2colTBatchRange(colT, in, nImg, sampleStride, inH, inW, icBase, p, outH, outW,
+		0, icCount*p.KernelH*p.KernelW)
+}
+
+// im2colTBatchRange stages patch rows [l0, l1) of the l-major layout; one
+// call with the full range equals im2colTBatch.  Each row is written by
+// exactly one call, so any partitioning of the range produces identical
+// bytes.
+func im2colTBatchRange(colT, in []float32, nImg, sampleStride, inH, inW, icBase int, p ConvParams, outH, outW, l0, l1 int) {
 	n1 := outH * outW
 	nTot := nImg * n1
-	l := 0
-	for ic := 0; ic < icCount; ic++ {
+	khw := p.KernelH * p.KernelW
+	for l := l0; l < l1; l++ {
+		ic := l / khw
+		rem := l - ic*khw
+		ky := rem / p.KernelW
+		kx := rem - ky*p.KernelW
 		planeOff := (icBase + ic) * inH * inW
-		for ky := 0; ky < p.KernelH; ky++ {
-			for kx := 0; kx < p.KernelW; kx++ {
-				row := colT[l*nTot : (l+1)*nTot]
-				for img := 0; img < nImg; img++ {
-					plane := in[img*sampleStride+planeOff : img*sampleStride+planeOff+inH*inW]
-					seg := row[img*n1 : (img+1)*n1]
-					idx := 0
-					for oy := 0; oy < outH; oy++ {
-						iy := oy*p.StrideH - p.PadH + ky
-						if iy < 0 || iy >= inH {
-							for ox := 0; ox < outW; ox++ {
-								seg[idx] = 0
-								idx++
-							}
-							continue
-						}
-						rowIn := plane[iy*inW : (iy+1)*inW]
-						ix := kx - p.PadW
-						if p.StrideW == 1 {
-							// Contiguous middle span; zero the out-of-image edges.
-							for ox := 0; ox < outW; ox++ {
-								if ix < 0 || ix >= inW {
-									seg[idx] = 0
-								} else {
-									seg[idx] = rowIn[ix]
-								}
-								idx++
-								ix++
-							}
-							continue
-						}
-						for ox := 0; ox < outW; ox++ {
-							if ix < 0 || ix >= inW {
-								seg[idx] = 0
-							} else {
-								seg[idx] = rowIn[ix]
-							}
-							idx++
-							ix += p.StrideW
-						}
-					}
-				}
-				l++
-			}
+		row := colT[l*nTot : (l+1)*nTot]
+		for img := 0; img < nImg; img++ {
+			plane := in[img*sampleStride+planeOff : img*sampleStride+planeOff+inH*inW]
+			packPatchRow(row[img*n1:(img+1)*n1], plane, inH, inW, p, outH, outW, ky, kx, 0)
 		}
 	}
 }
+
+// im2colTBatchPar fans the staging rows over the worker pool in contiguous
+// index-ordered chunks.  Partitioning never changes the bytes written, so
+// callers stay bit-identical for any worker count; small stagings run
+// serially.
+func im2colTBatchPar(colT, in []float32, nImg, sampleStride, inH, inW, icBase, icCount int, p ConvParams, outH, outW, workers int) {
+	rows := icCount * p.KernelH * p.KernelW
+	nTot := nImg * outH * outW
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || int64(rows)*int64(nTot) < stagingParMin {
+		im2colTBatchRange(colT, in, nImg, sampleStride, inH, inW, icBase, p, outH, outW, 0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	nChunks := (rows + chunk - 1) / chunk
+	_ = par.ForEach(workers, nChunks, func(c int) error {
+		l0 := c * chunk
+		l1 := l0 + chunk
+		if l1 > rows {
+			l1 = rows
+		}
+		im2colTBatchRange(colT, in, nImg, sampleStride, inH, inW, icBase, p, outH, outW, l0, l1)
+		return nil
+	})
+}
+
+// stagingParMin is the element-count floor below which staging copies
+// (im2col, batch transposes) stay serial: forking the pool costs more than
+// the copy.
+const stagingParMin = 1 << 15
 
 // FullyConnectedBatch is the batched engine fully-connected layer: the
 // batch's flattened inputs are transposed to (inF x N) and a single GEMM
@@ -235,16 +241,17 @@ func (s *Scratch) FullyConnectedBatch(input, weights, bias *tensor.Tensor, outFe
 	}
 
 	in := input.Data()
+	workers := s.Workers()
 	xT := s.batchBuf(0, inF*nImg)
-	transposeToColumns(xT, in, nImg, inF)
+	transposeToColumnsPar(xT, in, nImg, inF, workers)
 	yT := s.batchBuf(1, outFeatures*nImg)
 	var biasData []float32
 	if bias != nil {
 		biasData = bias.Data()
 	}
-	tensor.GemmNNParallel(yT, weights.Data(), xT, biasData, outFeatures, nImg, inF, nImg, s.Workers())
+	tensor.GemmNNParallel(yT, weights.Data(), xT, biasData, outFeatures, nImg, inF, nImg, workers)
 	out := s.out2(nImg, outFeatures)
-	transposeToRows(out.Data(), yT, nImg, outFeatures)
+	transposeToRowsPar(out.Data(), yT, nImg, outFeatures, nImg, workers)
 	return out, nil
 }
 
@@ -262,12 +269,112 @@ func transposeToColumns(dst, src []float32, n, f int) {
 // transposeToRows repacks feature-major columns (f x n) back into
 // sample-major rows (n x f): dst[smp*f + l] = src[l*n + smp].
 func transposeToRows(dst, src []float32, n, f int) {
+	transposeToRowsRange(dst, src, n, f, n, 0, f)
+}
+
+// transposeToColumnsRange writes feature rows [f0, f1) of the (f x ld)
+// column-major destination.  Disjoint ranges touch disjoint dst rows.
+func transposeToColumnsRange(dst, src []float32, n, f, ld, f0, f1 int) {
 	for smp := 0; smp < n; smp++ {
-		row := dst[smp*f : (smp+1)*f]
-		for l := range row {
-			row[l] = src[l*n+smp]
+		row := src[smp*f+f0 : smp*f+f1]
+		for l, v := range row {
+			dst[(f0+l)*ld+smp] = v
 		}
 	}
+}
+
+// transposeToColumnsPar is transposeToColumns fanned over the worker pool in
+// contiguous feature chunks; bytes are identical for any worker count.
+func transposeToColumnsPar(dst, src []float32, n, f, workers int) {
+	if workers > f {
+		workers = f
+	}
+	if workers <= 1 || int64(n)*int64(f) < stagingParMin {
+		transposeToColumns(dst, src, n, f)
+		return
+	}
+	chunk := (f + workers - 1) / workers
+	nChunks := (f + chunk - 1) / chunk
+	_ = par.ForEach(workers, nChunks, func(c int) error {
+		f0 := c * chunk
+		f1 := f0 + chunk
+		if f1 > f {
+			f1 = f
+		}
+		transposeToColumnsRange(dst, src, n, f, n, f0, f1)
+		return nil
+	})
+}
+
+// transposeToColumnsPad is transposeToColumns with the destination rows ld
+// floats apart (ld >= n); pad lanes [n, ld) are zeroed so a column-padded
+// GEMM reads defined values.  Parallel over feature chunks like
+// transposeToColumnsPar.
+func transposeToColumnsPad(dst, src []float32, n, f, ld, workers int) {
+	if workers > f {
+		workers = f
+	}
+	if workers <= 1 || int64(ld)*int64(f) < stagingParMin {
+		transposeToColumnsPadRange(dst, src, n, f, ld, 0, f)
+		return
+	}
+	chunk := (f + workers - 1) / workers
+	nChunks := (f + chunk - 1) / chunk
+	_ = par.ForEach(workers, nChunks, func(c int) error {
+		f0 := c * chunk
+		f1 := f0 + chunk
+		if f1 > f {
+			f1 = f
+		}
+		transposeToColumnsPadRange(dst, src, n, f, ld, f0, f1)
+		return nil
+	})
+}
+
+func transposeToColumnsPadRange(dst, src []float32, n, f, ld, f0, f1 int) {
+	if ld > n {
+		for l := f0; l < f1; l++ {
+			pad := dst[l*ld+n : (l+1)*ld]
+			for i := range pad {
+				pad[i] = 0
+			}
+		}
+	}
+	transposeToColumnsRange(dst, src, n, f, ld, f0, f1)
+}
+
+// transposeToRowsRange reads the (f x ld) column-major source back into
+// sample rows [s0, s1).  Disjoint ranges touch disjoint dst rows.
+func transposeToRowsRange(dst, src []float32, n, f, ld, s0, s1 int) {
+	for smp := s0; smp < s1; smp++ {
+		row := dst[smp*f : (smp+1)*f]
+		for l := range row {
+			row[l] = src[l*ld+smp]
+		}
+	}
+}
+
+// transposeToRowsPar is transposeToRows from an ld-strided column-major
+// source, fanned over the worker pool in contiguous sample chunks.
+func transposeToRowsPar(dst, src []float32, n, f, ld, workers int) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || int64(n)*int64(f) < stagingParMin {
+		transposeToRowsRange(dst, src, n, f, ld, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	_ = par.ForEach(workers, nChunks, func(c int) error {
+		s0 := c * chunk
+		s1 := s0 + chunk
+		if s1 > n {
+			s1 = n
+		}
+		transposeToRowsRange(dst, src, n, f, ld, s0, s1)
+		return nil
+	})
 }
 
 // Pool2DBatch is the batched engine pooling layer.
@@ -326,6 +433,13 @@ func (s *Scratch) LRNBatch(input *tensor.Tensor, p LRNParams) (*tensor.Tensor, e
 	in := input.Data()
 	o := out.Data()
 	sample := c * h * w
+	if s.lrnFastEligible(p) {
+		sums := s.lrnSums(h * w)
+		for img := 0; img < nImg; img++ {
+			lrnCoreFast(o[img*sample:(img+1)*sample], in[img*sample:(img+1)*sample], c, h, w, p, sums)
+		}
+		return out, nil
+	}
 	for img := 0; img < nImg; img++ {
 		lrnCore(o[img*sample:(img+1)*sample], in[img*sample:(img+1)*sample], c, h, w, p)
 	}
@@ -513,7 +627,7 @@ func (s *Scratch) LSTMSeqBatchPacked(w *LSTMWeights, pk *RNNPack, seq []float32,
 
 	for t := 0; t < steps; t++ {
 		x := seq[t*n*w.Input : (t+1)*n*w.Input]
-		transposeToColumns(xT, x, n, w.Input)
+		transposeToColumnsPar(xT, x, n, w.Input, workers)
 		if fast {
 			s.gatePreBatchFast(pi, tmp, pk.gates[0], w.Bi, xT, hT, hidden, n, workers)
 			s.gatePreBatchFast(pf, tmp, pk.gates[1], w.Bf, xT, hT, hidden, n, workers)
@@ -539,7 +653,7 @@ func (s *Scratch) LSTMSeqBatchPacked(w *LSTMWeights, pk *RNNPack, seq []float32,
 		}
 	}
 	out := s.out2(n, hidden)
-	transposeToRows(out.Data(), hT, n, hidden)
+	transposeToRowsPar(out.Data(), hT, n, hidden, n, workers)
 	return out, nil
 }
 
@@ -581,7 +695,7 @@ func (s *Scratch) GRUSeqBatchPacked(w *GRUWeights, pk *RNNPack, seq []float32, n
 
 	for t := 0; t < steps; t++ {
 		x := seq[t*n*w.Input : (t+1)*n*w.Input]
-		transposeToColumns(xT, x, n, w.Input)
+		transposeToColumnsPar(xT, x, n, w.Input, workers)
 		if fast {
 			s.gatePreBatchFast(r, tmp, pk.gates[0], w.Br, xT, hT, hidden, n, workers)
 			s.gatePreBatchFast(z, tmp, pk.gates[1], w.Bz, xT, hT, hidden, n, workers)
@@ -606,6 +720,6 @@ func (s *Scratch) GRUSeqBatchPacked(w *GRUWeights, pk *RNNPack, seq []float32, n
 		}
 	}
 	out := s.out2(n, hidden)
-	transposeToRows(out.Data(), hT, n, hidden)
+	transposeToRowsPar(out.Data(), hT, n, hidden, n, workers)
 	return out, nil
 }

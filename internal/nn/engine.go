@@ -37,7 +37,10 @@ type Scratch struct {
 	vecs     [][]float32
 	bbufs    [][]float32
 	u8bufs   [][]uint8
-	accb     []int32
+	accbs    [][]int32
+	fpanels  [][]float32
+	f64buf   []float64
+	qscales  []float32
 	outs     []*tensor.Tensor
 	preds    []int
 }
@@ -95,7 +98,7 @@ func (s *Scratch) Bytes() int64 {
 	if s == nil {
 		return 0
 	}
-	n := s.arena.Bytes() + int64(cap(s.col))*4 + int64(cap(s.accb))*4
+	n := s.arena.Bytes() + int64(cap(s.col))*4
 	for _, v := range s.vecs {
 		n += int64(cap(v)) * 4
 	}
@@ -105,6 +108,14 @@ func (s *Scratch) Bytes() int64 {
 	for _, v := range s.u8bufs {
 		n += int64(cap(v))
 	}
+	for _, v := range s.accbs {
+		n += int64(cap(v)) * 4
+	}
+	for _, v := range s.fpanels {
+		n += int64(cap(v)) * 4
+	}
+	n += int64(cap(s.f64buf)) * 8
+	n += int64(cap(s.qscales)) * 4
 	return n
 }
 
@@ -299,6 +310,11 @@ func (s *Scratch) LRN(input *tensor.Tensor, p LRNParams) (*tensor.Tensor, error)
 		return nil, err
 	}
 	out := s.out3(input.Dim(0), input.Dim(1), input.Dim(2))
+	if s.lrnFastEligible(p) {
+		lrnCoreFast(out.Data(), input.Data(), input.Dim(0), input.Dim(1), input.Dim(2), p,
+			s.lrnSums(input.Dim(1)*input.Dim(2)))
+		return out, nil
+	}
 	lrnInto(out, input, p)
 	return out, nil
 }

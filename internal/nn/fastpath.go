@@ -97,15 +97,19 @@ func (s *Scratch) u8buf(slot, n int) []uint8 {
 	return s.u8bufs[slot][:n]
 }
 
-// accbuf returns the int32 accumulator staging buffer of the int8 GEMM.
-func (s *Scratch) accbuf(n int) []int32 {
+// accbuf returns the int32 accumulator staging buffer of the int8 GEMM for
+// the given slot (one slot per worker on the fused parallel path).
+func (s *Scratch) accbuf(slot, n int) []int32 {
 	if s == nil {
 		return make([]int32, n)
 	}
-	if cap(s.accb) < n {
-		s.accb = make([]int32, n)
+	for len(s.accbs) <= slot {
+		s.accbs = append(s.accbs, nil)
 	}
-	return s.accb[:n]
+	if cap(s.accbs[slot]) < n {
+		s.accbs[slot] = make([]int32, n)
+	}
+	return s.accbs[slot][:n]
 }
 
 // ConvPack holds a convolution layer's weights packed for the fast tier:
@@ -259,37 +263,22 @@ func (s *Scratch) Conv2DPacked(input, weights, bias *tensor.Tensor, p ConvParams
 	return s.Conv2D(input, weights, bias, p)
 }
 
-// conv2DFast is the single-sample fast convolution: the patch matrix is
-// staged l-major (as in the batched engine) so the prepacked multi-chain
-// GEMM computes each group's CHW output block in place.
+// conv2DFast is the single-sample fast convolution on the fused staging
+// path (fastfused.go): patches stream straight into GEMM panels and the
+// product lands in the CHW output block, with no staged colT matrix.  The
+// single-sample panel grid matches the staged fast path's column blocking,
+// so results are bit-identical to the pre-fusion tier.
 func (s *Scratch) conv2DFast(input, weights, bias *tensor.Tensor, p ConvParams, pk *ConvPack) (*tensor.Tensor, error) {
 	inH, inW, outH, outW, err := checkConvArgs(input, weights, bias, p)
 	if err != nil {
 		return nil, err
 	}
 	out := s.out3(p.OutChannels, outH, outW)
-	groups := p.groups()
-	inCPerGroup := p.InChannels / groups
-	outCPerGroup := p.OutChannels / groups
-	n := outH * outW
-	k := inCPerGroup * p.KernelH * p.KernelW
-	colT := s.buffer(k * n)
-	in := input.Data()
-	o := out.Data()
 	var biasData []float32
 	if bias != nil {
 		biasData = bias.Data()
 	}
-	workers := s.Workers()
-	for g := 0; g < groups; g++ {
-		im2colTBatch(colT, in, 1, input.Len(), inH, inW, g*inCPerGroup, inCPerGroup, p, outH, outW)
-		oc0 := g * outCPerGroup
-		var gb []float32
-		if biasData != nil {
-			gb = biasData[oc0 : oc0+outCPerGroup]
-		}
-		tensor.GemmNNFastParallel(o[oc0*n:(oc0+outCPerGroup)*n], pk.f[g], colT, gb, n, n, workers)
-	}
+	s.convFused(out.Data(), input.Data(), biasData, pk, p, 1, input.Len(), inH, inW, outH, outW, false)
 	return out, nil
 }
 
@@ -310,7 +299,7 @@ func (s *Scratch) conv2DInt8(input, weights, bias *tensor.Tensor, p ConvParams, 
 	kPad := pk.q[0].KPad()
 	colT := s.buffer(k * n)
 	bp := s.u8buf(0, tensor.Int8PackedLen(kPad, n))
-	acc := s.accbuf(outCPerGroup * n)
+	acc := s.accbuf(0, outCPerGroup*n)
 	in := input.Data()
 	o := out.Data()
 	var biasData []float32
@@ -358,56 +347,17 @@ func (s *Scratch) Conv2DBatchPacked(input, weights, bias *tensor.Tensor, p ConvP
 			outH, outW, inH, inW)
 	}
 
-	groups := p.groups()
-	inCPerGroup := p.InChannels / groups
-	outCPerGroup := p.OutChannels / groups
-	n1 := outH * outW
-	nTot := nImg * n1
-	k := inCPerGroup * p.KernelH * p.KernelW
-	out := s.out4(nImg, p.OutChannels, outH, outW)
-
-	colT := s.batchBuf(0, k*nTot)
-	gbuf := s.batchBuf(1, outCPerGroup*nTot)
 	int8Path := mode == NumericsInt8 && pk.q != nil
-	var bp []uint8
-	var acc []int32
-	var kPad int
-	if int8Path {
-		kPad = pk.q[0].KPad()
-		bp = s.u8buf(0, tensor.Int8PackedLen(kPad, nTot))
-		acc = s.accbuf(outCPerGroup * nTot)
+	if !int8Path && pk.f == nil {
+		return s.Conv2DBatch(input, weights, bias, p)
 	}
-	in := input.Data()
-	o := out.Data()
+	out := s.out4(nImg, p.OutChannels, outH, outW)
 	var biasData []float32
 	if bias != nil {
 		biasData = bias.Data()
 	}
-	sampleStride := input.Len() / nImg
-	outSample := p.OutChannels * n1
-	workers := s.Workers()
-
-	for g := 0; g < groups; g++ {
-		im2colTBatch(colT, in, nImg, sampleStride, inH, inW, g*inCPerGroup, inCPerGroup, p, outH, outW)
-		oc0 := g * outCPerGroup
-		var gb []float32
-		if biasData != nil {
-			gb = biasData[oc0 : oc0+outCPerGroup]
-		}
-		if int8Path {
-			xs := tensor.PackColsU8(bp, colT, k, nTot, nTot, kPad)
-			tensor.GemmInt8(gbuf, pk.q[g], bp, acc, gb, xs, nTot, workers)
-		} else {
-			tensor.GemmNNFastParallel(gbuf, pk.f[g], colT, gb, nTot, nTot, workers)
-		}
-		for ocg := 0; ocg < outCPerGroup; ocg++ {
-			src := gbuf[ocg*nTot : (ocg+1)*nTot]
-			for img := 0; img < nImg; img++ {
-				dst := o[img*outSample+(oc0+ocg)*n1:]
-				copy(dst[:n1], src[img*n1:(img+1)*n1])
-			}
-		}
-	}
+	s.convFused(out.Data(), input.Data(), biasData, pk, p,
+		nImg, input.Len()/nImg, inH, inW, outH, outW, int8Path)
 	return out, nil
 }
 
@@ -464,26 +414,44 @@ func (s *Scratch) FullyConnectedBatchPacked(input, weights, bias *tensor.Tensor,
 		return nil, fmt.Errorf("nn: fc expects %d biases, got %d", outFeatures, bias.Len())
 	}
 
-	xT := s.batchBuf(0, inF*nImg)
-	transposeToColumns(xT, input.Data(), nImg, inF)
-	yT := s.batchBuf(1, outFeatures*nImg)
 	var biasData []float32
 	if bias != nil {
 		biasData = bias.Data()
 	}
+	workers := s.Workers()
 	if mode == NumericsInt8 && pk.q != nil {
+		xT := s.batchBuf(0, inF*nImg)
+		transposeToColumnsPar(xT, input.Data(), nImg, inF, workers)
+		yT := s.batchBuf(1, outFeatures*nImg)
 		kPad := pk.q.KPad()
 		bp := s.u8buf(0, tensor.Int8PackedLen(kPad, nImg))
-		acc := s.accbuf(outFeatures * nImg)
+		acc := s.accbuf(0, outFeatures*nImg)
 		xs := tensor.PackColsU8(bp, xT, inF, nImg, nImg, kPad)
-		tensor.GemmInt8(yT, pk.q, bp, acc, biasData, xs, nImg, s.Workers())
-	} else if pk.f != nil {
-		tensor.GemmNNFastParallel(yT, pk.f, xT, biasData, nImg, nImg, s.Workers())
-	} else {
-		tensor.GemmNNParallel(yT, weights.Data(), xT, biasData, outFeatures, nImg, inF, nImg, s.Workers())
+		tensor.GemmInt8(yT, pk.q, bp, acc, biasData, xs, nImg, workers)
+		out := s.out2(nImg, outFeatures)
+		transposeToRowsPar(out.Data(), yT, nImg, outFeatures, nImg, workers)
+		return out, nil
 	}
+	if pk.f != nil {
+		// Fast float tier: pad the GEMM columns up to the 16-wide FMA tile
+		// so a small batch (3, 8) runs the vector microkernel instead of
+		// falling into the scalar column tail.  Pad lanes are zero and are
+		// never read back.
+		ncol := (nImg + 15) &^ 15
+		xT := s.batchBuf(0, inF*ncol)
+		transposeToColumnsPad(xT, input.Data(), nImg, inF, ncol, workers)
+		yT := s.batchBuf(1, outFeatures*ncol)
+		tensor.GemmNNFastParallel(yT, pk.f, xT, biasData, ncol, ncol, workers)
+		out := s.out2(nImg, outFeatures)
+		transposeToRowsPar(out.Data(), yT, nImg, outFeatures, ncol, workers)
+		return out, nil
+	}
+	xT := s.batchBuf(0, inF*nImg)
+	transposeToColumnsPar(xT, input.Data(), nImg, inF, workers)
+	yT := s.batchBuf(1, outFeatures*nImg)
+	tensor.GemmNNParallel(yT, weights.Data(), xT, biasData, outFeatures, nImg, inF, nImg, workers)
 	out := s.out2(nImg, outFeatures)
-	transposeToRows(out.Data(), yT, nImg, outFeatures)
+	transposeToRowsPar(out.Data(), yT, nImg, outFeatures, nImg, workers)
 	return out, nil
 }
 

@@ -86,6 +86,72 @@ func lrnCore(o, in []float32, c, h, w int, p LRNParams) {
 	}
 }
 
+// lrnFastEligible reports whether the fast-numerics LRN variant applies:
+// the tier is non-reference and beta is exactly 3/4, the AlexNet/GoogLeNet
+// exponent, for which x^-beta has a closed form in hardware square roots.
+func (s *Scratch) lrnFastEligible(p LRNParams) bool {
+	return s.Numerics() != NumericsReference && p.Beta == 0.75
+}
+
+// lrnSums returns the rolling window-sum buffer of the fast LRN kernel
+// (one float64 per pixel, allocated once and reused).
+func (s *Scratch) lrnSums(n int) []float64 {
+	if s == nil {
+		return make([]float64, n)
+	}
+	if cap(s.f64buf) < n {
+		s.f64buf = make([]float64, n)
+	}
+	return s.f64buf[:n]
+}
+
+// lrnCoreFast is lrnCore for the fast tier with beta = 3/4.  Two departures
+// from the reference kernel, both inside the fast tier's tolerance
+// contract (which is the only tier that ever runs this):
+//
+//   - The per-pixel channel-window sum rolls instead of being recomputed:
+//     sums holds one float64 running sum per pixel and each channel step
+//     adds the square entering the window and subtracts the one leaving it.
+//     Squares of float32 values are exact in float64 (24-bit mantissas), so
+//     the only reassociation error is the additions' rounding drift.
+//   - The denominator d^0.75 = sqrt(d*sqrt(d)) uses two hardware square
+//     roots instead of math.Pow, and the division becomes a multiply by the
+//     reciprocal.
+func lrnCoreFast(o, in []float32, c, h, w int, p LRNParams, sums []float64) {
+	half := p.LocalSize / 2
+	scale := p.Alpha / float64(p.LocalSize)
+	hw := h * w
+	for i := range sums {
+		sums[i] = 0
+	}
+	for cc := 0; cc <= half && cc < c; cc++ {
+		plane := in[cc*hw : (cc+1)*hw]
+		for i, v := range plane {
+			sums[i] += float64(v) * float64(v)
+		}
+	}
+	for ch := 0; ch < c; ch++ {
+		src := in[ch*hw : (ch+1)*hw]
+		dst := o[ch*hw : (ch+1)*hw]
+		for i, v := range src {
+			d := p.K + scale*sums[i]
+			dst[i] = float32(float64(v) / math.Sqrt(d*math.Sqrt(d)))
+		}
+		if add := ch + half + 1; add < c {
+			plane := in[add*hw : (add+1)*hw]
+			for i, v := range plane {
+				sums[i] += float64(v) * float64(v)
+			}
+		}
+		if sub := ch - half; sub >= 0 {
+			plane := in[sub*hw : (sub+1)*hw]
+			for i, v := range plane {
+				sums[i] -= float64(v) * float64(v)
+			}
+		}
+	}
+}
+
 // BatchNormParams carries the per-channel statistics of an inference-time
 // batch normalization layer (ResNet uses BatchNorm followed by Scale).
 type BatchNormParams struct {

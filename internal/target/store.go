@@ -87,6 +87,9 @@ type StoreStats struct {
 	// an error never fails the run that produced the result.
 	DiskHits, DiskMisses   int64
 	DiskWrites, DiskErrors int64
+	// DiskEvictions counts records the disk tier's size bound removed
+	// (zero when the tier is unbounded or absent).
+	DiskEvictions int64
 	// RunBytes is the estimated size of the cached run results;
 	// RunEvictions counts entries dropped by the memory bounds.  Evicted
 	// entries remain on disk when a disk tier is attached.
@@ -397,6 +400,11 @@ func (s *Store) Stats() StoreStats {
 	st := s.stats
 	st.Traces = len(s.traces)
 	st.Runs = len(s.runs)
+	// The disk tier tracks its own eviction count; the DiskCache interface
+	// stays minimal, so discover it through an optional method.
+	if ev, ok := s.disk.(interface{ EvictionCount() int64 }); ok {
+		st.DiskEvictions = ev.EvictionCount()
+	}
 	return st
 }
 

@@ -88,6 +88,32 @@ func TestStoreWritesThroughAndWarmStoreSkipsCompute(t *testing.T) {
 	}
 }
 
+// evictingDisk is a fakeDisk that also reports an eviction count, like
+// distcache.Cache does when size-bounded.
+type evictingDisk struct {
+	fakeDisk
+	evictions int64
+}
+
+func (d *evictingDisk) EvictionCount() int64 { return d.evictions }
+
+// TestStoreStatsSurfacesDiskEvictions: a disk tier exposing EvictionCount
+// shows up in StoreStats.DiskEvictions; one without the method reports 0.
+func TestStoreStatsSurfacesDiskEvictions(t *testing.T) {
+	store := NewStore()
+	disk := &evictingDisk{evictions: 7}
+	disk.m = make(map[string]*RunStats)
+	store.SetDisk(disk)
+	if st := store.Stats(); st.DiskEvictions != 7 {
+		t.Fatalf("DiskEvictions = %d, want 7", st.DiskEvictions)
+	}
+	plain := NewStore()
+	plain.SetDisk(newFakeDisk())
+	if st := plain.Stats(); st.DiskEvictions != 0 {
+		t.Fatalf("DiskEvictions without the method = %d, want 0", st.DiskEvictions)
+	}
+}
+
 // TestStoreDiskWriteFailureIsSoft: a failing disk tier costs a counter,
 // not the run.
 func TestStoreDiskWriteFailureIsSoft(t *testing.T) {

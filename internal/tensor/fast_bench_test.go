@@ -25,6 +25,48 @@ func BenchmarkGemmNNPacked(b *testing.B) {
 	b.ReportMetric(float64(m)*float64(k)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GMAC/s")
 }
 
+// BenchmarkGemmFusedPanels is the fused-staging counterpart of
+// BenchmarkGemmNNPacked: the same product computed by walking FusedKC x
+// FusedNC panels through GemmNNFastAccumPanel, with the panel fill (the
+// fused analogue of patch packing) inside the timed region.  Comparing the
+// two GMAC/s numbers shows the cost of panel staging relative to a staged
+// B matrix — while BenchmarkIm2colStage (internal/nn) prices the staged
+// buffer fill the fused path avoids.
+func BenchmarkGemmFusedPanels(b *testing.B) {
+	m, k, n := 128, 1200, 8*27*27
+	r := NewRNG(3)
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	bias := make([]float32, m)
+	fillRand(r, a)
+	fillRand(r, bb)
+	fillRand(r, bias)
+	pa := PackA(a, m, k)
+	dst := make([]float32, m*n)
+	panel := make([]float32, FusedPanelFloats)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p0 := 0; p0 < n; p0 += FusedNC {
+			nc := n - p0
+			if nc > FusedNC {
+				nc = FusedNC
+			}
+			for kb := 0; kb < k; kb += FusedKC {
+				kc := k - kb
+				if kc > FusedKC {
+					kc = FusedKC
+				}
+				for l := 0; l < kc; l++ {
+					copy(panel[l*nc:(l+1)*nc], bb[(kb+l)*n+p0:(kb+l)*n+p0+nc])
+				}
+				GemmNNFastAccumPanel(dst[p0:], pa, panel[:kc*nc], bias, kb, kc, nc, n)
+			}
+		}
+	}
+	b.ReportMetric(float64(m)*float64(k)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GMAC/s")
+}
+
 func BenchmarkGemmInt8(b *testing.B) {
 	m, k, n := 128, 1200, 8*27*27
 	r := NewRNG(3)

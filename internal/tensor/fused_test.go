@@ -1,0 +1,246 @@
+package tensor_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tango/internal/tensor"
+)
+
+// Tests of the fused-staging kernel layer: the strided GEMM entry points
+// (NCHW-destination writes), the B-panel accumulator, and the int8 panel
+// quantizer that together let nn's fused convolution skip the staged
+// l-major colT buffer.
+
+// fillPanel copies the kc x nc slab of b covering depth rows [kb, kb+kc)
+// and columns [p0, p0+nc) into compact row-major layout (stride nc).
+func fillPanel(panel, b []float32, ldb, kb, kc, p0, nc int) {
+	for l := 0; l < kc; l++ {
+		copy(panel[l*nc:(l+1)*nc], b[(kb+l)*ldb+p0:(kb+l)*ldb+p0+nc])
+	}
+}
+
+// runFusedPanels computes dst = a.b + bias through GemmNNFastAccumPanel,
+// walking a (kcStep, ncStep) grid like nn's fused convolution.  slack adds
+// spare capacity to the panel's backing array: with slack >= 16 the sub-16
+// column tails run the vector spill path, with slack 0 they fall back to
+// the scalar kernel.
+func runFusedPanels(dst []float32, pa *tensor.PackedA, b, bias []float32, n, k, ncStep, kcStep, slack int) {
+	buf := make([]float32, ncStep*kcStep+slack)
+	for p0 := 0; p0 < n; p0 += ncStep {
+		nc := ncStep
+		if p0+nc > n {
+			nc = n - p0
+		}
+		for kb := 0; kb < k; kb += kcStep {
+			kc := kcStep
+			if kb+kc > k {
+				kc = k - kb
+			}
+			panel := buf[:kc*nc]
+			fillPanel(panel, b, n, kb, kc, p0, nc)
+			tensor.GemmNNFastAccumPanel(dst[p0:], pa, panel, bias, kb, kc, nc, n)
+		}
+	}
+}
+
+// TestGemmNNFastStridedBitwise: the strided entry point with compact
+// strides must be bit-identical to GemmNNFast, and a padded destination
+// stride must neither change the computed rows nor touch the gap columns.
+func TestGemmNNFastStridedBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m, n, k := 10, 173, 65
+	a := randSlice(rng, m*k)
+	bias := randSlice(rng, m)
+	ldb := n + 5
+	bWide := randSlice(rng, k*ldb)
+	b := make([]float32, k*n)
+	for l := 0; l < k; l++ {
+		copy(b[l*n:(l+1)*n], bWide[l*ldb:l*ldb+n])
+	}
+	forceTier(t, func(t *testing.T, tier tensor.SIMDTier) {
+		pa := tensor.PackA(a, m, k)
+		want := make([]float32, m*n)
+		tensor.GemmNNFast(want, pa, b, bias, n, n)
+
+		compact := make([]float32, m*n)
+		tensor.GemmNNFastStrided(compact, pa, b, bias, n, n, n)
+		for i := range want {
+			if math.Float32bits(compact[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("tier %v: compact strided element %d differs: %v vs %v",
+					tier, i, compact[i], want[i])
+			}
+		}
+
+		// Padded destination (NCHW plane stride) and strided B source.
+		ldd := n + 13
+		padded := make([]float32, m*ldd)
+		for i := range padded {
+			padded[i] = float32(math.NaN())
+		}
+		for _, workers := range []int{1, 4} {
+			tensor.GemmNNFastStridedParallel(padded, pa, bWide, bias, n, ldd, ldb, workers)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					if math.Float32bits(padded[i*ldd+j]) != math.Float32bits(want[i*n+j]) {
+						t.Fatalf("tier %v workers %d: strided (%d,%d) differs: %v vs %v",
+							tier, workers, i, j, padded[i*ldd+j], want[i*n+j])
+					}
+				}
+				for j := n; j < ldd && i*ldd+j < len(padded); j++ {
+					if !math.IsNaN(float64(padded[i*ldd+j])) {
+						t.Fatalf("tier %v workers %d: gap column (%d,%d) overwritten", tier, workers, i, j)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestGemmNNFastAccumPanelComposes: walking ascending depth slabs over
+// column panels must reproduce the full product within the fast tier's
+// tolerance on every tier, for panel grids with and without column/depth
+// tails, with and without spill slack in the panel buffer.
+func TestGemmNNFastAccumPanelComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	shapes := []gemmShape{{8, 173, 147}, {10, 169, 96}, {4, 31, 9}, {9, 512, 50}}
+	grids := []struct{ nc, kc, slack int }{
+		{512, 256, 16}, // production fused grid, single panel for small n
+		{64, 32, 16},   // many panels, vector spill tails
+		{48, 50, 0},    // unaligned grid, scalar tail fallback
+	}
+	forceTier(t, func(t *testing.T, tier tensor.SIMDTier) {
+		for _, s := range shapes {
+			a := randSlice(rng, s.m*s.k)
+			b := randSlice(rng, s.k*s.n)
+			bias := randSlice(rng, s.m)
+			ref := make([]float32, s.m*s.n)
+			tensor.GemmNN(ref, a, b, bias, s.m, s.n, s.k, s.n)
+			pa := tensor.PackA(a, s.m, s.k)
+			floor := 1e-3 * math.Sqrt(float64(s.k))
+			tol := 1e-4 + 2e-5*math.Sqrt(float64(s.k))
+			for _, g := range grids {
+				got := make([]float32, s.m*s.n)
+				for i := range got {
+					got[i] = float32(math.NaN())
+				}
+				runFusedPanels(got, pa, b, bias, s.n, s.k, g.nc, g.kc, g.slack)
+				if err := maxRelErr(got, ref, s.m, s.n, s.n, floor); err > tol {
+					t.Fatalf("tier %v shape %dx%dx%d grid (%d,%d,slack %d): max rel err %.3g > %.3g",
+						tier, s.m, s.n, s.k, g.nc, g.kc, g.slack, err, tol)
+				}
+			}
+		}
+	})
+}
+
+// TestGemmNNFastAccumPanelGridInvariant: with spill slack available, the
+// per-element summation order depends only on the depth-slab walk — full
+// 4-row tiles feed every column through the same FMA chain whether it sits
+// in the vector body or the spill tail.  Different column-panel widths over
+// the same kc grid must therefore produce identical bytes (this is what
+// makes the fused batched conv deterministic for any per-image panel grid).
+func TestGemmNNFastAccumPanelGridInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m, n, k := 8, 173, 96
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	bias := randSlice(rng, m)
+	forceTier(t, func(t *testing.T, tier tensor.SIMDTier) {
+		pa := tensor.PackA(a, m, k)
+		base := make([]float32, m*n)
+		runFusedPanels(base, pa, b, bias, n, k, n, 32, 16)
+		for _, nc := range []int{64, 48, 173} {
+			got := make([]float32, m*n)
+			runFusedPanels(got, pa, b, bias, n, k, nc, 32, 16)
+			for i := range base {
+				if math.Float32bits(got[i]) != math.Float32bits(base[i]) {
+					t.Fatalf("tier %v nc=%d: element %d differs: %v vs %v",
+						tier, nc, i, got[i], base[i])
+				}
+			}
+		}
+	})
+}
+
+// TestQuantizePanelU8MatchesPackCols: slab-wise panel quantization
+// (BeginPanelU8 + ascending QuantizePanelU8 calls) must produce exactly the
+// bytes of the one-shot PackColsU8 given the same activation scale.
+func TestQuantizePanelU8MatchesPackCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m, n, k := 6, 173, 37
+	pw := tensor.PackInt8(randSlice(rng, m*k), m, k)
+	kPad := pw.KPad()
+	b := randSlice(rng, k*n)
+	want := make([]uint8, tensor.Int8PackedLen(kPad, n))
+	scale := tensor.PackColsU8(want, b, k, n, n, kPad)
+
+	got := make([]uint8, tensor.Int8PackedLen(kPad, n))
+	tensor.BeginPanelU8(got, k, n, kPad)
+	inv := 1 / scale
+	const kcStep = 16
+	panel := make([]float32, kcStep*n)
+	for kb := 0; kb < k; kb += kcStep {
+		kc := kcStep
+		if kb+kc > k {
+			kc = k - kb
+		}
+		fillPanel(panel[:kc*n], b, n, kb, kc, 0, n)
+		tensor.QuantizePanelU8(got, panel[:kc*n], kb, kc, n, kPad, inv)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packed byte %d differs: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGemmInt8PanelMatchesGemmInt8: integer accumulation is exact, so the
+// fused panel walk must reproduce the staged int8 GEMM bit for bit on every
+// tier, for any panel grid sharing the activation scale.
+func TestGemmInt8PanelMatchesGemmInt8(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m, n, k := 10, 173, 37
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	bias := randSlice(rng, m)
+	forceTier(t, func(t *testing.T, tier tensor.SIMDTier) {
+		pw := tensor.PackInt8(a, m, k)
+		kPad := pw.KPad()
+		bp := make([]uint8, tensor.Int8PackedLen(kPad, n))
+		scale := tensor.PackColsU8(bp, b, k, n, n, kPad)
+		acc := make([]int32, m*(n+16))
+		want := make([]float32, m*n)
+		tensor.GemmInt8(want, pw, bp, acc, bias, scale, n, 1)
+
+		inv := 1 / scale
+		for _, ncStep := range []int{64, 48, 173} {
+			got := make([]float32, m*n)
+			u8p := make([]uint8, tensor.Int8PackedLen(kPad, ncStep))
+			panel := make([]float32, 16*ncStep)
+			for p0 := 0; p0 < n; p0 += ncStep {
+				nc := ncStep
+				if p0+nc > n {
+					nc = n - p0
+				}
+				tensor.BeginPanelU8(u8p, k, nc, kPad)
+				for kb := 0; kb < k; kb += 16 {
+					kc := 16
+					if kb+kc > k {
+						kc = k - kb
+					}
+					fillPanel(panel[:kc*nc], b, n, kb, kc, p0, nc)
+					tensor.QuantizePanelU8(u8p, panel[:kc*nc], kb, kc, nc, kPad, inv)
+				}
+				tensor.GemmInt8Panel(got[p0:], pw, u8p, acc, bias, scale, nc, n)
+			}
+			for i := range want {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("tier %v nc=%d: element %d differs: %v vs %v",
+						tier, ncStep, i, got[i], want[i])
+				}
+			}
+		}
+	})
+}

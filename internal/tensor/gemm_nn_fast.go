@@ -143,13 +143,29 @@ func fastVecCols(t SIMDTier) int {
 	}
 }
 
+// Fused-staging geometry: the panel grid GemmNNFastAccumPanel operates on.
+// A fused producer (the engine's im2col panel packer) walks output columns
+// in FusedNC panels and depth in FusedKC slabs, so one packed B panel is at
+// most FusedPanelFloats floats and stays L2-resident while every weight row
+// tile streams it.  The grid matches the staged path's nnKC/nnNC blocking
+// exactly: for a single sample the fused path reproduces the staged fast
+// path bit for bit.
+const (
+	// FusedKC is the depth slab of the fused fast GEMM (== nnKC).
+	FusedKC = nnKC
+	// FusedNC is the column panel of the fused fast GEMM (== nnNC).
+	FusedNC = nnNC
+	// FusedPanelFloats is the B panel buffer length fused callers provide.
+	FusedPanelFloats = FusedKC * FusedNC
+)
+
 // GemmNNFast computes dst = A*B + bias like GemmNN, with A pre-packed and
 // the active fast tier's kernels.  b is k x n row-major with row stride ldb
 // (>= n); dst rows are also ldb apart.  Results agree with GemmNN within
 // float32 rounding, not bit-exactly.
 func GemmNNFast(dst []float32, pa *PackedA, b, bias []float32, n, ldb int) {
 	checkGemmNNArgs(dst, pa.src, b, bias, pa.m, n, pa.k, ldb)
-	gemmNNFastRows(dst, pa, b, bias, n, ldb, 0, pa.m, fastTier)
+	gemmNNFastRows(dst, pa, b, bias, n, ldb, ldb, 0, pa.m, fastTier)
 }
 
 // GemmNNFastParallel is GemmNNFast with the row dimension split across up
@@ -160,25 +176,149 @@ func GemmNNFastParallel(dst []float32, pa *PackedA, b, bias []float32, n, ldb, w
 	checkGemmNNArgs(dst, pa.src, b, bias, pa.m, n, pa.k, ldb)
 	t := fastTier
 	if serialRows(pa.m, int64(pa.m)*int64(n)*int64(pa.k), workers) {
-		gemmNNFastRows(dst, pa, b, bias, n, ldb, 0, pa.m, t)
+		gemmNNFastRows(dst, pa, b, bias, n, ldb, ldb, 0, pa.m, t)
 		return
 	}
 	forEachRowPanel(pa.m, workers, func(r0, r1 int) {
-		gemmNNFastRows(dst, pa, b, bias, n, ldb, r0, r1, t)
+		gemmNNFastRows(dst, pa, b, bias, n, ldb, ldb, r0, r1, t)
 	})
+}
+
+// GemmNNFastStrided is GemmNNFast with independent dst and b row strides:
+// dst rows are ldd floats apart, b rows ldb floats apart (both >= n).  This
+// is the 1x1/stride-1 convolution fast path — the input planes are consumed
+// as B directly, with the result written straight into a strided NCHW
+// output block, no staging at all.
+func GemmNNFastStrided(dst []float32, pa *PackedA, b, bias []float32, n, ldd, ldb int) {
+	checkGemmNNFastStrided(dst, pa, b, bias, n, ldd, ldb)
+	gemmNNFastRows(dst, pa, b, bias, n, ldd, ldb, 0, pa.m, fastTier)
+}
+
+// GemmNNFastStridedParallel is GemmNNFastStrided with the row dimension
+// split across up to workers goroutines (identical results for any count).
+func GemmNNFastStridedParallel(dst []float32, pa *PackedA, b, bias []float32, n, ldd, ldb, workers int) {
+	checkGemmNNFastStrided(dst, pa, b, bias, n, ldd, ldb)
+	t := fastTier
+	if serialRows(pa.m, int64(pa.m)*int64(n)*int64(pa.k), workers) {
+		gemmNNFastRows(dst, pa, b, bias, n, ldd, ldb, 0, pa.m, t)
+		return
+	}
+	forEachRowPanel(pa.m, workers, func(r0, r1 int) {
+		gemmNNFastRows(dst, pa, b, bias, n, ldd, ldb, r0, r1, t)
+	})
+}
+
+func checkGemmNNFastStrided(dst []float32, pa *PackedA, b, bias []float32, n, ldd, ldb int) {
+	if n <= 0 {
+		panic("tensor: gemmNN fast strided n must be positive")
+	}
+	if ldd < n || ldb < n {
+		panic("tensor: gemmNN fast strided stride smaller than column count")
+	}
+	if len(dst) < (pa.m-1)*ldd+n || len(b) < (pa.k-1)*ldb+n {
+		panic("tensor: gemmNN fast strided buffers too small")
+	}
+	if bias != nil && len(bias) < pa.m {
+		panic("tensor: gemmNN fast strided bias too short")
+	}
+}
+
+// GemmNNFastAccumPanel accumulates one fused B panel into a strided output
+// block: dst[i*ldd + j] += sum_l pa[i][kb+l] * panel[l*nc + j] for every
+// output row i and j in [0, nc), where panel holds the kc x nc B block
+// covering depth rows [kb, kb+kc) in compact row-major layout (stride nc).
+// When kb == 0 the touched dst columns are first seeded with bias (zero for
+// nil), so walking kb over ascending FusedKC slabs computes the full
+// product without ever materializing B.  kc must be at most FusedKC and nc
+// at most FusedNC; the caller owns the panel grid, which must not depend on
+// the worker fan-out (panels covering disjoint columns may run
+// concurrently).  Per element the summation order equals the staged fast
+// path's, so a fused single-sample convolution is bit-identical to the
+// staged one.
+func GemmNNFastAccumPanel(dst []float32, pa *PackedA, panel, bias []float32, kb, kc, nc, ldd int) {
+	m, k := pa.m, pa.k
+	if nc <= 0 || kc <= 0 || kb < 0 || kb+kc > k {
+		panic("tensor: fused panel slab out of range")
+	}
+	if ldd < nc || len(dst) < (m-1)*ldd+nc || len(panel) < kc*nc {
+		panic("tensor: fused panel buffers too small")
+	}
+	if bias != nil && len(bias) < m {
+		panic("tensor: fused panel bias too short")
+	}
+	if kb == 0 {
+		for i := 0; i < m; i++ {
+			row := dst[i*ldd : i*ldd+nc]
+			if bias != nil {
+				bi := bias[i]
+				for j := range row {
+					row[j] = bi
+				}
+			} else {
+				for j := range row {
+					row[j] = 0
+				}
+			}
+		}
+	}
+	t := fastTier
+	vw := fastVecCols(t)
+	// The panel is compact (row stride nc), so a sub-16 column tail can
+	// still run the vector kernel: accumulate a full 16-wide tile into a
+	// stack spill block, reading past the tail into the next panel row
+	// (those lanes are independent and discarded), then copy only the live
+	// columns back.  Needs slack in the panel's backing array for the
+	// overread; the worker panel buffers always have it except when the
+	// panel is exactly full — and a full panel has no tail.
+	var spill [nnMR * 16]float32
+	i := 0
+	if vw > 0 {
+		for ; i+nnMR <= m; i += nnMR {
+			ncVec := nc &^ (vw - 1)
+			ap := pa.panels[(i/nnMR)*nnMR*k+kb*nnMR:]
+			if ncVec > 0 {
+				if t == TierAVX512 {
+					gemmNNAVX512Kernel(dst[i*ldd:], ap, panel, kc, ncVec, ldd, nc)
+				} else {
+					gemmNNFMAKernel(dst[i*ldd:], ap, panel, kc, ncVec, ldd, nc)
+				}
+			}
+			if t == TierAVX512 && nc-ncVec >= 16 {
+				gemmNNFMAKernel(dst[i*ldd+ncVec:], ap, panel[ncVec:], kc, 16, ldd, nc)
+				ncVec += 16
+			}
+			if tail := nc - ncVec; tail > 0 {
+				if ncVec+(kc-1)*nc+16 <= cap(panel) {
+					for r := 0; r < nnMR; r++ {
+						copy(spill[r*16:r*16+tail], dst[(i+r)*ldd+ncVec:])
+					}
+					gemmNNFMAKernel(spill[:], ap, panel[ncVec:ncVec+(kc-1)*nc+16], kc, 16, 16, nc)
+					for r := 0; r < nnMR; r++ {
+						copy(dst[(i+r)*ldd+ncVec:(i+r)*ldd+nc], spill[r*16:])
+					}
+				} else {
+					gemmNNFastScalar(dst, pa.src, panel, k, ldd, nc, kb, kc, ncVec, tail, i, i+nnMR)
+				}
+			}
+		}
+	}
+	if i < m {
+		gemmNNFastScalar(dst, pa.src, panel, k, ldd, nc, kb, kc, 0, nc, i, m)
+	}
 }
 
 // gemmNNFastRows runs the blocked fast kernel over output rows [r0, r1),
 // reusing the reference path's panel geometry (nnKC depth slabs, nnNC
-// column panels) so the streamed b block stays L2-resident.  Full 4-row
-// panels with wide column blocks go to the tier's FMA/AVX-512 kernel; on
-// the AVX-512 tier a 16-column FMA block mops up before the scalar tail.
-// Remainder rows and narrow tails use the order-preserving scalar kernel on
-// the retained row-major weights.
-func gemmNNFastRows(dst []float32, pa *PackedA, b, bias []float32, n, ldb, r0, r1 int, t SIMDTier) {
+// column panels) so the streamed b block stays L2-resident.  dst rows are
+// ldd floats apart, b rows ldb apart.  Full 4-row panels with wide column
+// blocks go to the tier's FMA/AVX-512 kernel; on the AVX-512 tier a
+// 16-column FMA block mops up before the scalar tail.  Remainder rows and
+// narrow tails use the order-preserving scalar kernel on the retained
+// row-major weights.
+func gemmNNFastRows(dst []float32, pa *PackedA, b, bias []float32, n, ldd, ldb, r0, r1 int, t SIMDTier) {
 	k := pa.k
 	for i := r0; i < r1; i++ {
-		row := dst[i*ldb : i*ldb+n]
+		row := dst[i*ldd : i*ldd+n]
 		if bias != nil {
 			bi := bias[i]
 			for j := range row {
@@ -208,23 +348,70 @@ func gemmNNFastRows(dst []float32, pa *PackedA, b, bias []float32, n, ldb, r0, r
 					ap := pa.panels[(i/nnMR)*nnMR*k+kb*nnMR:]
 					if ncVec > 0 {
 						if t == TierAVX512 {
-							gemmNNAVX512Kernel(dst[i*ldb+jb:], ap, b[kb*ldb+jb:], kc, ncVec, ldb)
+							gemmNNAVX512Kernel(dst[i*ldd+jb:], ap, b[kb*ldb+jb:], kc, ncVec, ldd, ldb)
 						} else {
-							gemmNNFMAKernel(dst[i*ldb+jb:], ap, b[kb*ldb+jb:], kc, ncVec, ldb)
+							gemmNNFMAKernel(dst[i*ldd+jb:], ap, b[kb*ldb+jb:], kc, ncVec, ldd, ldb)
 						}
 					}
 					if t == TierAVX512 && nc-ncVec >= 16 {
-						gemmNNFMAKernel(dst[i*ldb+jb+ncVec:], ap, b[kb*ldb+jb+ncVec:], kc, 16, ldb)
+						gemmNNFMAKernel(dst[i*ldd+jb+ncVec:], ap, b[kb*ldb+jb+ncVec:], kc, 16, ldd, ldb)
 						ncVec += 16
 					}
 					if ncVec < nc {
-						gemmNNScalar(dst, pa.src, b, k, ldb, kb, kc, jb+ncVec, nc-ncVec, i, i+nnMR)
+						gemmNNFastScalar(dst, pa.src, b[kb*ldb:], k, ldd, ldb, kb, kc, jb+ncVec, nc-ncVec, i, i+nnMR)
 					}
 				}
 			}
 			if i < r1 {
-				gemmNNScalar(dst, pa.src, b, k, ldb, kb, kc, jb, nc, i, r1)
+				gemmNNFastScalar(dst, pa.src, b[kb*ldb:], k, ldd, ldb, kb, kc, jb, nc, i, r1)
 			}
+		}
+	}
+}
+
+// gemmNNFastScalar is the portable tail kernel of the fast path with
+// independent dst and b strides: dst[i*ldd+j] += sum_l a[i*k+kb+l] *
+// b[l*ldb+j] for j in [jb, jb+nc), accumulating onto the bias-seeded
+// partial sums resident in dst in the reference order (b is pre-offset to
+// the slab's first depth row).  Four rows share each streamed b value, like
+// gemmNNScalar.
+func gemmNNFastScalar(dst, a, b []float32, k, ldd, ldb, kb, kc, jb, nc, r0, r1 int) {
+	i := r0
+	for ; i+gemmMR <= r1; i += gemmMR {
+		a0 := a[i*k+kb : i*k+kb+kc]
+		a1 := a[(i+1)*k+kb : (i+1)*k+kb+kc]
+		a2 := a[(i+2)*k+kb : (i+2)*k+kb+kc]
+		a3 := a[(i+3)*k+kb : (i+3)*k+kb+kc]
+		for j := jb; j < jb+nc; j++ {
+			s0 := dst[i*ldd+j]
+			s1 := dst[(i+1)*ldd+j]
+			s2 := dst[(i+2)*ldd+j]
+			s3 := dst[(i+3)*ldd+j]
+			bi := j
+			for l := 0; l < kc; l++ {
+				bv := b[bi]
+				s0 += a0[l] * bv
+				s1 += a1[l] * bv
+				s2 += a2[l] * bv
+				s3 += a3[l] * bv
+				bi += ldb
+			}
+			dst[i*ldd+j] = s0
+			dst[(i+1)*ldd+j] = s1
+			dst[(i+2)*ldd+j] = s2
+			dst[(i+3)*ldd+j] = s3
+		}
+	}
+	for ; i < r1; i++ {
+		ar := a[i*k+kb : i*k+kb+kc]
+		for j := jb; j < jb+nc; j++ {
+			s := dst[i*ldd+j]
+			bi := j
+			for _, av := range ar {
+				s += av * b[bi]
+				bi += ldb
+			}
+			dst[i*ldd+j] = s
 		}
 	}
 }

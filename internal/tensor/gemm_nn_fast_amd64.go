@@ -9,19 +9,21 @@ package tensor
 // accumulates dst[r][j] += sum_l ap[l*4+r]*b[l][j] for r in [0,4), j in
 // [0,nc), l in [0,kc) with fused multiply-adds on 8 independent accumulator
 // registers.  ap is the depth-interleaved packed A panel (PackA layout)
-// advanced to the kernel's depth offset; dst and b rows are ldb floats
-// apart.  nc must be a positive multiple of 16; kc positive.  Callers
-// pre-offset the slice bases.
+// advanced to the kernel's depth offset; dst rows are ldd floats apart and
+// b rows ldb floats apart (separate strides let a fused im2col panel with
+// its own compact stride accumulate into a strided NCHW output block).
+// nc must be a positive multiple of 16; kc positive.  Callers pre-offset
+// the slice bases.
 //
 //go:noescape
-func gemmNNFMAKernel(dst, ap, b []float32, kc, nc, ldb int)
+func gemmNNFMAKernel(dst, ap, b []float32, kc, nc, ldd, ldb int)
 
 // gemmNNAVX512Kernel is the AVX-512 4x32 variant of gemmNNFMAKernel: the
 // same packed-A layout feeding 8 ZMM accumulator chains.  nc must be a
 // positive multiple of 32.
 //
 //go:noescape
-func gemmNNAVX512Kernel(dst, ap, b []float32, kc, nc, ldb int)
+func gemmNNAVX512Kernel(dst, ap, b []float32, kc, nc, ldd, ldb int)
 
 // dotFMA returns the FMA dot product of a[:n] and b[:n] over four
 // independent 8-lane accumulator chains.  n must be a positive multiple of

@@ -10,11 +10,11 @@ package tensor
 
 var fastTierDetected = TierGeneric
 
-func gemmNNFMAKernel(dst, ap, b []float32, kc, nc, ldb int) {
+func gemmNNFMAKernel(dst, ap, b []float32, kc, nc, ldd, ldb int) {
 	panic("tensor: FMA kernel called on non-amd64 build")
 }
 
-func gemmNNAVX512Kernel(dst, ap, b []float32, kc, nc, ldb int) {
+func gemmNNAVX512Kernel(dst, ap, b []float32, kc, nc, ldd, ldb int) {
 	panic("tensor: AVX-512 kernel called on non-amd64 build")
 }
 

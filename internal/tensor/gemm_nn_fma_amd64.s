@@ -10,22 +10,26 @@
 
 #include "textflag.h"
 
-// func gemmNNFMAKernel(dst, ap, b []float32, kc, nc, ldb int)
+// func gemmNNFMAKernel(dst, ap, b []float32, kc, nc, ldd, ldb int)
 //
 // 4x16 tile: dst[r][j] += sum_l ap[l*4+r]*b[l][j] for r in [0,4),
-// j in [0,nc), l in [0,kc).  dst and b rows are ldb floats apart; ap is the
+// j in [0,nc), l in [0,kc).  dst rows are ldd floats apart, b rows ldb
+// floats apart (separate strides so a packed panel with its own stride can
+// accumulate straight into a strided output block); ap is the
 // depth-interleaved packed panel (4 consecutive floats per depth step).
 // nc must be a positive multiple of 16; kc positive.  Eight YMM accumulator
 // chains (two per row) hide the FMA latency.  Only the slice base pointers
 // are used; callers pre-offset them.
-TEXT ·gemmNNFMAKernel(SB), NOSPLIT, $0-96
+TEXT ·gemmNNFMAKernel(SB), NOSPLIT, $0-104
 	MOVQ dst_base+0(FP), DI
 	MOVQ ap_base+24(FP), SI
 	MOVQ b_base+48(FP), BX
 	MOVQ kc+72(FP), CX
 	MOVQ nc+80(FP), R8
-	MOVQ ldb+88(FP), R9
-	SHLQ $2, R9              // row stride in bytes
+	MOVQ ldd+88(FP), R12
+	MOVQ ldb+96(FP), R9
+	SHLQ $2, R12             // dst row stride in bytes
+	SHLQ $2, R9              // b row stride in bytes
 
 	XORQ AX, AX              // column byte offset
 
@@ -34,13 +38,13 @@ fmacol:
 	LEAQ (DI)(AX*1), DX
 	VMOVUPS (DX), Y0
 	VMOVUPS 32(DX), Y1
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS (DX), Y2
 	VMOVUPS 32(DX), Y3
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS (DX), Y4
 	VMOVUPS 32(DX), Y5
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS (DX), Y6
 	VMOVUPS 32(DX), Y7
 
@@ -72,13 +76,13 @@ fmak:
 	LEAQ (DI)(AX*1), DX
 	VMOVUPS Y0, (DX)
 	VMOVUPS Y1, 32(DX)
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS Y2, (DX)
 	VMOVUPS Y3, 32(DX)
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS Y4, (DX)
 	VMOVUPS Y5, 32(DX)
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS Y6, (DX)
 	VMOVUPS Y7, 32(DX)
 
@@ -89,18 +93,20 @@ fmak:
 	VZEROUPPER
 	RET
 
-// func gemmNNAVX512Kernel(dst, ap, b []float32, kc, nc, ldb int)
+// func gemmNNAVX512Kernel(dst, ap, b []float32, kc, nc, ldd, ldb int)
 //
 // 4x32 tile: the AVX-512 widening of gemmNNFMAKernel with eight ZMM
 // accumulator chains.  nc must be a positive multiple of 32.
-TEXT ·gemmNNAVX512Kernel(SB), NOSPLIT, $0-96
+TEXT ·gemmNNAVX512Kernel(SB), NOSPLIT, $0-104
 	MOVQ dst_base+0(FP), DI
 	MOVQ ap_base+24(FP), SI
 	MOVQ b_base+48(FP), BX
 	MOVQ kc+72(FP), CX
 	MOVQ nc+80(FP), R8
-	MOVQ ldb+88(FP), R9
-	SHLQ $2, R9              // row stride in bytes
+	MOVQ ldd+88(FP), R12
+	MOVQ ldb+96(FP), R9
+	SHLQ $2, R12             // dst row stride in bytes
+	SHLQ $2, R9              // b row stride in bytes
 
 	XORQ AX, AX              // column byte offset
 
@@ -108,13 +114,13 @@ zcol:
 	LEAQ (DI)(AX*1), DX
 	VMOVUPS (DX), Z0
 	VMOVUPS 64(DX), Z1
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS (DX), Z2
 	VMOVUPS 64(DX), Z3
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS (DX), Z4
 	VMOVUPS 64(DX), Z5
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS (DX), Z6
 	VMOVUPS 64(DX), Z7
 
@@ -145,13 +151,13 @@ zk:
 	LEAQ (DI)(AX*1), DX
 	VMOVUPS Z0, (DX)
 	VMOVUPS Z1, 64(DX)
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS Z2, (DX)
 	VMOVUPS Z3, 64(DX)
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS Z4, (DX)
 	VMOVUPS Z5, 64(DX)
-	ADDQ R9, DX
+	ADDQ R12, DX
 	VMOVUPS Z6, (DX)
 	VMOVUPS Z7, 64(DX)
 

@@ -214,6 +214,103 @@ func PackColsU8(dst []uint8, b []float32, k, n, ldb, kPad int) float32 {
 	return scale
 }
 
+// U8Scale returns the offset-binary activation quantization scale for data
+// whose maximum absolute value is maxAbs, using exactly QuantizeU8's rule.
+// Fused convolution computes maxAbs once per group from the input planes
+// (a superset of every receptive-field patch, so the clamp-free rounding
+// precondition of the panel quantizer holds) and shares the scale across
+// panels.
+func U8Scale(maxAbs float32) float32 {
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / 127
+}
+
+// BeginPanelU8 zeroes exactly the padded positions of a fused u8 activation
+// panel covering nc columns with valid depth k (padded to kPad): call it
+// once per panel before QuantizePanelU8 fills the valid slabs.
+func BeginPanelU8(dst []uint8, k, nc, kPad int) {
+	zeroPad8(dst, k, nc, kPad)
+}
+
+// QuantizePanelU8 writes a kc x nc float32 slab (row-major, stride nc,
+// covering depth rows [kb, kb+kc) of the panel's columns) into the
+// PackColsU8 tile layout with n = nc:
+// dst[int8BIndex(kb+l, j, kPad)] = q(panel[l][j]) + 128.  inv is the
+// reciprocal activation scale; |v|*inv must not exceed 127 (guaranteed when
+// inv derives from a maxAbs that bounds every panel value, see U8Scale).
+// Bytes produced are identical to PackColsU8 quantizing the same values
+// with the same scale.
+func QuantizePanelU8(dst []uint8, panel []float32, kb, kc, nc, kPad int, inv float32) {
+	for li := 0; li < kc; li++ {
+		l := kb + li
+		row := panel[li*nc : li*nc+nc]
+		base := (l/4)*int8NR*4 + l%4
+		jb := 0
+		for ; jb+int8NR <= nc; jb += int8NR {
+			tile := dst[(jb/int8NR)*kPad*int8NR+base:]
+			for t, v := range row[jb : jb+int8NR] {
+				tile[t*4] = uint8(roundHalfAway(v*inv) + 128)
+			}
+		}
+		for j := jb; j < nc; j++ {
+			dst[(j/int8NR)*kPad*int8NR+base+(j%int8NR)*4] = uint8(roundHalfAway(row[j]*inv) + 128)
+		}
+	}
+}
+
+// GemmInt8Panel computes one fused column panel of the quantized GEMM:
+// dst[i*ldd + j] = dequant(sum_l Wq[i][l] * bp[l][j]) + bias[i] for every
+// weight row i and j in [0, nc).  bp holds the full-depth packed
+// activations of the panel's nc columns (PackColsU8 / QuantizePanelU8
+// layout with n = nc, quantized with xScale); acc is the int32 staging
+// buffer (>= m*nc).  Unlike the float fused path there is no depth-slab
+// accumulation — the int8 kernel consumes the whole padded depth in one
+// pass — so one call finishes the panel.  Integer accumulation is exact:
+// results are identical for any panel grid, tier or worker fan-out.
+func GemmInt8Panel(dst []float32, pw *PackedInt8, bp []uint8, acc []int32, bias []float32, xScale float32, nc, ldd int) {
+	m, kPad := pw.m, pw.kPad
+	if nc <= 0 {
+		panic("tensor: GemmInt8Panel nc must be positive")
+	}
+	if ldd < nc || len(dst) < (m-1)*ldd+nc || len(acc) < m*nc || len(bp) < Int8PackedLen(kPad, nc) {
+		panic("tensor: GemmInt8Panel buffers too small")
+	}
+	if bias != nil && len(bias) < m {
+		panic("tensor: GemmInt8Panel bias too short")
+	}
+	vec := int8Vector()
+	i := 0
+	if vec {
+		ncVec := nc &^ (int8NR - 1)
+		for ; i+nnMR <= m; i += nnMR {
+			if ncVec > 0 {
+				gemmInt8Kernel(acc[i*nc:], pw.wq[i*kPad:], bp, kPad/4, ncVec, kPad, nc)
+			}
+			if ncVec < nc {
+				gemmInt8Scalar(acc, pw.wq, bp, kPad, nc, ncVec, nc-ncVec, i, i+nnMR)
+			}
+		}
+	}
+	if i < m {
+		gemmInt8Scalar(acc, pw.wq, bp, kPad, nc, 0, nc, i, m)
+	}
+	for i := 0; i < m; i++ {
+		f := pw.scales[i] * xScale
+		c := pw.comp[i]
+		var b0 float32
+		if bias != nil {
+			b0 = bias[i]
+		}
+		ai := acc[i*nc : i*nc+nc]
+		di := dst[i*ldd : i*ldd+nc]
+		for j, v := range ai {
+			di[j] = float32(v-c)*f + b0
+		}
+	}
+}
+
 // roundHalfAway rounds to the nearest integer, halves away from zero,
 // without the clamp (and the branches) of quantRound.  PackColsU8 inputs
 // satisfy |v*inv| <= 127*(1+ulp), so the result always fits [-127, 127]

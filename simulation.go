@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -301,6 +302,12 @@ type SweepConfig struct {
 	// cache counters after the sweep — Computes says how many cells
 	// actually ran a simulator backend (zero for a fully warm sweep).
 	CacheStats *CacheStats
+	// CacheMaxMB bounds the CacheDir disk tier's size in MiB; 0 leaves it
+	// unbounded.  Once a store pushes the tier past the bound, the oldest
+	// records (by file modification time) are evicted down to 90% of it,
+	// so long sweep campaigns churn the stale tail instead of growing the
+	// directory without bound.
+	CacheMaxMB int
 }
 
 // CacheStats is a snapshot of a run store's cache traffic; see
@@ -319,6 +326,9 @@ func attachEnvDiskCache() {
 			return
 		}
 		if d, err := distcache.Open(dir); err == nil {
+			if mb, err := strconv.Atoi(os.Getenv("TANGO_CACHE_MAX_MB")); err == nil && mb > 0 {
+				d.SetMaxBytes(int64(mb) << 20)
+			}
 			target.Shared().SetDisk(d)
 		}
 	})
@@ -465,6 +475,9 @@ func SweepContext(ctx context.Context, cfg SweepConfig) (*Dataset, error) {
 		d, derr := distcache.Open(cfg.CacheDir)
 		if derr != nil {
 			return nil, fmt.Errorf("tango: sweep cache: %w", derr)
+		}
+		if cfg.CacheMaxMB > 0 {
+			d.SetMaxBytes(int64(cfg.CacheMaxMB) << 20)
 		}
 		store = target.NewStore()
 		store.SetDisk(d)
